@@ -1,0 +1,176 @@
+(* The middleware's command-line interface.
+
+   Subcommands:
+     demo                      run the paper's running example
+     gen  --dataset D --out P  generate a workload dataset as CSV files
+     run  --data DIR [-e SQL | -f FILE]
+                               run SQL (with SEQ VT support) against CSVs
+*)
+
+open Cmdliner
+module M = Tkr_middleware.Middleware
+module Database = Tkr_engine.Database
+module Table = Tkr_engine.Table
+module Csv_io = Tkr_engine.Csv_io
+
+let print_result = function
+  | M.Rows t -> print_string (Table.to_text ~max_rows:100 t)
+  | M.Done msg -> Printf.printf "%s\n" msg
+
+(* --- demo --- *)
+
+let demo () =
+  let m = M.create () in
+  Database.set_time_bounds (M.database m) ~tmin:0 ~tmax:24;
+  ignore
+    (M.execute_script m
+       {|
+       CREATE TABLE works (name text, skill text, b int, e int) PERIOD (b, e);
+       INSERT INTO works VALUES
+         ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16),
+         ('Sam', 'SP', 8, 16), ('Ann', 'SP', 18, 20);
+     |});
+  print_endline "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')";
+  print_result
+    (M.execute m
+       "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP') ORDER BY vt_begin")
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running example (Figure 1b)")
+    Term.(const demo $ const ())
+
+(* --- gen --- *)
+
+let gen dataset out scale =
+  let db =
+    match dataset with
+    | "employees" ->
+        Tkr_workload.Employees.generate
+          (Tkr_workload.Employees.scaled (int_of_float (500. *. scale)))
+    | "tpcbih" ->
+        Tkr_workload.Tpcbih.generate { Tkr_workload.Tpcbih.default with scale }
+    | d -> failwith ("unknown dataset " ^ d ^ " (try employees or tpcbih)")
+  in
+  (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun name ->
+      let path = Filename.concat out (name ^ ".csv") in
+      Csv_io.write_table path (Database.find db name);
+      Printf.printf "wrote %s (%d rows)\n" path
+        (Table.cardinality (Database.find db name)))
+    (Database.names db)
+
+let gen_cmd =
+  let dataset =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dataset"; "d" ] ~docv:"NAME" ~doc:"employees or tpcbih")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"output directory")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~doc:"scale factor")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a workload dataset as CSV period tables")
+    Term.(const gen $ dataset $ out $ scale)
+
+(* --- run --- *)
+
+let load_dir m dir =
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".csv" then (
+        let name = Filename.remove_extension file in
+        let table = Csv_io.read_table (Filename.concat dir file) in
+        (* tables whose last two columns are integers named vt_* are
+           registered as period tables *)
+        let schema = Tkr_engine.Table.schema table in
+        let n = Tkr_relation.Schema.arity schema in
+        let is_period =
+          n >= 2
+          && (let a = Tkr_relation.Schema.get schema (n - 2) in
+              let b = Tkr_relation.Schema.get schema (n - 1) in
+              a.ty = Tkr_relation.Value.TInt
+              && b.ty = Tkr_relation.Value.TInt
+              && String.length a.name >= 3
+              && String.sub a.name 0 3 = "vt_")
+        in
+        if is_period then Database.add_period_table (M.database m) name table
+        else Database.add_table (M.database m) name table;
+        Printf.eprintf "loaded %s (%d rows%s)\n%!" name
+          (Table.cardinality table)
+          (if is_period then ", period table" else "")))
+    (Sys.readdir dir)
+
+let run data sql file =
+  let m = M.create () in
+  (match data with Some dir -> load_dir m dir | None -> ());
+  let script =
+    match (sql, file) with
+    | Some s, None -> s
+    | None, Some f ->
+        let ic = open_in f in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | _ -> failwith "provide exactly one of -e SQL or -f FILE"
+  in
+  List.iter print_result (M.execute_script m script)
+
+let run_cmd =
+  let data =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SQL" ~doc:"SQL script to execute")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f" ] ~docv:"FILE" ~doc:"SQL script file to execute")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
+    Term.(const run $ data $ sql $ file)
+
+(* --- explain --- *)
+
+let explain data sql =
+  let m = M.create () in
+  (match data with Some dir -> load_dir m dir | None -> ());
+  print_endline (M.explain m sql)
+
+let explain_cmd =
+  let data =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
+  in
+  let sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
+    Term.(const explain $ data $ sql)
+
+let () =
+  let doc = "snapshot-semantics temporal query middleware" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tkr" ~doc) [ demo_cmd; gen_cmd; run_cmd; explain_cmd ]))

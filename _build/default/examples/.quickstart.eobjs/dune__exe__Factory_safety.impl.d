@@ -1,0 +1,1 @@
+examples/factory_safety.ml: Tkr_engine Tkr_middleware

@@ -1,0 +1,1 @@
+examples/payroll_analytics.mli:

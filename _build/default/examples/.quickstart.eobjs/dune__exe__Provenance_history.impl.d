@@ -1,0 +1,1 @@
+examples/provenance_history.ml: Format Tkr_core Tkr_relation Tkr_semiring Tkr_timeline

@@ -1,0 +1,1 @@
+examples/provenance_history.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Tkr_engine Tkr_middleware

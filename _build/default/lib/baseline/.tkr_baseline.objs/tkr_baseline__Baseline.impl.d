@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Agg Algebra Array Expr Hashtbl List Printf Schema Tkr_engine Tkr_relation Tuple Value

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Algebra Tkr_engine Tkr_relation

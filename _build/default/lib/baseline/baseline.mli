@@ -1,0 +1,39 @@
+(** "Native" interval-based evaluators for snapshot semantics, implemented
+    with exactly the semantics the paper attributes to previous systems
+    (Table 1) — including their bugs.  Drop-in comparators for the
+    correctness and performance experiments.
+
+    - [Interval_preservation]: ATSQL/SQL-Temporal style (also the shape of
+      Teradata's rewrites): correct for positive RA, {b AG bug} on
+      aggregation (no gap rows), {b BD bug} on difference (NOT EXISTS),
+      non-unique output encoding.
+    - [Alignment]: the temporal-alignment approach of Dignös et al.
+      (PG-Nat): joins align both inputs before matching (correct but with
+      normalization overhead), set-semantics difference, aggregation
+      without pre-aggregation or gap rows (AG bug). *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+
+type style = Interval_preservation | Alignment | Teradata
+(** [Teradata]: interval-preservation semantics via statement modifiers,
+    but snapshot difference is unsupported (Table 1's N/A column) and
+    coalescing (NORMALIZE) is optional. *)
+
+exception Unsupported_operation of string
+
+val style_name : style -> string
+
+val not_exists_diff : Table.t -> Table.t -> Table.t
+(** The BD-bugged difference: remove from each left row the union of the
+    intervals of data-equal right rows, ignoring multiplicities. *)
+
+val eval : style -> Database.t -> Algebra.t -> Table.t
+(** Evaluate a logical snapshot query (over data-only base schemas, as
+    produced by [Middleware.snapshot_algebra]) in the given native style;
+    the result is a period table, {e not} coalesced. *)
+
+val eval_coalesced : style -> Database.t -> Algebra.t -> Table.t
+(** The paper's "-Nat" configuration: native evaluation paired with the
+    middleware's coalescing. *)

@@ -1,0 +1,1 @@
+lib/core/bitemporal.ml: List Tkr_relation Tkr_semiring Tkr_temporal Tkr_timeline

@@ -1,0 +1,1 @@
+lib/core/bitemporal.mli: Format Tkr_relation Tkr_semiring Tkr_temporal

@@ -1,0 +1,1 @@
+lib/core/nperiod.ml: Array Hashtbl List Period_rel Tkr_relation Tkr_semiring Tkr_temporal Tkr_timeline

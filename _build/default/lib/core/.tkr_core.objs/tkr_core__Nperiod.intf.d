@@ -1,0 +1,1 @@
+lib/core/nperiod.mli: Period_rel Tkr_relation Tkr_semiring Tkr_temporal

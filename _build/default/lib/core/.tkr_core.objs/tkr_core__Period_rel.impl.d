@@ -1,0 +1,1 @@
+lib/core/period_rel.ml: Hashtbl List Tkr_relation Tkr_semiring Tkr_snapshot Tkr_temporal Tkr_timeline

@@ -1,0 +1,1 @@
+lib/core/period_rel.mli: Format Tkr_relation Tkr_semiring Tkr_snapshot Tkr_temporal Tkr_timeline

@@ -1,0 +1,76 @@
+(** Bitemporal K-relations by functor composition.
+
+    The paper's conclusion lists "extensions for bi-temporal data" as
+    future work.  In the period-semiring framework this needs no new
+    theory: since K^T is itself an m-semiring whenever K is (Thms. 6.2 and
+    7.1), the construction composes — [(K^VT)^TT] annotates every tuple
+    with a transaction-time history of valid-time histories.  Both
+    timeslice operators are semiring homomorphisms, so snapshot
+    reducibility holds in each dimension independently:
+
+    - [timeslice_tt r tt] is the valid-time period K-relation as recorded
+      at transaction time [tt];
+    - [timeslice r ~tt ~vt] is the plain K-relation that was believed (at
+      [tt]) to hold at [vt]. *)
+
+module Domain = Tkr_timeline.Domain
+module Schema = Tkr_relation.Schema
+module Krel = Tkr_relation.Krel
+module Algebra = Tkr_relation.Algebra
+module Period_semiring = Tkr_temporal.Period_semiring
+
+module Make
+    (K : Tkr_semiring.Semiring_intf.MONUS)
+    (VT : Period_semiring.DOMAIN)
+    (TT : Period_semiring.DOMAIN) =
+struct
+  module KVT = Period_semiring.MakeMonus (K) (VT)
+  (** Valid-time period semiring K^VT. *)
+
+  module KBT = Period_semiring.MakeMonus (KVT) (TT)
+  (** The bitemporal semiring (K^VT)^TT. *)
+
+  module E = Tkr_relation.Eval.Make (KBT)
+  module R = E.R
+  module RVT = Tkr_relation.Krel.MakeMonus (KVT)
+  module RK = Tkr_relation.Krel.MakeMonus (K)
+
+  type t = R.t
+
+  (** Build from bitemporal facts: [(tuple, (tb, te), (vb, ve), k)] states
+      that between transaction times [tb] and [te] the database recorded
+      [tuple] as holding with annotation [k] during valid time
+      [\[vb, ve)]. *)
+  let of_facts schema facts : t =
+    List.fold_left
+      (fun acc (tuple, (tb, te), (vb, ve), k) ->
+        let inner = KVT.of_assoc [ ((vb, ve), k) ] in
+        let outer =
+          KBT.of_raw [ (Tkr_timeline.Interval.make tb te, inner) ]
+        in
+        R.add acc tuple outer)
+      (R.empty schema) facts
+
+  (** The valid-time database as recorded at transaction time [tt]. *)
+  let timeslice_tt (r : t) (tt : int) : RVT.t =
+    R.fold
+      (fun tuple el acc -> RVT.add acc tuple (KBT.timeslice el tt))
+      r
+      (RVT.empty (Krel.schema r))
+
+  (** The snapshot believed (at transaction time [tt]) to hold at valid
+      time [vt]. *)
+  let timeslice (r : t) ~(tt : int) ~(vt : int) : RK.t =
+    R.fold
+      (fun tuple el acc ->
+        RK.add acc tuple (KVT.timeslice (KBT.timeslice el tt) vt))
+      r
+      (RK.empty (Krel.schema r))
+
+  (** Queries evaluate with (K^VT)^TT semantics; both timeslices commute
+      with them. *)
+  let eval (db : string -> t) (q : Algebra.t) : t = E.eval db q
+
+  let equal = R.equal
+  let pp = R.pp
+end

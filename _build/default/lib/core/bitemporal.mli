@@ -1,0 +1,40 @@
+(** Bitemporal K-relations by functor composition: since K^T is an
+    m-semiring whenever K is (Thms. 6.2 / 7.1), [(K^VT)^TT] annotates each
+    tuple with a transaction-time history of valid-time histories — the
+    paper's "bi-temporal data" future-work item, for free.
+
+    Both timeslice operators are homomorphisms, so snapshot reducibility
+    holds independently per dimension. *)
+
+module Schema = Tkr_relation.Schema
+module Algebra = Tkr_relation.Algebra
+module Period_semiring = Tkr_temporal.Period_semiring
+
+module Make
+    (K : Tkr_semiring.Semiring_intf.MONUS)
+    (VT : Period_semiring.DOMAIN)
+    (TT : Period_semiring.DOMAIN) : sig
+  module KVT : module type of Period_semiring.MakeMonus (K) (VT)
+  module KBT : module type of Period_semiring.MakeMonus (KVT) (TT)
+  module E : module type of Tkr_relation.Eval.Make (KBT)
+  module R = E.R
+  module RVT : module type of Tkr_relation.Krel.MakeMonus (KVT)
+  module RK : module type of Tkr_relation.Krel.MakeMonus (K)
+
+  type t = R.t
+
+  val of_facts :
+    Schema.t -> (Tkr_relation.Tuple.t * (int * int) * (int * int) * K.t) list -> t
+  (** [(tuple, (tb, te), (vb, ve), k)]: between transaction times [tb] and
+      [te], [tuple] was recorded as holding with [k] during [\[vb, ve)]. *)
+
+  val timeslice_tt : t -> int -> RVT.t
+  (** The valid-time database as recorded at a transaction time. *)
+
+  val timeslice : t -> tt:int -> vt:int -> RK.t
+  (** The snapshot believed (at [tt]) to hold at [vt]. *)
+
+  val eval : (string -> t) -> Algebra.t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,140 @@
+(** Full RAagg evaluation over period N-relations (N^T, the multiset
+    instance of the logical model).
+
+    Difference uses the monus of N^T (Thm. 7.1).  Aggregation follows
+    Def. 7.1: it is computed on the elementary segments induced by the
+    endpoints of the group's annotations — never point-at-a-time — and the
+    result tuple at each segment is annotated 1 there.  For aggregation
+    without GROUP BY, the segments additionally cover the whole time
+    domain, producing result rows over gaps (count = 0, other aggregates
+    NULL): this is exactly what fixes the paper's aggregation-gap bug. *)
+
+module Domain = Tkr_timeline.Domain
+module Interval = Tkr_timeline.Interval
+module Endpoints = Tkr_timeline.Endpoints
+module Schema = Tkr_relation.Schema
+module Tuple = Tkr_relation.Tuple
+module Value = Tkr_relation.Value
+module Expr = Tkr_relation.Expr
+module Agg = Tkr_relation.Agg
+module Krel = Tkr_relation.Krel
+module Algebra = Tkr_relation.Algebra
+module Neval = Tkr_relation.Neval
+
+module Make (D : Tkr_temporal.Period_semiring.DOMAIN) = struct
+  module P = Period_rel.Make (Tkr_semiring.Nat) (D)
+  module KT = P.KT
+  module R = P.R
+
+  type t = P.t
+
+  let aggregate (group : Algebra.proj list) (aggs : Algebra.agg_spec list)
+      (r : t) : t =
+    let child_schema = Krel.schema r in
+    let out_schema = Neval.agg_out_schema child_schema group aggs in
+    let groups : (Tuple.t, (Tuple.t * KT.t) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    R.iter
+      (fun tuple el ->
+        let key =
+          Tuple.of_array
+            (Array.of_list
+               (List.map (fun (p : Algebra.proj) -> Expr.eval tuple p.expr) group))
+        in
+        match Hashtbl.find_opt groups key with
+        | Some cell -> cell := (tuple, el) :: !cell
+        | None -> Hashtbl.add groups key (ref [ (tuple, el) ]))
+      r;
+    (* Without GROUP BY there is always exactly one group, even on empty
+       input (SQL returns a single row over the empty multiset). *)
+    if group = [] && not (Hashtbl.mem groups (Tuple.make [])) then
+      Hashtbl.add groups (Tuple.make []) (ref []);
+    let out : (Tuple.t, (Interval.t * int) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let record tuple seg =
+      match Hashtbl.find_opt out tuple with
+      | Some cell -> cell := (seg, 1) :: !cell
+      | None -> Hashtbl.add out tuple (ref [ (seg, 1) ])
+    in
+    let tmin, tmax = Domain.whole D.domain in
+    Hashtbl.iter
+      (fun key members ->
+        let members = !members in
+        let eps =
+          List.fold_left
+            (fun acc (_, el) ->
+              List.fold_left
+                (fun acc (i, _) ->
+                  Endpoints.add (Interval.b i) (Endpoints.add (Interval.e i) acc))
+                acc el)
+            (Endpoints.of_list []) members
+        in
+        let eps =
+          if group = [] then Endpoints.add tmin (Endpoints.add tmax eps) else eps
+        in
+        let segments = Endpoints.elementary eps in
+        List.iter
+          (fun seg ->
+            let p = Interval.b seg in
+            let live =
+              List.filter_map
+                (fun (tuple, el) ->
+                  let m = KT.timeslice el p in
+                  if m > 0 then Some (tuple, m) else None)
+                members
+            in
+            if live = [] && group <> [] then ()
+            else
+              let accs = Array.make (List.length aggs) Agg.empty in
+              List.iter
+                (fun (tuple, mult) ->
+                  List.iteri
+                    (fun i (spec : Algebra.agg_spec) ->
+                      let v =
+                        match Agg.input_expr spec.func with
+                        | None -> Value.Int 1
+                        | Some e -> Expr.eval tuple e
+                      in
+                      accs.(i) <- Agg.step ~mult accs.(i) v)
+                    aggs)
+                live;
+              let avals =
+                List.mapi
+                  (fun i (spec : Algebra.agg_spec) -> Agg.final spec.func accs.(i))
+                  aggs
+              in
+              record (Tuple.append key (Tuple.make avals)) seg)
+          segments)
+      groups;
+    Hashtbl.fold
+      (fun tuple cell acc -> R.add acc tuple (KT.of_raw !cell))
+      out (R.empty out_schema)
+
+  (** DISTINCT over N^T: set semantics per snapshot — every non-zero
+      multiplicity becomes 1, then re-coalesce. *)
+  let distinct (r : t) : t =
+    R.fold
+      (fun tuple el acc ->
+        R.add acc tuple (KT.of_raw (List.map (fun (i, _) -> (i, 1)) el)))
+      r
+      (R.empty (Krel.schema r))
+
+  let rec eval (db : string -> t) (q : Algebra.t) : t =
+    match q with
+    | Agg (group, aggs, q) -> aggregate group aggs (eval db q)
+    | Distinct q -> distinct (eval db q)
+    | Select (p, q) -> R.select p (eval db q)
+    | Project (projs, q) ->
+        let r = eval db q in
+        R.project
+          (List.map (fun (p : Algebra.proj) -> p.expr) projs)
+          (P.E.project_out_schema (Krel.schema r) projs)
+          r
+    | Join (p, l, r) -> R.join p (eval db l) (eval db r)
+    | Union (l, r) -> R.union (eval db l) (eval db r)
+    | Diff (l, r) -> R.diff (eval db l) (eval db r)
+    | Rel _ | ConstRel _ | Coalesce _ | Split _ | Split_agg _ -> P.E.eval db q
+  [@@warning "-27"]
+end

@@ -1,0 +1,26 @@
+(** Full RAagg over period N-relations (N^T): the multiset instance of the
+    logical model, with the aggregation of Def. 7.1 and per-snapshot
+    DISTINCT.
+
+    Aggregation runs on the elementary segments induced by each group's
+    annotation endpoints.  Without GROUP BY, the segments additionally
+    cover the whole time domain, so gaps produce result rows (count 0 /
+    NULL) — the fix for the paper's aggregation-gap bug. *)
+
+module Algebra = Tkr_relation.Algebra
+
+module Make (D : Tkr_temporal.Period_semiring.DOMAIN) : sig
+  module P : module type of Period_rel.Make (Tkr_semiring.Nat) (D)
+  module KT = P.KT
+  module R = P.R
+
+  type t = P.t
+
+  val aggregate : Algebra.proj list -> Algebra.agg_spec list -> t -> t
+  (** Def. 7.1, extended to the SQL aggregate functions. *)
+
+  val distinct : t -> t
+  (** Set semantics per snapshot: multiplicities become 1, re-coalesced. *)
+
+  val eval : (string -> t) -> Algebra.t -> t
+end

@@ -1,0 +1,1 @@
+lib/engine/compiled.ml: Agg Algebra Array Database Exec Expr Hashtbl List Neval Ops Schema Seq Table Tkr_relation Tuple Value

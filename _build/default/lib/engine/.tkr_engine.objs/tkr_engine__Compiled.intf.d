@@ -1,0 +1,1 @@
+lib/engine/compiled.mli: Algebra Database Expr Schema Table Tkr_relation Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/csv_io.ml: Array Buffer Fun List Printf Schema String Table Tkr_relation Tuple Value

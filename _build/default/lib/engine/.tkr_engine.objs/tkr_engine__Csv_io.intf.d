@@ -1,0 +1,1 @@
+lib/engine/csv_io.mli: Table

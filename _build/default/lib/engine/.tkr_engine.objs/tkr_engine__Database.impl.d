@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Fun Hashtbl List Option Schema String Table Tkr_relation Tuple Value

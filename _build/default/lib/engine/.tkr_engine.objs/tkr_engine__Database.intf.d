@@ -1,0 +1,1 @@
+lib/engine/database.mli: Schema Table Tkr_relation Tuple

@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Agg Algebra Array Database Expr Hashtbl List Neval Ops Schema Seq Table Tkr_relation Tuple Value

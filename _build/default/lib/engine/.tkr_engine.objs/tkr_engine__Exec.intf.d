@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Algebra Database Expr Table Tkr_relation

@@ -1,0 +1,1 @@
+lib/engine/interval_join.ml: Array Hashtbl Int Ops Schema Table Tkr_relation Tuple Value

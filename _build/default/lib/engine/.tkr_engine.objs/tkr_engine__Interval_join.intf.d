@@ -1,0 +1,1 @@
+lib/engine/interval_join.mli: Table

@@ -1,0 +1,1 @@
+lib/engine/ops.ml: Agg Algebra Array Expr Fun Hashtbl Int List Schema Set Table Tkr_relation Tuple Value

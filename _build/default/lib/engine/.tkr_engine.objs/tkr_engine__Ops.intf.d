@@ -1,0 +1,1 @@
+lib/engine/ops.mli: Algebra Hashtbl Set Table Tkr_relation Tuple

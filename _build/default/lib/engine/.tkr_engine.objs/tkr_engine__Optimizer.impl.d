@@ -1,0 +1,1 @@
+lib/engine/optimizer.ml: Algebra Array Expr Float List Schema Tkr_relation Value

@@ -1,0 +1,1 @@
+lib/engine/optimizer.mli: Algebra Schema Tkr_relation

@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array Buffer Fmt Format Krel List Printf Schema String Tkr_relation Tkr_semiring Tuple Value

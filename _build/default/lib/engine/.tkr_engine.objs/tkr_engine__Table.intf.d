@@ -1,0 +1,1 @@
+lib/engine/table.mli: Format Krel Schema Tkr_relation Tkr_semiring Tuple

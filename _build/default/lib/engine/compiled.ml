@@ -1,0 +1,286 @@
+(** A closure-compiling executor: expressions and operators are compiled
+    once into OCaml closures instead of being re-interpreted per row.
+
+    Produces exactly the same multisets as {!Exec} (differentially tested
+    on random queries); on expression-heavy plans it avoids the AST
+    dispatch per row-evaluation, which is the interpreter's hot path. *)
+
+open Tkr_relation
+
+(* ---- expression compilation ---- *)
+
+let rec compile_expr (e : Expr.t) : Tuple.t -> Value.t =
+  match e with
+  | Expr.Col i -> fun t -> Tuple.get t i
+  | Expr.Const v -> fun _ -> v
+  | Expr.Binop (op, a, b) -> (
+      let ca = compile_expr a and cb = compile_expr b in
+      match op with
+      | Expr.Add -> fun t -> Value.add (ca t) (cb t)
+      | Expr.Sub -> fun t -> Value.sub (ca t) (cb t)
+      | Expr.Mul -> fun t -> Value.mul (ca t) (cb t)
+      | Expr.Div -> fun t -> Value.div (ca t) (cb t)
+      | Expr.Mod -> fun t -> Value.modulo (ca t) (cb t))
+  | Expr.Neg a ->
+      let ca = compile_expr a in
+      fun t -> Value.neg (ca t)
+  | Expr.Cmp (op, a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let test =
+        match op with
+        | Expr.Eq -> fun c -> c = 0
+        | Expr.Ne -> fun c -> c <> 0
+        | Expr.Lt -> fun c -> c < 0
+        | Expr.Le -> fun c -> c <= 0
+        | Expr.Gt -> fun c -> c > 0
+        | Expr.Ge -> fun c -> c >= 0
+      in
+      fun t ->
+        (match Value.sql_compare (ca t) (cb t) with
+        | None -> Value.Null
+        | Some c -> Value.Bool (test c))
+  | Expr.And (a, b) -> (
+      let ca = compile_expr a and cb = compile_expr b in
+      fun t ->
+        match (ca t, cb t) with
+        | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+        | Value.Bool true, Value.Bool true -> Value.Bool true
+        | _ -> Value.Null)
+  | Expr.Or (a, b) -> (
+      let ca = compile_expr a and cb = compile_expr b in
+      fun t ->
+        match (ca t, cb t) with
+        | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+        | Value.Bool false, Value.Bool false -> Value.Bool false
+        | _ -> Value.Null)
+  | Expr.Not a -> (
+      let ca = compile_expr a in
+      fun t ->
+        match ca t with Value.Bool b -> Value.Bool (not b) | _ -> Value.Null)
+  | Expr.Is_null a ->
+      let ca = compile_expr a in
+      fun t -> Value.Bool (Value.is_null (ca t))
+  | Expr.Like (a, pat) -> (
+      let ca = compile_expr a in
+      fun t ->
+        match ca t with
+        | Value.Str s -> Value.Bool (Expr.like_match pat s)
+        | Value.Null -> Value.Null
+        | _ -> invalid_arg "compiled: LIKE on non-string value")
+  | Expr.In_list (a, vs) -> (
+      let ca = compile_expr a in
+      fun t ->
+        match ca t with
+        | Value.Null -> Value.Null
+        | v ->
+            Value.Bool
+              (List.exists (fun w -> Value.sql_compare v w = Some 0) vs))
+  | Expr.Case (branches, default) ->
+      let cbranches =
+        List.map (fun (c, r) -> (compile_expr c, compile_expr r)) branches
+      in
+      let cdefault =
+        match default with
+        | Some d -> compile_expr d
+        | None -> fun _ -> Value.Null
+      in
+      fun t ->
+        let rec go = function
+          | [] -> cdefault t
+          | (c, r) :: rest -> (
+              match c t with Value.Bool true -> r t | _ -> go rest)
+        in
+        go cbranches
+  | Expr.Greatest (a, b) -> (
+      let ca = compile_expr a and cb = compile_expr b in
+      fun t ->
+        let va = ca t and vb = cb t in
+        match Value.sql_compare va vb with
+        | None -> Value.Null
+        | Some c -> if c >= 0 then va else vb)
+  | Expr.Least (a, b) -> (
+      let ca = compile_expr a and cb = compile_expr b in
+      fun t ->
+        let va = ca t and vb = cb t in
+        match Value.sql_compare va vb with
+        | None -> Value.Null
+        | Some c -> if c <= 0 then va else vb)
+
+let compile_pred (e : Expr.t) : Tuple.t -> bool =
+  match e with
+  | Expr.Const (Value.Bool true) -> fun _ -> true
+  | e ->
+      let c = compile_expr e in
+      fun t -> match c t with Value.Bool true -> true | _ -> false
+
+(* ---- operator compilation ---- *)
+
+type plan = Database.t -> Table.t
+
+let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
+  match q with
+  | Rel n -> fun db -> Database.find db n
+  | ConstRel (schema, tuples) ->
+      let t = Table.make schema tuples in
+      fun _ -> t
+  | Select (p, q0) ->
+      let cp = compile_pred p and cq = compile ~lookup q0 in
+      fun db ->
+        let t = cq db in
+        Table.of_array (Table.schema t)
+          (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t))))
+  | Project (projs, q0) ->
+      let cq = compile ~lookup q0 in
+      let child_schema = Algebra.schema_of ~lookup q0 in
+      let out_schema =
+        Schema.make
+          (List.map
+             (fun (p : Algebra.proj) ->
+               Schema.attr p.name (Expr.infer_ty child_schema p.expr))
+             projs)
+      in
+      let cexprs =
+        Array.of_list (List.map (fun (p : Algebra.proj) -> compile_expr p.expr) projs)
+      in
+      fun db ->
+        let t = cq db in
+        Table.of_array out_schema
+          (Array.map
+             (fun row -> Tuple.of_array (Array.map (fun c -> c row) cexprs))
+             (Table.rows t))
+  | Join (p, l, r) -> (
+      let cl = compile ~lookup l and cr = compile ~lookup r in
+      let nl = Schema.arity (Algebra.schema_of ~lookup l) in
+      match Expr.equi_keys ~left_arity:nl p with
+      | [], _ ->
+          let cp = compile_pred p in
+          fun db ->
+            let lt = cl db and rt = cr db in
+            let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
+            let buf = ref [] in
+            Array.iter
+              (fun lrow ->
+                Array.iter
+                  (fun rrow ->
+                    let row = Tuple.append lrow rrow in
+                    if cp row then buf := row :: !buf)
+                  (Table.rows rt))
+              (Table.rows lt);
+            Table.make out_schema (List.rev !buf)
+      | keys, residual ->
+          let lkeys = List.map fst keys and rkeys = List.map snd keys in
+          let cres =
+            match residual with
+            | None -> fun _ -> true
+            | Some r -> compile_pred r
+          in
+          fun db ->
+            let lt = cl db and rt = cr db in
+            let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
+            let index : (Tuple.t, Tuple.t list ref) Hashtbl.t =
+              Hashtbl.create (max 16 (Table.cardinality rt))
+            in
+            Array.iter
+              (fun rrow ->
+                let key = Tuple.project rkeys rrow in
+                match Hashtbl.find_opt index key with
+                | Some cell -> cell := rrow :: !cell
+                | None -> Hashtbl.add index key (ref [ rrow ]))
+              (Table.rows rt);
+            let buf = ref [] in
+            Array.iter
+              (fun lrow ->
+                let key = Tuple.project lkeys lrow in
+                if not (Array.exists Value.is_null key) then
+                  match Hashtbl.find_opt index key with
+                  | Some matches ->
+                      List.iter
+                        (fun rrow ->
+                          let row = Tuple.append lrow rrow in
+                          if cres row then buf := row :: !buf)
+                        (List.rev !matches)
+                  | None -> ())
+              (Table.rows lt);
+            Table.make out_schema (List.rev !buf))
+  | Union (l, r) ->
+      let cl = compile ~lookup l and cr = compile ~lookup r in
+      fun db -> Exec.union (cl db) (cr db)
+  | Diff (l, r) ->
+      let cl = compile ~lookup l and cr = compile ~lookup r in
+      fun db -> Exec.except_all (cl db) (cr db)
+  | Agg (group, aggs, q0) ->
+      let cq = compile ~lookup q0 in
+      let child_schema = Algebra.schema_of ~lookup q0 in
+      let out_schema = Neval.agg_out_schema child_schema group aggs in
+      let cgroup =
+        Array.of_list
+          (List.map (fun (p : Algebra.proj) -> compile_expr p.expr) group)
+      in
+      let cinputs =
+        Array.of_list
+          (List.map
+             (fun (spec : Algebra.agg_spec) ->
+               match Agg.input_expr spec.func with
+               | None -> fun _ -> Value.Int 1
+               | Some e -> compile_expr e)
+             aggs)
+      in
+      let funcs = Array.of_list (List.map (fun (s : Algebra.agg_spec) -> s.func) aggs) in
+      fun db ->
+        let t = cq db in
+        let table : (Tuple.t, Agg.acc array) Hashtbl.t = Hashtbl.create 64 in
+        let order = ref [] in
+        Array.iter
+          (fun row ->
+            let key = Tuple.of_array (Array.map (fun c -> c row) cgroup) in
+            let accs =
+              match Hashtbl.find_opt table key with
+              | Some a -> a
+              | None ->
+                  let a = Array.make (Array.length funcs) Agg.empty in
+                  Hashtbl.add table key a;
+                  order := key :: !order;
+                  a
+            in
+            Array.iteri
+              (fun i c -> accs.(i) <- Agg.step accs.(i) (c row))
+              cinputs)
+          (Table.rows t);
+        if group = [] && Hashtbl.length table = 0 then (
+          Hashtbl.add table (Tuple.make []) (Array.make (Array.length funcs) Agg.empty);
+          order := [ Tuple.make [] ]);
+        let buf = ref [] in
+        List.iter
+          (fun key ->
+            let accs = Hashtbl.find table key in
+            let finals =
+              Array.to_list (Array.mapi (fun i f -> Agg.final f accs.(i)) funcs)
+            in
+            buf := Tuple.append key (Tuple.make finals) :: !buf)
+          (List.rev !order);
+        Table.make out_schema (List.rev !buf)
+  | Distinct q0 ->
+      let cq = compile ~lookup q0 in
+      fun db -> Exec.distinct (cq db)
+  | Coalesce q0 ->
+      let cq = compile ~lookup q0 in
+      fun db -> Ops.coalesce (cq db)
+  | Split (g, l, r) ->
+      if l == r then
+        let cl = compile ~lookup l in
+        fun db ->
+          let t = cl db in
+          Ops.split g t t
+      else
+        let cl = compile ~lookup l and cr = compile ~lookup r in
+        fun db -> Ops.split g (cl db) (cr db)
+  | Split_agg sa ->
+      let cq = compile ~lookup sa.sa_child in
+      fun db ->
+        Ops.split_agg ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap (cq db)
+
+(** Compile and immediately run (convenience; reuse the compiled plan for
+    repeated execution). *)
+let eval (db : Database.t) (q : Algebra.t) : Table.t =
+  let lookup n = Database.schema_of db n in
+  (compile ~lookup q) db

@@ -1,0 +1,18 @@
+(** A closure-compiling executor: expressions and operators are compiled
+    once into closures instead of being re-interpreted per row.  Produces
+    exactly {!Exec}'s multisets (differentially tested); useful for
+    prepared statements executed repeatedly. *)
+
+open Tkr_relation
+
+val compile_expr : Expr.t -> Tuple.t -> Value.t
+val compile_pred : Expr.t -> Tuple.t -> bool
+
+type plan = Database.t -> Table.t
+
+val compile : lookup:(string -> Schema.t) -> Algebra.t -> plan
+(** [lookup] must give the schema of every base relation referenced;
+    the compiled plan may be run against any database with compatible
+    schemas. *)
+
+val eval : Database.t -> Algebra.t -> Table.t

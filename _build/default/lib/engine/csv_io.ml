@@ -1,0 +1,144 @@
+(** Minimal CSV persistence for tables.  The header encodes the schema as
+    [name:type] pairs so files round-trip without an external catalog.
+    Strings containing commas, quotes or newlines are double-quoted with
+    [""] escaping; NULL is the empty unquoted field. *)
+
+open Tkr_relation
+
+let ty_to_string = function
+  | Value.TBool -> "bool"
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TStr -> "text"
+
+let ty_of_string = function
+  | "bool" -> Value.TBool
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "text" -> Value.TStr
+  | s -> invalid_arg ("Csv_io: unknown type " ^ s)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  || s = ""
+
+let quote s =
+  if needs_quoting s then (
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf)
+  else s
+
+let field_of_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Str s -> quote (if s = "" then "" else s)
+
+let value_of_field ty (raw : string) (quoted : bool) =
+  if raw = "" && not quoted then Value.Null
+  else
+    match ty with
+    | Value.TBool -> Value.Bool (bool_of_string raw)
+    | Value.TInt -> Value.Int (int_of_string raw)
+    | Value.TFloat -> Value.Float (float_of_string raw)
+    | Value.TStr -> Value.Str raw
+
+(* Split one CSV line into (field, was_quoted) pairs. *)
+let split_line (line : string) : (string * bool) list =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let quoted = ref false in
+  let i = ref 0 in
+  let flush () =
+    fields := (Buffer.contents buf, !quoted) :: !fields;
+    Buffer.clear buf;
+    quoted := false
+  in
+  while !i < n do
+    (match line.[!i] with
+    | '"' when Buffer.length buf = 0 && not !quoted ->
+        quoted := true;
+        let rec scan j =
+          if j >= n then invalid_arg "Csv_io: unterminated quote"
+          else if line.[j] = '"' then
+            if j + 1 < n && line.[j + 1] = '"' then (
+              Buffer.add_char buf '"';
+              scan (j + 2))
+            else j + 1
+          else (
+            Buffer.add_char buf line.[j];
+            scan (j + 1))
+        in
+        i := scan (!i + 1) - 1
+    | ',' -> flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !fields
+
+let write_table (path : string) (t : Table.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let header =
+        String.concat ","
+          (List.map
+             (fun (a : Schema.attr) ->
+               Printf.sprintf "%s:%s" a.name (ty_to_string a.ty))
+             (Schema.attrs (Table.schema t)))
+      in
+      output_string oc header;
+      output_char oc '\n';
+      Array.iter
+        (fun row ->
+          output_string oc
+            (String.concat "," (List.map field_of_value (Tuple.to_list row)));
+          output_char oc '\n')
+        (Table.rows t))
+
+let read_table (path : string) : Table.t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let schema =
+        Schema.make
+          (List.map
+             (fun (field, _) ->
+               match String.index_opt field ':' with
+               | Some i ->
+                   Schema.attr
+                     (String.sub field 0 i)
+                     (ty_of_string
+                        (String.sub field (i + 1) (String.length field - i - 1)))
+               | None -> Schema.attr field Value.TStr)
+             (split_line header))
+      in
+      let tys = List.map (fun (a : Schema.attr) -> a.ty) (Schema.attrs schema) in
+      let rows = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             let fields = split_line line in
+             if List.length fields <> List.length tys then
+               invalid_arg
+                 (Printf.sprintf "Csv_io: arity mismatch on line %S" line);
+             rows :=
+               Tuple.make
+                 (List.map2 (fun ty (raw, q) -> value_of_field ty raw q) tys fields)
+               :: !rows
+         done
+       with End_of_file -> ());
+      Table.make schema (List.rev !rows))

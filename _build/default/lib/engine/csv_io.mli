@@ -1,0 +1,8 @@
+(** Minimal CSV persistence.  The header encodes the schema as
+    [name:type] pairs so files round-trip without an external catalog;
+    NULL is the empty unquoted field; strings quote with [""] escaping. *)
+
+val write_table : string -> Table.t -> unit
+
+val read_table : string -> Table.t
+(** @raise Invalid_argument on malformed files. *)

@@ -1,0 +1,123 @@
+(** The engine catalog: named tables, optionally registered as period
+    tables.
+
+    Period tables follow the encoding convention of the rewriter: the two
+    period attributes are stored as the {e last two} columns ([Abegin],
+    [Aend], integer-typed).  {!add_period_table} reorders columns on
+    registration if the caller stores the period elsewhere. *)
+
+open Tkr_relation
+
+type entry = { table : Table.t; is_period : bool }
+
+type t = {
+  tables : (string, entry) Hashtbl.t;
+  mutable tmin : int;
+  mutable tmax : int;
+}
+
+let create ?(tmin = 0) ?(tmax = 1) () =
+  { tables = Hashtbl.create 16; tmin; tmax }
+
+let time_bounds db = (db.tmin, db.tmax)
+let set_time_bounds db ~tmin ~tmax =
+  db.tmin <- tmin;
+  db.tmax <- tmax
+
+(** Register a plain (non-temporal) table. *)
+let add_table db name table =
+  Hashtbl.replace db.tables (String.lowercase_ascii name)
+    { table; is_period = false }
+
+(** Register a period table.  [begin_col]/[end_col] give the current
+    positions of the period attributes; the stored table moves them to the
+    last two columns.  The database's time bounds are widened to cover the
+    data. *)
+let add_period_table db name ?begin_col ?end_col table =
+  let schema = Table.schema table in
+  let n = Schema.arity schema in
+  let bc = Option.value begin_col ~default:(n - 2) in
+  let ec = Option.value end_col ~default:(n - 1) in
+  let data_cols =
+    List.filter (fun i -> i <> bc && i <> ec) (List.init n Fun.id)
+  in
+  let order = data_cols @ [ bc; ec ] in
+  let reordered =
+    if order = List.init n Fun.id then table
+    else
+      Table.of_array
+        (Schema.project schema order)
+        (Array.map (Tuple.project order) (Table.rows table))
+  in
+  Array.iter
+    (fun row ->
+      let n = Tuple.arity row in
+      match (Tuple.get row (n - 2), Tuple.get row (n - 1)) with
+      | Value.Int b, Value.Int e ->
+          if b < db.tmin then db.tmin <- b;
+          if e > db.tmax then db.tmax <- e
+      | _ -> invalid_arg "Database.add_period_table: non-integer period")
+    (Table.rows reordered);
+  Hashtbl.replace db.tables (String.lowercase_ascii name)
+    { table = reordered; is_period = true }
+
+let find_entry db name =
+  match Hashtbl.find_opt db.tables (String.lowercase_ascii name) with
+  | Some e -> e
+  | None -> raise (Schema.Unknown name)
+
+let find db name = (find_entry db name).table
+let is_period db name = (find_entry db name).is_period
+let mem db name = Hashtbl.mem db.tables (String.lowercase_ascii name)
+let schema_of db name = Table.schema (find db name)
+
+(** Schema without the trailing period columns (what a snapshot query over
+    this table sees). *)
+let data_schema_of db name =
+  let e = find_entry db name in
+  let s = Table.schema e.table in
+  if e.is_period then
+    Schema.project s (List.init (Schema.arity s - 2) Fun.id)
+  else s
+
+(** Append rows to an existing table (INSERT).  Period tables get their
+    time bounds widened; rows must already follow the stored column order. *)
+let append_rows db name (rows : Tuple.t list) =
+  let e = find_entry db name in
+  let table =
+    Table.of_array (Table.schema e.table)
+      (Array.append (Table.rows e.table) (Array.of_list rows))
+  in
+  if e.is_period then
+    List.iter
+      (fun row ->
+        let n = Tuple.arity row in
+        match (Tuple.get row (n - 2), Tuple.get row (n - 1)) with
+        | Value.Int b, Value.Int e ->
+            if b < db.tmin then db.tmin <- b;
+            if e > db.tmax then db.tmax <- e
+        | _ -> invalid_arg "Database.append_rows: non-integer period")
+      rows;
+  Hashtbl.replace db.tables (String.lowercase_ascii name) { e with table }
+
+(** Replace a table's rows wholesale (UPDATE/DELETE), keeping its schema
+    and period registration; period tables widen the time bounds. *)
+let set_rows db name (rows : Tuple.t array) =
+  let e = find_entry db name in
+  if e.is_period then
+    Array.iter
+      (fun row ->
+        let n = Tuple.arity row in
+        match (Tuple.get row (n - 2), Tuple.get row (n - 1)) with
+        | Value.Int b, Value.Int e ->
+            if b < db.tmin then db.tmin <- b;
+            if e > db.tmax then db.tmax <- e
+        | _ -> invalid_arg "Database.set_rows: non-integer period")
+      rows;
+  Hashtbl.replace db.tables (String.lowercase_ascii name)
+    { e with table = Table.of_array (Table.schema e.table) rows }
+
+let remove_table db name = Hashtbl.remove db.tables (String.lowercase_ascii name)
+
+let names db =
+  Hashtbl.fold (fun n _ acc -> n :: acc) db.tables [] |> List.sort String.compare

@@ -1,0 +1,42 @@
+(** The engine catalog: named tables, optionally registered as period
+    tables whose trailing two (integer) columns are the period attributes
+    [Abegin]/[Aend].  The catalog also tracks the time domain bounds
+    [\[tmin, tmax)] used by the rewriter for whole-domain constructions
+    (gap rows, constants). *)
+
+open Tkr_relation
+
+type t
+
+val create : ?tmin:int -> ?tmax:int -> unit -> t
+val time_bounds : t -> int * int
+val set_time_bounds : t -> tmin:int -> tmax:int -> unit
+
+val add_table : t -> string -> Table.t -> unit
+(** Register a plain (non-temporal) table.  Names are case-insensitive. *)
+
+val add_period_table :
+  t -> string -> ?begin_col:int -> ?end_col:int -> Table.t -> unit
+(** Register a period table.  The period columns (by default the last two)
+    are moved to the trailing positions; time bounds are widened to cover
+    the data.
+    @raise Invalid_argument on non-integer periods. *)
+
+val find : t -> string -> Table.t
+(** @raise Schema.Unknown for unregistered names. *)
+
+val is_period : t -> string -> bool
+val mem : t -> string -> bool
+val schema_of : t -> string -> Schema.t
+
+val data_schema_of : t -> string -> Schema.t
+(** The schema a snapshot query sees: period columns hidden. *)
+
+val append_rows : t -> string -> Tuple.t list -> unit
+(** INSERT: rows must follow the stored column order. *)
+
+val set_rows : t -> string -> Tuple.t array -> unit
+(** Replace all rows (UPDATE/DELETE), keeping schema and registration. *)
+
+val remove_table : t -> string -> unit
+val names : t -> string list

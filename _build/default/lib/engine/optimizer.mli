@@ -1,0 +1,20 @@
+(** Cost-based logical optimization: greedy join-order selection over
+    flattened inner-join trees, driven by a base-table cardinality oracle.
+
+    Runs on the logical query before the snapshot rewriting — one of the
+    advantages the paper claims for the middleware architecture over
+    alignment-based kernels, which constrain join reordering
+    (Section 10.4).  Semantics-preserving: the output multiset is
+    identical for every database instance. *)
+
+open Tkr_relation
+
+type stats = { card : string -> int }
+
+val estimate : stats -> Algebra.t -> float
+(** Crude, monotone cardinality estimate used for greedy ordering. *)
+
+val optimize :
+  stats:stats -> lookup:(string -> Schema.t) -> Algebra.t -> Algebra.t
+(** Reorder join trees; restores the original column order and names with
+    a final projection when a reorder happens. *)

@@ -1,0 +1,84 @@
+(** Physical multiset tables: the engine's row representation of SQL
+    (period) relations.  Duplicates are physical rows, matching the paper's
+    implementation level where N^T-relations are encoded as SQL multiset
+    relations (Section 8). *)
+
+open Tkr_relation
+
+type t = { schema : Schema.t; rows : Tuple.t array }
+
+let make schema rows : t = { schema; rows = Array.of_list rows }
+let of_array schema rows : t = { schema; rows }
+let empty schema : t = { schema; rows = [||] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = Array.length t.rows
+let to_list t = Array.to_list t.rows
+
+(** Multiset view as an N-relation (tuple -> multiplicity). *)
+let to_nrel (t : t) : Tkr_semiring.Nat.t Krel.t =
+  let module NR = Krel.Make (Tkr_semiring.Nat) in
+  Array.fold_left (fun acc row -> NR.add acc row 1) (NR.empty t.schema) t.rows
+
+(** Expand an N-relation into physical rows (duplicate per multiplicity). *)
+let of_nrel (r : Tkr_semiring.Nat.t Krel.t) : t =
+  let module NR = Krel.Make (Tkr_semiring.Nat) in
+  let buf = ref [] in
+  NR.iter
+    (fun tuple m ->
+      for _ = 1 to m do
+        buf := tuple :: !buf
+      done)
+    r;
+  make (Krel.schema r) (List.rev !buf)
+
+(** Bag equality: same rows with the same multiplicities, order-insensitive. *)
+let equal_bag (a : t) (b : t) =
+  cardinality a = cardinality b
+  &&
+  let module NR = Krel.Make (Tkr_semiring.Nat) in
+  NR.equal (to_nrel a) (to_nrel b)
+
+(** Rows in canonical order, for deterministic output. *)
+let sorted_rows (t : t) =
+  let r = Array.copy t.rows in
+  Array.sort Tuple.compare r;
+  r
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<v>%a (%d rows)@,%a@]" Schema.pp t.schema
+    (cardinality t)
+    Fmt.(list ~sep:cut Tuple.pp)
+    (Array.to_list (sorted_rows t))
+
+(** Render as an aligned text table (used by the CLI and examples).  Row
+    order is preserved (results of ORDER BY queries print as sorted). *)
+let to_text ?(max_rows = 50) (t : t) =
+  let buf = Buffer.create 256 in
+  let headers = Schema.names t.schema in
+  let rows = Array.to_list t.rows in
+  let shown = List.filteri (fun i _ -> i < max_rows) rows in
+  let cells = List.map (fun r -> List.map Value.to_string (Tuple.to_list r)) shown in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) cells)
+      headers
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line xs = String.concat " | " (List.map2 pad xs widths) in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    cells;
+  if List.length rows > max_rows then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d more rows)\n" (List.length rows - max_rows));
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Physical multiset tables: rows with duplicates, the engine's
+    representation of SQL (period) relations at the implementation level
+    (Section 8). *)
+
+open Tkr_relation
+
+type t
+
+val make : Schema.t -> Tuple.t list -> t
+val of_array : Schema.t -> Tuple.t array -> t
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val rows : t -> Tuple.t array
+val cardinality : t -> int
+val to_list : t -> Tuple.t list
+
+val to_nrel : t -> Tkr_semiring.Nat.t Krel.t
+(** Multiset view: tuple → multiplicity. *)
+
+val of_nrel : Tkr_semiring.Nat.t Krel.t -> t
+(** Expand multiplicities into duplicate rows. *)
+
+val equal_bag : t -> t -> bool
+(** Bag equality: same rows with same multiplicities; order-insensitive. *)
+
+val sorted_rows : t -> Tuple.t array
+(** A sorted copy, for deterministic output. *)
+
+val pp : Format.formatter -> t -> unit
+(** Sorted, for deterministic test failure output. *)
+
+val to_text : ?max_rows:int -> t -> string
+(** Aligned text rendering; preserves row order. *)

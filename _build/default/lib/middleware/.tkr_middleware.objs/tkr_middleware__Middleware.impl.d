@@ -1,0 +1,1 @@
+lib/middleware/middleware.ml: Algebra Array Expr Format Fun Hashtbl List Option Printf Schema Seq Simplify String Tkr_engine Tkr_relation Tkr_sql Tkr_sqlenc Tuple Value

@@ -1,0 +1,1 @@
+lib/middleware/middleware.mli: Algebra Schema Tkr_engine Tkr_relation Tkr_sql Tkr_sqlenc

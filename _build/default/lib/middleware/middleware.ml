@@ -1,0 +1,493 @@
+(** The database middleware of Section 9: snapshot semantics as a SQL
+    language feature.
+
+    A query enclosed in [SEQ VT (...)] is interpreted under snapshot
+    semantics: it is analyzed against the {e data} schemas of the period
+    tables it references (the period attributes are implicit), rewritten
+    with REWR (Fig. 4) and executed as a plain multiset query over the
+    period encoding.  The result is a period table whose period is exposed
+    as the trailing [vt_begin]/[vt_end] columns.
+
+    Queries without [SEQ VT] run as ordinary SQL (period attributes are
+    then visible as regular columns).  CREATE TABLE ... PERIOD(b, e),
+    INSERT and DROP TABLE are provided for examples and the CLI. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Exec = Tkr_engine.Exec
+module Ast = Tkr_sql.Ast
+module Parser = Tkr_sql.Parser
+module Analyzer = Tkr_sql.Analyzer
+module Rewriter = Tkr_sqlenc.Rewriter
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type backend = Interpreted | Compiled
+
+type t = {
+  db : Database.t;
+  mutable options : Rewriter.options;
+  mutable optimize : bool;  (** run the cost-based join-order optimizer *)
+  mutable backend : backend;
+      (** execute plans by AST interpretation or as compiled closures *)
+  insert_order : (string, int list) Hashtbl.t;
+      (** CREATE TABLE column order -> stored order (period cols last) *)
+}
+
+let create ?(options = Rewriter.optimized) ?(optimize = true)
+    ?(backend = Interpreted) ?(db = Database.create ()) () =
+  { db; options; optimize; backend; insert_order = Hashtbl.create 8 }
+
+let set_optimize m b = m.optimize <- b
+let set_backend m b = m.backend <- b
+
+let database m = m.db
+let set_options m options = m.options <- options
+let options m = m.options
+
+(* ---- catalogs ---- *)
+
+let snapshot_catalog m : Analyzer.catalog =
+  {
+    cat_schema =
+      (fun name ->
+        if not (Database.mem m.db name) then raise (Schema.Unknown name);
+        if not (Database.is_period m.db name) then
+          err "table %s is not a period table; it cannot appear inside SEQ VT"
+            name;
+        Database.data_schema_of m.db name);
+  }
+
+let plain_catalog m : Analyzer.catalog =
+  { cat_schema = (fun name -> Database.schema_of m.db name) }
+
+(* ---- prepared queries ---- *)
+
+type prepared = {
+  plan : Algebra.t;  (** ready to execute against the engine *)
+  exec : Database.t -> Table.t;
+      (** the plan, possibly compiled to closures (see {!backend}) *)
+  out_schema : Schema.t;  (** user-visible output schema *)
+  snapshot : bool;
+  as_of : int option;
+      (** timeslice: return the snapshot at this point, without period
+          columns (SEQ VT AS OF t) *)
+  order_by : (int * bool) list;
+  limit : int option;
+}
+
+let make_exec m plan =
+  match m.backend with
+  | Interpreted -> fun db -> Exec.eval db plan
+  | Compiled ->
+      Tkr_engine.Compiled.compile ~lookup:(fun n -> Database.schema_of m.db n) plan
+
+let rec collect_rels acc (q : Algebra.t) =
+  match q with
+  | Algebra.Rel n -> n :: acc
+  | ConstRel _ -> acc
+  | Select (_, q) | Project (_, q) | Agg (_, _, q) | Distinct q | Coalesce q ->
+      collect_rels acc q
+  | Join (_, l, r) | Union (l, r) | Diff (l, r) | Split (_, l, r) ->
+      collect_rels (collect_rels acc l) r
+  | Split_agg sa -> collect_rels acc sa.sa_child
+
+let vt_begin = "vt_begin"
+let vt_end = "vt_end"
+
+(* Set semantics ([SEQ VT SET]): deduplicate every snapshot.  It suffices
+   to dedup the operators that can create or preserve duplicates — base
+   tables, projections and unions; joins and selections of set-semantics
+   inputs are set-semantics; both sides of a difference being sets makes
+   the N-monus coincide with set difference; aggregation/distinct see the
+   deduplicated input. *)
+let rec setify (q : Algebra.t) : Algebra.t =
+  match q with
+  | Algebra.Rel _ | ConstRel _ -> Algebra.Distinct q
+  | Select (p, q0) -> Select (p, setify q0)
+  | Project (ps, q0) -> Distinct (Project (ps, setify q0))
+  | Join (p, l, r) -> Join (p, setify l, setify r)
+  | Union (l, r) -> Distinct (Union (setify l, setify r))
+  | Diff (l, r) -> Diff (setify l, setify r)
+  | Agg (g, a, q0) -> Agg (g, a, setify q0)
+  | Distinct q0 -> Distinct (setify q0)
+  | Coalesce _ | Split _ | Split_agg _ ->
+      invalid_arg "setify: physical operator in logical query"
+
+let prepare_statement m (stmt : Ast.statement) : prepared =
+  match stmt with
+  | Ast.Query { q; order_by; limit } -> (
+      let kind =
+        match q with
+        | Ast.Seq_vt inner -> `Snapshot (inner, None, false)
+        | Ast.Seq_vt_as_of (t, inner) -> `Snapshot (inner, Some t, false)
+        | Ast.Seq_vt_set inner -> `Snapshot (inner, None, true)
+        | q -> `Plain q
+      in
+      match kind with
+      | `Snapshot (inner, as_of, set_mode) ->
+          let analyzed = Analyzer.analyze_query (snapshot_catalog m) inner in
+          let analyzed =
+            if set_mode then { analyzed with algebra = setify analyzed.algebra }
+            else analyzed
+          in
+          (* every base relation must be a period table *)
+          List.iter
+            (fun n ->
+              if not (Database.is_period m.db n) then
+                err "table %s inside SEQ VT is not a period table" n)
+            (collect_rels [] analyzed.algebra);
+          let tmin, tmax = Database.time_bounds m.db in
+          let lookup n = Database.data_schema_of m.db n in
+          let logical = Simplify.simplify analyzed.algebra in
+          let logical =
+            if m.optimize then
+              Tkr_engine.Optimizer.optimize
+                ~stats:
+                  {
+                    card =
+                      (fun n -> Tkr_engine.Table.cardinality (Database.find m.db n));
+                  }
+                ~lookup logical
+            else logical
+          in
+          let plan =
+            Simplify.simplify
+              (Rewriter.rewrite ~options:m.options ~tmin ~tmax ~lookup logical)
+          in
+          let plan =
+            match as_of with
+            | None -> plan
+            | Some t ->
+                (* τ_T commutes with queries (Thm 6.3/7.2): restricting
+                   every base table to the tuples alive at T computes the
+                   same snapshot far more cheaply *)
+                let rec push (q : Algebra.t) : Algebra.t =
+                  match q with
+                  | Algebra.Rel n ->
+                      let arity = Schema.arity (Database.schema_of m.db n) in
+                      let alive =
+                        Expr.(
+                          And
+                            ( Cmp (Le, Col (arity - 2), Const (Value.Int t)),
+                              Cmp (Lt, Const (Value.Int t), Col (arity - 1)) ))
+                      in
+                      Algebra.Select (alive, q)
+                  | ConstRel _ -> q
+                  | Select (p, q) -> Select (p, push q)
+                  | Project (ps, q) -> Project (ps, push q)
+                  | Join (p, l, r) -> Join (p, push l, push r)
+                  | Union (l, r) -> Union (push l, push r)
+                  | Diff (l, r) -> Diff (push l, push r)
+                  | Agg (g, a, q) -> Agg (g, a, push q)
+                  | Distinct q -> Distinct (push q)
+                  | Coalesce q -> Coalesce (push q)
+                  | Split (g, l, r) ->
+                      if l == r then
+                        let l' = push l in
+                        Split (g, l', l')
+                      else Split (g, push l, push r)
+                  | Split_agg sa ->
+                      Split_agg { sa with sa_child = push sa.sa_child }
+                in
+                push plan
+          in
+          let out_schema =
+            match as_of with
+            | None ->
+                Schema.make
+                  (Schema.attrs analyzed.schema
+                  @ [
+                      Schema.attr vt_begin Value.TInt;
+                      Schema.attr vt_end Value.TInt;
+                    ])
+            | Some _ -> analyzed.schema
+          in
+          let order_by = List.map (Analyzer.resolve_order out_schema) order_by in
+          { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of; order_by;
+            limit }
+      | `Plain inner ->
+          let analyzed = Analyzer.analyze_query (plain_catalog m) inner in
+          let order_by =
+            List.map (Analyzer.resolve_order analyzed.schema) order_by
+          in
+          {
+            plan = analyzed.algebra;
+            exec = make_exec m analyzed.algebra;
+            out_schema = analyzed.schema;
+            snapshot = false;
+            as_of = None;
+            order_by;
+            limit;
+          })
+  | _ -> err "not a query"
+
+let prepare m (sql : string) : prepared =
+  prepare_statement m (Parser.statement sql)
+
+(** Analyze the snapshot query inside a [SEQ VT (...)] statement and return
+    its logical algebra and data schema — the input shared by the rewriter
+    and the native baseline evaluators. *)
+let snapshot_algebra m (sql : string) : Algebra.t * Schema.t =
+  match Parser.statement sql with
+  | Ast.Query { q = Ast.Seq_vt inner; _ } ->
+      let a = Analyzer.analyze_query (snapshot_catalog m) inner in
+      (a.algebra, a.schema)
+  | _ -> err "expected a SEQ VT query"
+
+let run_prepared m (p : prepared) : Table.t =
+  let result = p.exec m.db in
+  let result =
+    match p.as_of with
+    | None -> result
+    | Some t ->
+        (* keep the rows alive at [t], drop the period columns *)
+        let n = Schema.arity (Table.schema result) in
+        let keep = List.init (n - 2) Fun.id in
+        let rows =
+          Array.to_seq (Table.rows result)
+          |> Seq.filter (fun row ->
+                 match (Tuple.get row (n - 2), Tuple.get row (n - 1)) with
+                 | Value.Int b, Value.Int e -> b <= t && t < e
+                 | _ -> false)
+          |> Seq.map (Tuple.project keep)
+          |> Array.of_seq
+        in
+        Table.of_array p.out_schema rows
+  in
+  let result = Table.of_array p.out_schema (Table.rows result) in
+  let rows =
+    if p.order_by = [] then Table.rows result
+    else (
+      let r = Array.copy (Table.rows result) in
+      let cmp a b =
+        let rec go = function
+          | [] -> Tuple.compare a b (* deterministic tie-break *)
+          | (col, desc) :: rest ->
+              let c = Value.compare (Tuple.get a col) (Tuple.get b col) in
+              let c = if desc then -c else c in
+              if c <> 0 then c else go rest
+        in
+        go p.order_by
+      in
+      Array.sort cmp r;
+      r)
+  in
+  let rows =
+    match p.limit with
+    | Some l when Array.length rows > l -> Array.sub rows 0 l
+    | _ -> rows
+  in
+  Table.of_array p.out_schema rows
+
+(* ---- DDL / DML ---- *)
+
+let const_value (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Num i -> Value.Int i
+  | Ast.Fnum f -> Value.Float f
+  | Ast.Str s -> Value.Str s
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Null -> Value.Null
+  | Ast.Neg (Ast.Num i) -> Value.Int (-i)
+  | Ast.Neg (Ast.Fnum f) -> Value.Float (-.f)
+  | _ -> err "INSERT values must be literals"
+
+type result = Rows of Table.t | Done of string
+
+let execute_statement m (stmt : Ast.statement) : result =
+  match stmt with
+  | Ast.Query _ -> Rows (run_prepared m (prepare_statement m stmt))
+  | Ast.Create_table { tbl_name; cols; period } -> (
+      let schema =
+        Schema.make (List.map (fun (n, ty) -> Schema.attr n ty) cols)
+      in
+      let empty = Table.empty schema in
+      match period with
+      | None ->
+          Database.add_table m.db tbl_name empty;
+          Hashtbl.remove m.insert_order tbl_name;
+          Done (Printf.sprintf "created table %s" tbl_name)
+      | Some (b, e) ->
+          let find c =
+            match List.find_index (fun (n, _) -> String.equal n c) cols with
+            | Some i -> i
+            | None -> err "period column %s is not declared" c
+          in
+          let bi = find b and ei = find e in
+          List.iter
+            (fun i ->
+              match List.nth cols i with
+              | _, Value.TInt -> ()
+              | n, _ -> err "period column %s must have type int" n)
+            [ bi; ei ];
+          Database.add_period_table m.db tbl_name ~begin_col:bi ~end_col:ei
+            empty;
+          (* remember declared -> stored order for INSERT *)
+          let n = List.length cols in
+          let data =
+            List.filter (fun i -> i <> bi && i <> ei) (List.init n Fun.id)
+          in
+          Hashtbl.replace m.insert_order (String.lowercase_ascii tbl_name)
+            (data @ [ bi; ei ]);
+          Done (Printf.sprintf "created period table %s" tbl_name))
+  | Ast.Insert { ins_name; rows } ->
+      let schema = Database.schema_of m.db ins_name in
+      let order =
+        match
+          Hashtbl.find_opt m.insert_order (String.lowercase_ascii ins_name)
+        with
+        | Some o -> o
+        | None -> List.init (Schema.arity schema) Fun.id
+      in
+      let tuples =
+        List.map
+          (fun row ->
+            if List.length row <> Schema.arity schema then
+              err "INSERT arity mismatch for %s" ins_name;
+            let vals = Array.of_list (List.map const_value row) in
+            Tuple.of_array
+              (Array.of_list (List.map (fun i -> vals.(i)) order)))
+          rows
+      in
+      Database.append_rows m.db ins_name tuples;
+      Done (Printf.sprintf "inserted %d rows into %s" (List.length rows) ins_name)
+  | Ast.Drop_table name ->
+      Database.remove_table m.db name;
+      Done (Printf.sprintf "dropped table %s" name)
+  | Ast.Update { upd_name; portion; sets; upd_where } ->
+      let schema = Database.schema_of m.db upd_name in
+      let n = Schema.arity schema in
+      let is_period = Database.is_period m.db upd_name in
+      if portion <> None && not is_period then
+        err "FOR PORTION OF requires a period table";
+      let resolve_col c =
+        match Schema.find_opt schema c with
+        | Some i ->
+            if is_period && portion <> None && i >= n - 2 then
+              err "cannot SET the period columns under FOR PORTION OF";
+            i
+        | None -> err "unknown column %s in UPDATE %s" c upd_name
+      in
+      let sets =
+        List.map
+          (fun (c, e) ->
+            ( resolve_col c,
+              Tkr_sql.Analyzer.resolve ~schema ~on_agg:Tkr_sql.Analyzer.no_agg e ))
+          sets
+      in
+      let pred =
+        Option.map
+          (Tkr_sql.Analyzer.resolve ~schema ~on_agg:Tkr_sql.Analyzer.no_agg)
+          upd_where
+      in
+      let matches row =
+        match pred with None -> true | Some p -> Expr.holds row p
+      in
+      let apply_sets row =
+        let out = Array.copy (row : Tuple.t :> Value.t array) in
+        List.iter (fun (i, e) -> out.(i) <- Expr.eval row e) sets;
+        Tuple.of_array out
+      in
+      let updated = ref 0 in
+      let rows =
+        Array.to_seq (Table.rows (Database.find m.db upd_name))
+        |> Seq.concat_map (fun row ->
+               if not (matches row) then Seq.return row
+               else
+                 match portion with
+                 | None ->
+                     incr updated;
+                     Seq.return (apply_sets row)
+                 | Some (a, b) -> (
+                     let rb, re = Tkr_engine.Ops.period_of_row row in
+                     let ob = max rb a and oe = min re b in
+                     if ob >= oe then Seq.return row
+                     else (
+                       incr updated;
+                       let with_period r b e =
+                         let out = Array.copy (r : Tuple.t :> Value.t array) in
+                         out.(n - 2) <- Value.Int b;
+                         out.(n - 1) <- Value.Int e;
+                         Tuple.of_array out
+                       in
+                       let frags =
+                         (if rb < ob then [ with_period row rb ob ] else [])
+                         @ [ with_period (apply_sets row) ob oe ]
+                         @ if oe < re then [ with_period row oe re ] else []
+                       in
+                       List.to_seq frags)))
+        |> Array.of_seq
+      in
+      Database.set_rows m.db upd_name rows;
+      Done (Printf.sprintf "updated %d rows in %s" !updated upd_name)
+  | Ast.Delete { del_name; del_portion; del_where } ->
+      let schema = Database.schema_of m.db del_name in
+      let n = Schema.arity schema in
+      let is_period = Database.is_period m.db del_name in
+      if del_portion <> None && not is_period then
+        err "FOR PORTION OF requires a period table";
+      let pred =
+        Option.map
+          (Tkr_sql.Analyzer.resolve ~schema ~on_agg:Tkr_sql.Analyzer.no_agg)
+          del_where
+      in
+      let matches row =
+        match pred with None -> true | Some p -> Expr.holds row p
+      in
+      let deleted = ref 0 in
+      let rows =
+        Array.to_seq (Table.rows (Database.find m.db del_name))
+        |> Seq.concat_map (fun row ->
+               if not (matches row) then Seq.return row
+               else
+                 match del_portion with
+                 | None ->
+                     incr deleted;
+                     Seq.empty
+                 | Some (a, b) -> (
+                     let rb, re = Tkr_engine.Ops.period_of_row row in
+                     let ob = max rb a and oe = min re b in
+                     if ob >= oe then Seq.return row
+                     else (
+                       incr deleted;
+                       let with_period r b e =
+                         let out = Array.copy (r : Tuple.t :> Value.t array) in
+                         out.(n - 2) <- Value.Int b;
+                         out.(n - 1) <- Value.Int e;
+                         Tuple.of_array out
+                       in
+                       let frags =
+                         (if rb < ob then [ with_period row rb ob ] else [])
+                         @ if oe < re then [ with_period row oe re ] else []
+                       in
+                       List.to_seq frags)))
+        |> Array.of_seq
+      in
+      Database.set_rows m.db del_name rows;
+      Done (Printf.sprintf "deleted %d rows from %s" !deleted del_name)
+
+let execute m (sql : string) : result =
+  execute_statement m (Parser.statement sql)
+
+(** Run a whole ;-separated script, returning the result of each statement. *)
+let execute_script m (sql : string) : result list =
+  List.map (execute_statement m) (Parser.script sql)
+
+(** Convenience: run a query and return its rows. *)
+let query m (sql : string) : Table.t =
+  match execute m sql with
+  | Rows t -> t
+  | Done _ -> err "expected a query, got a DDL/DML statement"
+
+(** EXPLAIN: the final (optimized, rewritten) plan of a query as text. *)
+let explain m (sql : string) : string =
+  let p = prepare m sql in
+  Format.asprintf
+    "@[<v>%s query%s@,output: %a@,plan:@,  @[%a@]@]"
+    (if p.snapshot then "snapshot" else "plain")
+    (match p.as_of with Some t -> Printf.sprintf " (AS OF %d)" t | None -> "")
+    Schema.pp p.out_schema Algebra.pp p.plan

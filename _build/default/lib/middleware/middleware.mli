@@ -1,0 +1,75 @@
+(** The database middleware of Section 9: snapshot semantics as a SQL
+    language feature.
+
+    - [SEQ VT (q)] evaluates [q] under snapshot semantics over the period
+      tables it references; the result is a period table with trailing
+      [vt_begin]/[vt_end] columns and the canonical (coalesced) encoding.
+    - [SEQ VT AS OF t (q)] returns the snapshot of [q] at time [t]
+      (non-temporal result), pushing the timeslice to the base tables —
+      sound because τ_T commutes with queries.
+    - Queries without [SEQ VT] run as ordinary SQL.
+    - DDL/DML: [CREATE TABLE ... PERIOD (b, e)], [INSERT], [DROP TABLE],
+      [UPDATE]/[DELETE] including SQL:2011 [FOR PORTION OF]. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Rewriter = Tkr_sqlenc.Rewriter
+
+exception Error of string
+
+type t
+
+type backend = Interpreted | Compiled
+(** Execute plans by AST interpretation or compiled to OCaml closures
+    (faster for prepared statements run repeatedly). *)
+
+val create :
+  ?options:Rewriter.options ->
+  ?optimize:bool ->
+  ?backend:backend ->
+  ?db:Database.t ->
+  unit ->
+  t
+(** A middleware over a (possibly pre-populated) engine database.  Default
+    options: {!Rewriter.optimized}. *)
+
+val database : t -> Database.t
+val set_options : t -> Rewriter.options -> unit
+val set_optimize : t -> bool -> unit
+val set_backend : t -> backend -> unit
+val options : t -> Rewriter.options
+
+type prepared = {
+  plan : Algebra.t;
+  exec : Database.t -> Table.t;
+  out_schema : Schema.t;
+  snapshot : bool;
+  as_of : int option;
+  order_by : (int * bool) list;
+  limit : int option;
+}
+(** A parsed, analyzed and (for snapshot queries) rewritten statement,
+    ready for repeated execution. *)
+
+val prepare : t -> string -> prepared
+val run_prepared : t -> prepared -> Table.t
+
+val snapshot_algebra : t -> string -> Algebra.t * Schema.t
+(** The logical algebra inside a [SEQ VT] statement and its data schema —
+    the common input of the rewriter and the native baseline evaluators. *)
+
+type result = Rows of Table.t | Done of string
+
+val execute : t -> string -> result
+(** Execute one statement (query, DDL or DML).
+    @raise Error on semantic errors. *)
+
+val execute_statement : t -> Tkr_sql.Ast.statement -> result
+val execute_script : t -> string -> result list
+
+val query : t -> string -> Table.t
+(** Like {!execute} but requires a query. *)
+
+val explain : t -> string -> string
+(** EXPLAIN: render the final (optimized, rewritten) plan of a query. *)

@@ -1,0 +1,1 @@
+lib/relation/agg.ml: Expr Format Schema Value

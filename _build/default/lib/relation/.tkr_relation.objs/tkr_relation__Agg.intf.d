@@ -1,0 +1,1 @@
+lib/relation/agg.mli: Expr Format Schema Value

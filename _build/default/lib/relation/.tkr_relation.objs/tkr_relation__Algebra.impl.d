@@ -1,0 +1,1 @@
+lib/relation/algebra.ml: Agg Expr Fmt Format List Schema Tuple Value

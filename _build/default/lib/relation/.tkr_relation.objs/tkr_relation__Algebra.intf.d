@@ -1,0 +1,1 @@
+lib/relation/algebra.mli: Agg Expr Format Schema Tuple

@@ -1,0 +1,1 @@
+lib/relation/eval.ml: Algebra Expr Krel List Schema Tkr_semiring

@@ -1,0 +1,1 @@
+lib/relation/eval.mli: Algebra Krel Schema Tkr_semiring

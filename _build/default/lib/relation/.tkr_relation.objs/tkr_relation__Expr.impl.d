@@ -1,0 +1,1 @@
+lib/relation/expr.ml: Char Fmt Format Hashtbl List Option Schema String Tuple Value

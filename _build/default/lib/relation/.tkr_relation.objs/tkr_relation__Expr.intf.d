@@ -1,0 +1,1 @@
+lib/relation/expr.mli: Format Schema Tuple Value

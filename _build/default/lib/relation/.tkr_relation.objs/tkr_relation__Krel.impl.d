@@ -1,0 +1,1 @@
+lib/relation/krel.ml: Array Expr Fmt Format List Schema Tkr_semiring Tuple

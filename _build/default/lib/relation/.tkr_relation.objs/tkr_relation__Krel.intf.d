@@ -1,0 +1,1 @@
+lib/relation/krel.mli: Expr Format Schema Tkr_semiring Tuple

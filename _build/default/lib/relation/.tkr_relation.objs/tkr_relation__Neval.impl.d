@@ -1,0 +1,1 @@
+lib/relation/neval.ml: Agg Algebra Array Eval Expr Hashtbl Krel List Schema Tkr_semiring Tuple Value

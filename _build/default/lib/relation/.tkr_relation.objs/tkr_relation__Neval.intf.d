@@ -1,0 +1,1 @@
+lib/relation/neval.mli: Algebra Eval Schema Tkr_semiring

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Fmt Format List String Value

@@ -1,0 +1,1 @@
+lib/relation/simplify.ml: Agg Algebra Array Expr List Option Tuple Value

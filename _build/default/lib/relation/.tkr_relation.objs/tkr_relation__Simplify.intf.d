@@ -1,0 +1,1 @@
+lib/relation/simplify.mli: Algebra Expr

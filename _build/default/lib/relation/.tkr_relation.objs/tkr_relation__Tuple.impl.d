@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Fmt Format Hashtbl Int List Map Value

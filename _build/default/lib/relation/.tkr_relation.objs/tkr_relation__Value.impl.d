@@ -1,0 +1,1 @@
+lib/relation/value.ml: Bool Float Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/relation/value.mli: Format

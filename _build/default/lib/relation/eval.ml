@@ -1,0 +1,37 @@
+(** Evaluation of the logical algebra over K-relations, for any
+    m-semiring K.  RA (selection, projection, join, union, difference) is
+    supported generically; aggregation and DISTINCT need semiring-specific
+    definitions and are provided for N by {!Neval}. *)
+
+module Make (K : Tkr_semiring.Semiring_intf.MONUS) = struct
+  module R = Krel.MakeMonus (K)
+
+  type db = string -> R.t
+
+  let project_out_schema child_schema projs =
+    Schema.make
+      (List.map
+         (fun (p : Algebra.proj) ->
+           Schema.attr p.name (Expr.infer_ty child_schema p.expr))
+         projs)
+
+  let rec eval (db : db) (q : Algebra.t) : R.t =
+    match q with
+    | Rel n -> db n
+    | ConstRel (schema, tuples) ->
+        R.of_list schema (List.map (fun t -> (t, K.one)) tuples)
+    | Select (p, q) -> R.select p (eval db q)
+    | Project (projs, q) ->
+        let r = eval db q in
+        R.project
+          (List.map (fun (p : Algebra.proj) -> p.expr) projs)
+          (project_out_schema (Krel.schema r) projs)
+          r
+    | Join (p, l, r) -> R.join p (eval db l) (eval db r)
+    | Union (l, r) -> R.union (eval db l) (eval db r)
+    | Diff (l, r) -> R.diff (eval db l) (eval db r)
+    | Agg _ -> raise (Algebra.Unsupported "aggregation requires semiring N")
+    | Distinct _ -> raise (Algebra.Unsupported "DISTINCT requires semiring N")
+    | Coalesce _ | Split _ | Split_agg _ ->
+        raise (Algebra.Unsupported "temporal operator outside period encoding")
+end

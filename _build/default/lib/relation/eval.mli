@@ -1,0 +1,20 @@
+(** Generic evaluation of the logical algebra over K-relations, for any
+    m-semiring K: RA (selection, projection, join, union, difference).
+
+    Aggregation and DISTINCT need semiring-specific definitions
+    (Section 7.2) and are provided for N by {!Neval}; the temporal
+    operators only exist over the period encoding.  Both raise
+    {!Algebra.Unsupported} here. *)
+
+module Make (K : Tkr_semiring.Semiring_intf.MONUS) : sig
+  module R : sig
+    include Krel.OPS with type annot = K.t
+
+    val diff : t -> t -> t
+  end
+
+  type db = string -> R.t
+
+  val project_out_schema : Schema.t -> Algebra.proj list -> Schema.t
+  val eval : db -> Algebra.t -> R.t
+end

@@ -1,0 +1,233 @@
+(** Scalar expressions over tuples, with SQL three-valued logic.
+
+    Column references are positional ([Col i]); the SQL analyzer resolves
+    names to positions.  Expressions are shared by every evaluation level:
+    the logical K-relation operators, the snapshot evaluator, the rewritten
+    period-encoding plans, and the physical engine. *)
+
+type binop = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Neg of t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Like of t * string  (** SQL LIKE with [%] and [_] wildcards *)
+  | In_list of t * Value.t list
+  | Case of (t * t) list * t option  (** searched CASE *)
+  | Greatest of t * t
+  | Least of t * t
+
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
+
+(* LIKE pattern matching, compiled on the fly (patterns are tiny). *)
+let like_match pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized recursion over (pi, si) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi >= np then si >= ns
+          else
+            match pattern.[pi] with
+            | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+            | '_' -> si < ns && go (pi + 1) (si + 1)
+            | c -> si < ns && Char.equal s.[si] c && go (pi + 1) (si + 1)
+        in
+        Hashtbl.add memo (pi, si) r;
+        r
+  in
+  go 0 0
+
+let cmp_result op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval (tuple : Tuple.t) (e : t) : Value.t =
+  match e with
+  | Col i -> Tuple.get tuple i
+  | Const v -> v
+  | Binop (op, a, b) -> (
+      let va = eval tuple a and vb = eval tuple b in
+      match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Mod -> Value.modulo va vb)
+  | Neg a -> Value.neg (eval tuple a)
+  | Cmp (op, a, b) -> (
+      match Value.sql_compare (eval tuple a) (eval tuple b) with
+      | None -> Value.Null
+      | Some c -> Value.Bool (cmp_result op c))
+  | And (a, b) -> (
+      (* Kleene three-valued AND *)
+      match (eval tuple a, eval tuple b) with
+      | Value.Bool false, _ | _, Value.Bool false -> vfalse
+      | Value.Bool true, Value.Bool true -> vtrue
+      | _ -> Value.Null)
+  | Or (a, b) -> (
+      match (eval tuple a, eval tuple b) with
+      | Value.Bool true, _ | _, Value.Bool true -> vtrue
+      | Value.Bool false, Value.Bool false -> vfalse
+      | _ -> Value.Null)
+  | Not a -> (
+      match eval tuple a with
+      | Value.Bool b -> Value.Bool (not b)
+      | _ -> Value.Null)
+  | Is_null a -> Value.Bool (Value.is_null (eval tuple a))
+  | Like (a, pat) -> (
+      match eval tuple a with
+      | Value.Str s -> Value.Bool (like_match pat s)
+      | Value.Null -> Value.Null
+      | _ -> invalid_arg "Expr: LIKE on non-string value")
+  | In_list (a, vs) -> (
+      match eval tuple a with
+      | Value.Null -> Value.Null
+      | v -> Value.Bool (List.exists (fun w -> Value.sql_compare v w = Some 0) vs))
+  | Case (branches, default) -> (
+      let rec go = function
+        | [] -> ( match default with Some d -> eval tuple d | None -> Value.Null)
+        | (cond, result) :: rest -> (
+            match eval tuple cond with
+            | Value.Bool true -> eval tuple result
+            | _ -> go rest)
+      in
+      go branches)
+  | Greatest (a, b) -> (
+      let va = eval tuple a and vb = eval tuple b in
+      match Value.sql_compare va vb with
+      | None -> Value.Null
+      | Some c -> if c >= 0 then va else vb)
+  | Least (a, b) -> (
+      let va = eval tuple a and vb = eval tuple b in
+      match Value.sql_compare va vb with
+      | None -> Value.Null
+      | Some c -> if c <= 0 then va else vb)
+
+(* A predicate holds iff it evaluates to TRUE (UNKNOWN filters out). *)
+let holds tuple e = match eval tuple e with Value.Bool true -> true | _ -> false
+
+let rec map_cols f = function
+  | Col i -> Col (f i)
+  | Const v -> Const v
+  | Binop (op, a, b) -> Binop (op, map_cols f a, map_cols f b)
+  | Neg a -> Neg (map_cols f a)
+  | Cmp (op, a, b) -> Cmp (op, map_cols f a, map_cols f b)
+  | And (a, b) -> And (map_cols f a, map_cols f b)
+  | Or (a, b) -> Or (map_cols f a, map_cols f b)
+  | Not a -> Not (map_cols f a)
+  | Is_null a -> Is_null (map_cols f a)
+  | Like (a, p) -> Like (map_cols f a, p)
+  | In_list (a, vs) -> In_list (map_cols f a, vs)
+  | Case (bs, d) ->
+      Case
+        ( List.map (fun (c, r) -> (map_cols f c, map_cols f r)) bs,
+          Option.map (map_cols f) d )
+  | Greatest (a, b) -> Greatest (map_cols f a, map_cols f b)
+  | Least (a, b) -> Least (map_cols f a, map_cols f b)
+
+(* Shift all column references >= [from] by [by]; used when a rewrite
+   inserts columns (e.g. the period attributes of a join's left input). *)
+let shift_cols ~from ~by e = map_cols (fun i -> if i >= from then i + by else i) e
+
+let rec cols = function
+  | Col i -> [ i ]
+  | Const _ -> []
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b)
+  | Greatest (a, b) | Least (a, b) ->
+      cols a @ cols b
+  | Neg a | Not a | Is_null a | Like (a, _) | In_list (a, _) -> cols a
+  | Case (bs, d) ->
+      List.concat_map (fun (c, r) -> cols c @ cols r) bs
+      @ (match d with Some d -> cols d | None -> [])
+
+(* Type inference relative to a schema; numeric operators unify int/float. *)
+let rec infer_ty (schema : Schema.t) (e : t) : Value.ty =
+  match e with
+  | Col i -> Schema.ty schema i
+  | Const v -> ( match Value.type_of v with Some ty -> ty | None -> Value.TInt)
+  | Binop (Div, a, b) | Binop (Mod, a, b) | Binop (Add, a, b)
+  | Binop (Sub, a, b) | Binop (Mul, a, b) -> (
+      match (infer_ty schema a, infer_ty schema b) with
+      | Value.TFloat, _ | _, Value.TFloat -> Value.TFloat
+      | _ -> Value.TInt)
+  | Neg a -> infer_ty schema a
+  | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Like _ | In_list _ -> Value.TBool
+  | Case (branches, default) -> (
+      match branches with
+      | (_, r) :: _ -> infer_ty schema r
+      | [] -> ( match default with Some d -> infer_ty schema d | None -> Value.TInt))
+  | Greatest (a, _) | Least (a, _) -> infer_ty schema a
+
+(* Extract equi-join keys from a conjunctive predicate over a concatenated
+   schema whose left part has [left_arity] columns.  Returns key pairs
+   (left column, right column in right-local numbering) and the residual
+   predicate, if any. *)
+let equi_keys ~left_arity e =
+  let conjuncts =
+    let rec go acc = function And (a, b) -> go (go acc a) b | e -> e :: acc in
+    List.rev (go [] e)
+  in
+  let keys, residual =
+    List.partition_map
+      (fun c ->
+        match c with
+        | Cmp (Eq, Col i, Col j) when i < left_arity && j >= left_arity ->
+            Left (i, j - left_arity)
+        | Cmp (Eq, Col j, Col i) when i < left_arity && j >= left_arity ->
+            Left (i, j - left_arity)
+        | other -> Right other)
+      conjuncts
+  in
+  let residual =
+    match residual with
+    | [] -> None
+    | first :: rest -> Some (List.fold_left (fun a c -> And (a, c)) first rest)
+  in
+  (keys, residual)
+
+let rec pp ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Const v -> Value.pp ppf v
+  | Binop (op, a, b) ->
+      let s =
+        match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+      in
+      Format.fprintf ppf "(%a %s %a)" pp a s pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a
+  | Cmp (op, a, b) ->
+      let s =
+        match op with
+        | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      in
+      Format.fprintf ppf "(%a %s %a)" pp a s pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a
+  | Is_null a -> Format.fprintf ppf "(%a IS NULL)" pp a
+  | Like (a, p) -> Format.fprintf ppf "(%a LIKE '%s')" pp a p
+  | In_list (a, vs) ->
+      Format.fprintf ppf "(%a IN (%a))" pp a Fmt.(list ~sep:(any ", ") Value.pp) vs
+  | Case (bs, d) ->
+      Format.fprintf ppf "CASE";
+      List.iter (fun (c, r) -> Format.fprintf ppf " WHEN %a THEN %a" pp c pp r) bs;
+      (match d with Some d -> Format.fprintf ppf " ELSE %a" pp d | None -> ());
+      Format.fprintf ppf " END"
+  | Greatest (a, b) -> Format.fprintf ppf "greatest(%a, %a)" pp a pp b
+  | Least (a, b) -> Format.fprintf ppf "least(%a, %a)" pp a pp b

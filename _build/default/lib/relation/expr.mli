@@ -1,0 +1,54 @@
+(** Scalar expressions over tuples, with SQL three-valued logic.
+
+    Column references are positional; the SQL analyzer resolves names to
+    positions.  The same expressions drive every evaluation level, from
+    the logical K-relation operators to the physical engine. *)
+
+type binop = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Neg of t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Like of t * string  (** SQL LIKE with [%] and [_] wildcards *)
+  | In_list of t * Value.t list
+  | Case of (t * t) list * t option  (** searched CASE *)
+  | Greatest of t * t
+  | Least of t * t
+
+val eval : Tuple.t -> t -> Value.t
+(** Three-valued: comparisons and connectives over NULL produce NULL
+    (Kleene logic). *)
+
+val holds : Tuple.t -> t -> bool
+(** A predicate holds iff it evaluates to TRUE; UNKNOWN filters out. *)
+
+val map_cols : (int -> int) -> t -> t
+
+val shift_cols : from:int -> by:int -> t -> t
+(** Shift every column reference [>= from] by [by]; used when a rewrite
+    inserts columns. *)
+
+val cols : t -> int list
+(** All referenced columns, with duplicates, in syntactic order. *)
+
+val infer_ty : Schema.t -> t -> Value.ty
+(** Result type relative to a schema; numeric operators unify int/float. *)
+
+val equi_keys : left_arity:int -> t -> (int * int) list * t option
+(** Extract equi-join key pairs from a conjunctive predicate over a
+    concatenated schema whose left part has [left_arity] columns.  Returns
+    [(left column, right-local column)] pairs and the residual conjunct,
+    if any. *)
+
+val like_match : string -> string -> bool
+(** [like_match pattern s]: SQL LIKE matching. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+(** K-relations: total functions from tuples to semiring annotations, with
+    finite support (Green et al., PODS 2007; Section 4.1 of the paper).
+
+    The relation type is polymorphic in the annotation and defined outside
+    the functor, so that every [Make (K)] instance works on the same
+    concrete representation (important when several libraries instantiate
+    the functor on the same semiring). *)
+
+type 'k t = { schema : Schema.t; data : 'k Tuple.Tmap.t }
+
+let schema r = r.schema
+
+module type OPS = sig
+  type annot
+  type nonrec t = annot t
+
+  val empty : Schema.t -> t
+  val is_empty : t -> bool
+  val annot : t -> Tuple.t -> annot
+  val add : t -> Tuple.t -> annot -> t
+  val set : t -> Tuple.t -> annot -> t
+  val of_list : Schema.t -> (Tuple.t * annot) list -> t
+  val to_list : t -> (Tuple.t * annot) list
+  val support : t -> Tuple.t list
+  val size : t -> int
+  val fold : (Tuple.t -> annot -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (Tuple.t -> annot -> unit) -> t -> unit
+  val select : Expr.t -> t -> t
+  val project : Expr.t list -> Schema.t -> t -> t
+  val join : Expr.t -> t -> t -> t
+  val union : t -> t -> t
+  val with_schema : Schema.t -> t -> t
+  val map_annot : (annot -> annot) -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) = struct
+  type annot = K.t
+  type nonrec t = K.t t
+
+  let empty schema : t = { schema; data = Tuple.Tmap.empty }
+  let is_empty (r : t) = Tuple.Tmap.is_empty r.data
+
+  (** [annot r t] is the annotation of [t]; [K.zero] when absent. *)
+  let annot (r : t) tuple =
+    match Tuple.Tmap.find_opt tuple r.data with Some k -> k | None -> K.zero
+
+  (** [add r t k] adds [k] to the annotation of [t] (accumulating), keeping
+      the invariant that no tuple is mapped to zero. *)
+  let add (r : t) tuple k : t =
+    let k' = K.add (annot r tuple) k in
+    if K.equal k' K.zero then { r with data = Tuple.Tmap.remove tuple r.data }
+    else { r with data = Tuple.Tmap.add tuple k' r.data }
+
+  (** [set r t k] overwrites the annotation of [t]. *)
+  let set (r : t) tuple k : t =
+    if K.equal k K.zero then { r with data = Tuple.Tmap.remove tuple r.data }
+    else { r with data = Tuple.Tmap.add tuple k r.data }
+
+  let of_list schema pairs : t =
+    List.fold_left (fun r (t, k) -> add r t k) (empty schema) pairs
+
+  let to_list (r : t) = Tuple.Tmap.bindings r.data
+  let support (r : t) = List.map fst (to_list r)
+  let size (r : t) = Tuple.Tmap.cardinal r.data
+  let fold f (r : t) init = Tuple.Tmap.fold f r.data init
+  let iter f (r : t) = Tuple.Tmap.iter f r.data
+
+  (** σ_θ(R)(t) = R(t) * θ(t)  — filtering by a predicate. *)
+  let select pred (r : t) : t =
+    { r with data = Tuple.Tmap.filter (fun t _ -> Expr.holds t pred) r.data }
+
+  (** Π_A(R)(t) = Σ_{u : u.A = t} R(u) — generalized projection; colliding
+      output tuples have their annotations added. *)
+  let project exprs out_schema (r : t) : t =
+    fold
+      (fun tuple k acc ->
+        let out = Tuple.of_array (Array.of_list (List.map (Expr.eval tuple) exprs)) in
+        add acc out k)
+      r (empty out_schema)
+
+  (** (R ⋈_θ S)(t) = R(t[R]) * S(t[S]) filtered by θ over the concatenation. *)
+  let join pred (l : t) (rr : t) : t =
+    let out_schema = Schema.concat l.schema rr.schema in
+    fold
+      (fun tl kl acc ->
+        fold
+          (fun tr kr acc ->
+            let t = Tuple.append tl tr in
+            if Expr.holds t pred then add acc t (K.mul kl kr) else acc)
+          rr acc)
+      l (empty out_schema)
+
+  (** (R ∪ S)(t) = R(t) + S(t). *)
+  let union (l : t) (r : t) : t =
+    if not (Schema.union_compatible l.schema r.schema) then
+      invalid_arg "Krel.union: incompatible schemas";
+    fold (fun t k acc -> add acc t k) r l
+
+  (** Rename/retype the schema without touching the data. *)
+  let with_schema schema (r : t) : t = { r with schema }
+
+  let map_annot f (r : t) : t =
+    fold (fun t k acc -> add acc t (f k)) r (empty r.schema)
+
+  let equal (a : t) (b : t) = Tuple.Tmap.equal K.equal a.data b.data
+
+  let pp ppf (r : t) =
+    Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+      Fmt.(
+        list ~sep:cut (fun ppf (t, k) ->
+            Format.fprintf ppf "%a ↦ %a" Tuple.pp t K.pp k))
+      (to_list r)
+end
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) = struct
+  include Make (K)
+
+  (** (R - S)(t) = R(t) monus S(t) — e.g. bag difference for K = N. *)
+  let diff (l : t) (r : t) : t =
+    if not (Schema.union_compatible l.schema r.schema) then
+      invalid_arg "Krel.diff: incompatible schemas";
+    fold
+      (fun t kl acc ->
+        let k = K.monus kl (annot r t) in
+        if K.equal k K.zero then acc else set acc t k)
+      l (empty l.schema)
+end

@@ -1,0 +1,63 @@
+(** K-relations: total functions from tuples to semiring annotations with
+    finite support (Green et al., PODS 2007; Section 4.1 of the paper).
+
+    The relation type ['k t] is concrete and shared by all functor
+    instances, so that independently instantiated [Make (K)] modules agree
+    on types. *)
+
+type 'k t = { schema : Schema.t; data : 'k Tuple.Tmap.t }
+(** Invariant: no tuple is mapped to the semiring's zero. *)
+
+val schema : 'k t -> Schema.t
+
+(** Operations over K-relations for a fixed semiring. *)
+module type OPS = sig
+  type annot
+  type nonrec t = annot t
+
+  val empty : Schema.t -> t
+  val is_empty : t -> bool
+
+  val annot : t -> Tuple.t -> annot
+  (** Total: zero for absent tuples. *)
+
+  val add : t -> Tuple.t -> annot -> t
+  (** Accumulating add (annotations of equal tuples are summed). *)
+
+  val set : t -> Tuple.t -> annot -> t
+  (** Overwrite an annotation (zero removes the tuple). *)
+
+  val of_list : Schema.t -> (Tuple.t * annot) list -> t
+  val to_list : t -> (Tuple.t * annot) list
+  val support : t -> Tuple.t list
+  val size : t -> int
+  val fold : (Tuple.t -> annot -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (Tuple.t -> annot -> unit) -> t -> unit
+
+  val select : Expr.t -> t -> t
+  (** σ_θ(R)(t) = R(t) · θ(t). *)
+
+  val project : Expr.t list -> Schema.t -> t -> t
+  (** Π_A(R)(t) = Σ_u:u.A=t R(u) — annotations of colliding tuples add. *)
+
+  val join : Expr.t -> t -> t -> t
+  (** (R ⋈_θ S)(t) = R(t\[R\]) · S(t\[S\]) under θ. *)
+
+  val union : t -> t -> t
+  (** (R ∪ S)(t) = R(t) + S(t).
+      @raise Invalid_argument on incompatible schemas. *)
+
+  val with_schema : Schema.t -> t -> t
+  val map_annot : (annot -> annot) -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) : OPS with type annot = K.t
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) : sig
+  include OPS with type annot = K.t
+
+  val diff : t -> t -> t
+  (** (R − S)(t) = R(t) monus S(t); bag difference for K = N. *)
+end

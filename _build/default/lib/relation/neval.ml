@@ -1,0 +1,96 @@
+(** The reference multiset (N-relation) evaluator for the full algebra
+    RAagg, including SQL-faithful aggregation and DISTINCT.
+
+    This evaluator is deliberately simple; it is the correctness oracle for
+    both the snapshot evaluator of the abstract model and the physical
+    engine.  SQL semantics of aggregation: with a GROUP BY clause an empty
+    group yields no row; without one, an empty input still yields exactly
+    one row ([count = 0], other aggregates NULL). *)
+
+module N = Tkr_semiring.Nat
+module E = Eval.Make (N)
+module R = E.R
+
+type db = E.db
+
+let agg_out_schema child_schema (group : Algebra.proj list)
+    (aggs : Algebra.agg_spec list) =
+  let gattrs =
+    List.map
+      (fun (p : Algebra.proj) ->
+        Schema.attr p.name (Expr.infer_ty child_schema p.expr))
+      group
+  in
+  let aattrs =
+    List.map
+      (fun (a : Algebra.agg_spec) ->
+        Schema.attr a.agg_name (Agg.output_ty child_schema a.func))
+      aggs
+  in
+  Schema.make (gattrs @ aattrs)
+
+let aggregate (group : Algebra.proj list) (aggs : Algebra.agg_spec list)
+    (r : R.t) : R.t =
+  let child_schema = Krel.schema r in
+  let out_schema = agg_out_schema child_schema group aggs in
+  let table : (Tuple.t, Agg.acc array) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  R.iter
+    (fun tuple mult ->
+      let key =
+        Tuple.of_array
+          (Array.of_list
+             (List.map (fun (p : Algebra.proj) -> Expr.eval tuple p.expr) group))
+      in
+      let accs =
+        match Hashtbl.find_opt table key with
+        | Some a -> a
+        | None ->
+            let a = Array.make (List.length aggs) Agg.empty in
+            Hashtbl.add table key a;
+            order := key :: !order;
+            a
+      in
+      List.iteri
+        (fun i (spec : Algebra.agg_spec) ->
+          let v =
+            match Agg.input_expr spec.func with
+            | None -> Value.Int 1 (* count star: any non-null value *)
+            | Some e -> Expr.eval tuple e
+          in
+          accs.(i) <- Agg.step ~mult accs.(i) v)
+        aggs)
+    r;
+  let emit key accs acc =
+    let avals =
+      List.mapi
+        (fun i (spec : Algebra.agg_spec) -> Agg.final spec.func accs.(i))
+        aggs
+    in
+    let out = Tuple.append key (Tuple.make avals) in
+    R.add acc out 1
+  in
+  if group = [] && Hashtbl.length table = 0 then
+    (* SQL: aggregation without grouping over empty input yields one row. *)
+    emit (Tuple.make []) (Array.make (List.length aggs) Agg.empty)
+      (R.empty out_schema)
+  else
+    List.fold_left
+      (fun acc key -> emit key (Hashtbl.find table key) acc)
+      (R.empty out_schema) (List.rev !order)
+
+let rec eval (db : db) (q : Algebra.t) : R.t =
+  match q with
+  | Agg (group, aggs, q) -> aggregate group aggs (eval db q)
+  | Distinct q -> R.map_annot (fun _ -> 1) (eval db q)
+  | Select (p, q) -> R.select p (eval db q)
+  | Project (projs, q) ->
+      let r = eval db q in
+      R.project
+        (List.map (fun (p : Algebra.proj) -> p.expr) projs)
+        (E.project_out_schema (Krel.schema r) projs)
+        r
+  | Join (p, l, r) -> R.join p (eval db l) (eval db r)
+  | Union (l, r) -> R.union (eval db l) (eval db r)
+  | Diff (l, r) -> R.diff (eval db l) (eval db r)
+  | Rel _ | ConstRel _ | Coalesce _ | Split _ | Split_agg _ -> E.eval db q

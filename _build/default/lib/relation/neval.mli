@@ -1,0 +1,20 @@
+(** The reference multiset (N-relation) evaluator for the full algebra
+    RAagg, with SQL-faithful aggregation (an empty input without GROUP BY
+    yields exactly one row) and DISTINCT.
+
+    Deliberately simple: the correctness oracle for the abstract model's
+    pointwise evaluation and for the physical engine. *)
+
+module E : module type of Eval.Make (Tkr_semiring.Nat)
+module R = E.R
+
+type db = E.db
+
+val agg_out_schema :
+  Schema.t -> Algebra.proj list -> Algebra.agg_spec list -> Schema.t
+(** Output schema of an aggregation: grouping attributes then aggregate
+    results. *)
+
+val aggregate : Algebra.proj list -> Algebra.agg_spec list -> R.t -> R.t
+
+val eval : db -> Algebra.t -> R.t

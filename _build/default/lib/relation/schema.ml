@@ -1,0 +1,71 @@
+(** Relation schemas: named, typed attribute lists.
+
+    Attribute names may be qualified ("s.salary").  Resolution by name
+    first tries an exact match, then a unique suffix match after the dot,
+    mirroring SQL name resolution; ambiguity raises. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t = attr array
+
+exception Ambiguous of string
+exception Unknown of string
+
+let attr name ty = { name; ty }
+let make attrs : t = Array.of_list attrs
+let arity (s : t) = Array.length s
+let attrs (s : t) = Array.to_list s
+let names (s : t) = Array.to_list s |> List.map (fun a -> a.name)
+let get (s : t) i = s.(i)
+let ty (s : t) i = s.(i).ty
+let name (s : t) i = s.(i).name
+
+let local_name n =
+  match String.rindex_opt n '.' with
+  | None -> n
+  | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+
+let find_all (s : t) n =
+  let exact = ref [] and by_suffix = ref [] in
+  Array.iteri
+    (fun i a ->
+      if String.equal a.name n then exact := i :: !exact
+      else if String.equal (local_name a.name) n then by_suffix := i :: !by_suffix)
+    s;
+  match List.rev !exact with [] -> List.rev !by_suffix | l -> l
+
+let find_opt (s : t) n =
+  match find_all s n with
+  | [ i ] -> Some i
+  | [] -> None
+  | _ :: _ :: _ -> raise (Ambiguous n)
+
+let find (s : t) n =
+  match find_opt s n with Some i -> i | None -> raise (Unknown n)
+
+let concat (a : t) (b : t) : t = Array.append a b
+let project (s : t) idxs : t = Array.of_list (List.map (fun i -> s.(i)) idxs)
+
+let qualify prefix (s : t) : t =
+  Array.map (fun a -> { a with name = prefix ^ "." ^ local_name a.name }) s
+
+let rename_all new_names (s : t) : t =
+  if List.length new_names <> Array.length s then
+    invalid_arg "Schema.rename_all: arity mismatch";
+  Array.of_list (List.map2 (fun n a -> { a with name = n }) new_names (attrs s))
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.ty = y.ty) a b
+
+(* Union compatibility only requires matching types, like SQL. *)
+let union_compatible (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (x : attr) (y : attr) -> x.ty = y.ty) a b
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "(%a)"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf a ->
+          Format.fprintf ppf "%s:%a" a.name Value.pp_ty a.ty))
+    (attrs s)

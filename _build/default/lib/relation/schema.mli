@@ -1,0 +1,47 @@
+(** Relation schemas: named, typed attribute lists.
+
+    Attribute names may be qualified ("s.salary").  Name resolution follows
+    SQL: an exact match wins, otherwise a unique suffix match after the
+    dot; ambiguity raises {!Ambiguous}. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t = attr array
+
+exception Ambiguous of string
+exception Unknown of string
+
+val attr : string -> Value.ty -> attr
+val make : attr list -> t
+val arity : t -> int
+val attrs : t -> attr list
+val names : t -> string list
+val get : t -> int -> attr
+val ty : t -> int -> Value.ty
+val name : t -> int -> string
+
+val local_name : string -> string
+(** The part after the last dot ("salary" for "s.salary"). *)
+
+val find_opt : t -> string -> int option
+(** @raise Ambiguous when several attributes match. *)
+
+val find : t -> string -> int
+(** @raise Unknown when no attribute matches. *)
+
+val find_all : t -> string -> int list
+val concat : t -> t -> t
+val project : t -> int list -> t
+
+val qualify : string -> t -> t
+(** [qualify "s" schema] renames every attribute to ["s." ^ local name]. *)
+
+val rename_all : string list -> t -> t
+
+val equal : t -> t -> bool
+(** Same names and types. *)
+
+val union_compatible : t -> t -> bool
+(** Same types (names may differ), as SQL set operations require. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+(** Logical simplification: constant folding on expressions and
+    plan-level cleanups (trivial selections, fused projections, merged
+    selections).  Purely semantics-preserving — verified on random queries
+    in [test/test_simplify.ml]. *)
+
+let vtrue = Expr.Const (Value.Bool true)
+let vfalse = Expr.Const (Value.Bool false)
+
+let is_const = function Expr.Const _ -> true | _ -> false
+
+(** Bottom-up constant folding with boolean short-circuits.  NULL-aware:
+    only rewrites that are sound in three-valued logic are applied (e.g.
+    [e AND false] folds to [false], but [e OR NULL] does not fold). *)
+let rec fold_expr (e : Expr.t) : Expr.t =
+  let e =
+    match e with
+    | Expr.Col _ | Expr.Const _ -> e
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, fold_expr a, fold_expr b)
+    | Expr.Neg a -> Expr.Neg (fold_expr a)
+    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, fold_expr a, fold_expr b)
+    | Expr.And (a, b) -> Expr.And (fold_expr a, fold_expr b)
+    | Expr.Or (a, b) -> Expr.Or (fold_expr a, fold_expr b)
+    | Expr.Not a -> Expr.Not (fold_expr a)
+    | Expr.Is_null a -> Expr.Is_null (fold_expr a)
+    | Expr.Like (a, p) -> Expr.Like (fold_expr a, p)
+    | Expr.In_list (a, vs) -> Expr.In_list (fold_expr a, vs)
+    | Expr.Case (bs, d) ->
+        Expr.Case
+          ( List.map (fun (c, r) -> (fold_expr c, fold_expr r)) bs,
+            Option.map fold_expr d )
+    | Expr.Greatest (a, b) -> Expr.Greatest (fold_expr a, fold_expr b)
+    | Expr.Least (a, b) -> Expr.Least (fold_expr a, fold_expr b)
+  in
+  match e with
+  (* full constant folding when every operand is a literal *)
+  | Expr.Binop (_, a, b) | Expr.Cmp (_, a, b)
+  | Expr.Greatest (a, b) | Expr.Least (a, b)
+    when is_const a && is_const b -> (
+      match Expr.eval (Tuple.make []) e with
+      | v -> Expr.Const v
+      | exception _ -> e)
+  | Expr.Neg a | Expr.Not a | Expr.Is_null a | Expr.Like (a, _)
+    when is_const a -> (
+      match Expr.eval (Tuple.make []) e with
+      | v -> Expr.Const v
+      | exception _ -> e)
+  (* sound boolean short-circuits under 3VL *)
+  | Expr.And (a, b) ->
+      if a = vtrue then b
+      else if b = vtrue then a
+      else if a = vfalse || b = vfalse then vfalse
+      else e
+  | Expr.Or (a, b) ->
+      if a = vfalse then b
+      else if b = vfalse then a
+      else if a = vtrue || b = vtrue then vtrue
+      else e
+  (* CASE with a constant-true first branch *)
+  | Expr.Case ((c, r) :: _, _) when c = vtrue -> r
+  | e -> e
+
+let fold_proj (p : Algebra.proj) : Algebra.proj =
+  { p with expr = fold_expr p.expr }
+
+let fold_agg (spec : Algebra.agg_spec) : Algebra.agg_spec =
+  let func : Agg.func =
+    match spec.func with
+    | Agg.Count_star -> Agg.Count_star
+    | Agg.Count e -> Agg.Count (fold_expr e)
+    | Agg.Sum e -> Agg.Sum (fold_expr e)
+    | Agg.Avg e -> Agg.Avg (fold_expr e)
+    | Agg.Min e -> Agg.Min (fold_expr e)
+    | Agg.Max e -> Agg.Max (fold_expr e)
+  in
+  { spec with func }
+
+(* Substitute child projection expressions into a parent projection when
+   the child's expressions are cheap (columns or constants). *)
+let substitutable (projs : Algebra.proj list) =
+  List.for_all
+    (fun (p : Algebra.proj) ->
+      match p.expr with Expr.Col _ | Expr.Const _ -> true | _ -> false)
+    projs
+
+let substitute (inner : Algebra.proj list) (e : Expr.t) : Expr.t =
+  let arr = Array.of_list inner in
+  let rec go = function
+    | Expr.Col i -> arr.(i).Algebra.expr
+    | Expr.Const v -> Expr.Const v
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Neg a -> Expr.Neg (go a)
+    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
+    | Expr.And (a, b) -> Expr.And (go a, go b)
+    | Expr.Or (a, b) -> Expr.Or (go a, go b)
+    | Expr.Not a -> Expr.Not (go a)
+    | Expr.Is_null a -> Expr.Is_null (go a)
+    | Expr.Like (a, p) -> Expr.Like (go a, p)
+    | Expr.In_list (a, vs) -> Expr.In_list (go a, vs)
+    | Expr.Case (bs, d) ->
+        Expr.Case (List.map (fun (c, r) -> (go c, go r)) bs, Option.map go d)
+    | Expr.Greatest (a, b) -> Expr.Greatest (go a, go b)
+    | Expr.Least (a, b) -> Expr.Least (go a, go b)
+  in
+  go e
+
+(** Plan-level simplification. *)
+let rec simplify (q : Algebra.t) : Algebra.t =
+  match q with
+  | Rel _ | ConstRel _ -> q
+  | Select (p, q0) -> (
+      let p = fold_expr p in
+      let q0 = simplify q0 in
+      match (p, q0) with
+      | Expr.Const (Value.Bool true), q0 -> q0
+      | Expr.Const (Value.Bool false), ConstRel (s, _) -> ConstRel (s, [])
+      | p, Select (p2, q1) -> Select (fold_expr (Expr.And (p, p2)), q1)
+      | p, q0 -> Select (p, q0))
+  | Project (projs, q0) -> (
+      let projs = List.map fold_proj projs in
+      let q0 = simplify q0 in
+      match q0 with
+      (* fuse Project over Project when the inner one is cheap *)
+      | Project (inner, q1) when substitutable inner ->
+          Project
+            ( List.map
+                (fun (p : Algebra.proj) ->
+                  { p with expr = fold_expr (substitute inner p.expr) })
+                projs,
+              q1 )
+      | q0 -> Project (projs, q0))
+  | Join (p, l, r) -> Join (fold_expr p, simplify l, simplify r)
+  | Union (l, r) -> Union (simplify l, simplify r)
+  | Diff (l, r) -> Diff (simplify l, simplify r)
+  | Agg (group, aggs, q0) ->
+      Agg (List.map fold_proj group, List.map fold_agg aggs, simplify q0)
+  | Distinct q0 -> (
+      match simplify q0 with
+      | Distinct _ as d -> d (* idempotent *)
+      | q0 -> Distinct q0)
+  | Coalesce q0 -> (
+      match simplify q0 with
+      | Coalesce _ as c -> c (* idempotent *)
+      | q0 -> Coalesce q0)
+  | Split (g, l, r) ->
+      if l == r then
+        let l' = simplify l in
+        Split (g, l', l')
+      else Split (g, simplify l, simplify r)
+  | Split_agg sa -> Split_agg { sa with sa_child = simplify sa.sa_child }

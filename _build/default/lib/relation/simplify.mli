@@ -1,0 +1,9 @@
+(** Logical simplification: NULL-aware constant folding on expressions
+    and plan-level cleanups (trivial/merged selections, fused cheap
+    projections, idempotent DISTINCT/coalesce).  Semantics-preserving. *)
+
+val fold_expr : Expr.t -> Expr.t
+(** Bottom-up constant folding; only rewrites sound in three-valued logic
+    are applied. *)
+
+val simplify : Algebra.t -> Algebra.t

@@ -1,0 +1,41 @@
+(** Tuples are immutable value arrays.  [Tmap] is the single, shared
+    tuple-keyed map used by all K-relation functor instances so that two
+    applications of the same functor produce compatible types. *)
+
+type t = Value.t array
+
+let make vs : t = Array.of_list vs
+let of_array (a : Value.t array) : t = a
+let to_list (t : t) = Array.to_list t
+let arity (t : t) = Array.length t
+let get (t : t) i = t.(i)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+let hash (t : t) = Hashtbl.hash (Array.map Value.hash t)
+let append (a : t) (b : t) : t = Array.append a b
+let project idxs (t : t) : t = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) (to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Tmap = Map.Make (Ord)

@@ -1,0 +1,32 @@
+(** Tuples: immutable value arrays, plus the single shared tuple-keyed map
+    functor instance ([Tmap]) used by every K-relation so that repeated
+    functor applications produce compatible types. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val compare : t -> t -> int
+(** Lexicographic in {!Value.compare}; shorter tuples first. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val append : t -> t -> t
+
+val project : int list -> t -> t
+(** [project [2; 0] t] is [(t.(2), t.(0))]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Tmap : Map.S with type key = t

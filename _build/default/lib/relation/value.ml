@@ -1,0 +1,95 @@
+(** SQL values and their scalar types.
+
+    Comparison comes in two flavours: {!compare} is a canonical total order
+    used for map keys and deterministic output (NULLs first, then by type
+    tag), while {!sql_compare} implements SQL comparison semantics with
+    numeric coercion between integers and floats and three-valued logic
+    ([None] whenever a NULL is involved). *)
+
+type ty = TBool | TInt | TFloat | TStr
+
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+
+let tag = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 3 | Str _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let is_null = function Null -> true | _ -> false
+
+(* SQL comparison: numeric coercion, NULL incomparable. *)
+let sql_compare a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Str x, Str y -> Some (String.compare x y)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Value.sql_compare: incompatible types (%d vs %d)"
+           (tag a) (tag b))
+
+let numeric2 fi ff a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> fi x y
+  | Int x, Float y -> ff (float_of_int x) y
+  | Float x, Int y -> ff x (float_of_int y)
+  | Float x, Float y -> ff x y
+  | _ -> invalid_arg "Value: arithmetic on non-numeric value"
+
+let add = numeric2 (fun x y -> Int (x + y)) (fun x y -> Float (x +. y))
+let sub = numeric2 (fun x y -> Int (x - y)) (fun x y -> Float (x -. y))
+let mul = numeric2 (fun x y -> Int (x * y)) (fun x y -> Float (x *. y))
+
+let div =
+  numeric2
+    (fun x y -> if y = 0 then Null else Int (x / y))
+    (fun x y -> if y = 0. then Null else Float (x /. y))
+
+let modulo =
+  numeric2
+    (fun x y -> if y = 0 then Null else Int (x mod y))
+    (fun x y -> if y = 0. then Null else Float (Float.rem x y))
+
+let neg = function
+  | Null -> Null
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | _ -> invalid_arg "Value.neg: non-numeric value"
+
+let to_float_opt = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | _ -> None
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "'%s'" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with TBool -> "bool" | TInt -> "int" | TFloat -> "float" | TStr -> "text")

@@ -1,0 +1,39 @@
+(** SQL values and scalar types. *)
+
+type ty = TBool | TInt | TFloat | TStr
+
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+val type_of : t -> ty option
+(** [None] for NULL. *)
+
+val compare : t -> t -> int
+(** Canonical total order (NULLs first, then by type tag, then by value);
+    used for map keys and deterministic output, {e not} SQL comparison. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val is_null : t -> bool
+
+val sql_compare : t -> t -> int option
+(** SQL comparison semantics: numeric coercion between [Int] and [Float],
+    [None] whenever a NULL is involved.
+    @raise Invalid_argument on incompatible non-null types. *)
+
+val add : t -> t -> t
+(** Numeric addition, NULL-propagating; [Int]/[Float] coercion.
+    @raise Invalid_argument on non-numeric operands.  Likewise for
+    {!sub}, {!mul}, {!div}, {!modulo} and {!neg}. *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division by zero yields NULL. *)
+
+val modulo : t -> t -> t
+val neg : t -> t
+val to_float_opt : t -> float option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_ty : Format.formatter -> ty -> unit

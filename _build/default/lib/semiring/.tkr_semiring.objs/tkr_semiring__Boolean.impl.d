@@ -1,0 +1,1 @@
+lib/semiring/boolean.ml: Bool Format

@@ -1,0 +1,1 @@
+lib/semiring/boolean.mli: Semiring_intf

@@ -1,0 +1,1 @@
+lib/semiring/fuzzy.ml: Float Format Hashtbl

@@ -1,0 +1,1 @@
+lib/semiring/fuzzy.mli: Semiring_intf

@@ -1,0 +1,1 @@
+lib/semiring/lineage.ml: Fmt Format Hashtbl Set String

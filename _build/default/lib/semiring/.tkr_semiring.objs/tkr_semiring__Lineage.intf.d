@@ -1,0 +1,1 @@
+lib/semiring/lineage.mli: Semiring_intf Set

@@ -1,0 +1,1 @@
+lib/semiring/nat.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/semiring/nat.mli: Semiring_intf

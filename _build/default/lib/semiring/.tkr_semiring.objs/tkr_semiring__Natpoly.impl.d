@@ -1,0 +1,1 @@
+lib/semiring/natpoly.ml: Fmt Format Hashtbl List Semiring_intf Stdlib String

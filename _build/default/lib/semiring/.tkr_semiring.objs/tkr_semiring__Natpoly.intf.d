@@ -1,0 +1,1 @@
+lib/semiring/natpoly.mli: Semiring_intf

@@ -1,0 +1,1 @@
+lib/semiring/security.ml: Format Int

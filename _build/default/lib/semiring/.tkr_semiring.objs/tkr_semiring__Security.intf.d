@@ -1,0 +1,1 @@
+lib/semiring/security.mli: Semiring_intf

@@ -1,0 +1,1 @@
+lib/semiring/semiring_intf.ml: Format List

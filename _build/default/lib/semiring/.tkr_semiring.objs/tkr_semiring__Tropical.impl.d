@@ -1,0 +1,1 @@
+lib/semiring/tropical.ml: Format Int

@@ -1,0 +1,1 @@
+lib/semiring/tropical.mli: Semiring_intf

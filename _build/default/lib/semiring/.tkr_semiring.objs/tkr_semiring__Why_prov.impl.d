@@ -1,0 +1,1 @@
+lib/semiring/why_prov.ml: Fmt Format Hashtbl List Set String

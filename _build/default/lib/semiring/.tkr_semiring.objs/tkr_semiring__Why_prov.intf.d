@@ -1,0 +1,1 @@
+lib/semiring/why_prov.mli: Semiring_intf

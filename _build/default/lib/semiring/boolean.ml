@@ -1,0 +1,18 @@
+(** The boolean semiring [(B, \/, /\, false, true)]: set semantics. *)
+
+type t = bool
+
+let zero = false
+let one = true
+let add = ( || )
+let mul = ( && )
+let equal = Bool.equal
+let compare = Bool.compare
+let hash = Bool.to_int
+let pp = Format.pp_print_bool
+let name = "B"
+
+(* The natural order of B is implication; the monus is "and not". *)
+let monus a b = a && not b
+let of_bool b = b
+let to_bool b = b

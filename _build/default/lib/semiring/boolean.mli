@@ -1,0 +1,9 @@
+(** The boolean semiring [(B, ∨, ∧, false, true)]: set semantics.
+
+    Its monus is ["and not"], making B an m-semiring whose difference
+    coincides with set difference (Section 7.1). *)
+
+include Semiring_intf.MONUS with type t = bool
+
+val of_bool : bool -> t
+val to_bool : t -> bool

@@ -1,0 +1,22 @@
+(** The fuzzy / Viterbi-style semiring [(\[0,1\], max, min, 0, 1)].
+
+    Annotations are confidence degrees; alternative use keeps the most
+    confident derivation, conjunctive use the least confident premise. *)
+
+type t = float
+
+let clamp x = if x < 0. then 0. else if x > 1. then 1. else x
+let of_float x = clamp x
+let to_float x = x
+let zero = 0.
+let one = 1.
+let add a b = Float.max a b
+let mul a b = Float.min a b
+let equal a b = Float.equal a b
+let compare = Float.compare
+let hash = Hashtbl.hash
+let pp ppf x = Format.fprintf ppf "%.3f" x
+let name = "Fuzzy"
+
+(* Residual of max: smallest c with a <= max (b, c). *)
+let monus a b = if a <= b then 0. else a

@@ -1,0 +1,9 @@
+(** The fuzzy / Viterbi-style semiring [(\[0,1\], max, min, 0, 1)]:
+    annotations are confidence degrees. *)
+
+include Semiring_intf.MONUS with type t = float
+
+val of_float : float -> t
+(** Clamps to [\[0, 1\]]. *)
+
+val to_float : t -> float

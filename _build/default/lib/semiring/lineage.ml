@@ -1,0 +1,45 @@
+(** The lineage semiring (Lin(X), ∪, ∪*, ⊥, ∅).
+
+    An annotation is either ⊥ (absent) or the set of identifiers of input
+    tuples the output depends on.  Both addition and multiplication union
+    the witness sets; ⊥ annihilates multiplication. *)
+
+module SS = Set.Make (String)
+
+type t = Bot | Wit of SS.t
+
+let zero = Bot
+let one = Wit SS.empty
+let of_ids ids = Wit (SS.of_list ids)
+
+let add a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Wit s, Wit s' -> Wit (SS.union s s')
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Wit s, Wit s' -> Wit (SS.union s s')
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Wit s, Wit s' -> SS.equal s s'
+  | Bot, Wit _ | Wit _, Bot -> false
+
+let compare a b =
+  match (a, b) with
+  | Bot, Bot -> 0
+  | Bot, Wit _ -> -1
+  | Wit _, Bot -> 1
+  | Wit s, Wit s' -> SS.compare s s'
+
+let hash = function Bot -> 0 | Wit s -> Hashtbl.hash (SS.elements s)
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "⊥"
+  | Wit s ->
+      Format.fprintf ppf "{%a}" Fmt.(list ~sep:(any ",") string) (SS.elements s)
+
+let name = "Lin"

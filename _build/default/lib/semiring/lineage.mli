@@ -1,0 +1,12 @@
+(** The lineage semiring (Lin(X), ∪, ∪, ⊥, ∅): an annotation is either ⊥
+    (tuple absent) or the set of input-tuple identifiers the tuple depends
+    on. *)
+
+module SS : Set.S with type elt = string
+
+type t = Bot | Wit of SS.t
+
+include Semiring_intf.S with type t := t
+
+val of_ids : string list -> t
+(** A witness set from identifiers ([Wit]). *)

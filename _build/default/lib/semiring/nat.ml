@@ -1,0 +1,25 @@
+(** The semiring of natural numbers [(N, +, *, 0, 1)]: multiset semantics.
+
+    Values are machine integers with the invariant [>= 0]; the invariant is
+    enforced at construction ({!of_int}) and preserved by all operations. *)
+
+type t = int
+
+let zero = 0
+let one = 1
+let add = ( + )
+let mul = ( * )
+let equal = Int.equal
+let compare = Int.compare
+let hash x = x
+let pp = Format.pp_print_int
+let name = "N"
+
+(* Truncating subtraction: the monus of the naturals (Section 7.1). *)
+let monus a b = max 0 (a - b)
+
+let of_int n =
+  if n < 0 then invalid_arg (Printf.sprintf "Nat.of_int: negative value %d" n);
+  n
+
+let to_int n = n

@@ -1,0 +1,11 @@
+(** The semiring of natural numbers [(N, +, ·, 0, 1)]: multiset semantics.
+
+    Its monus is truncating subtraction, giving SQL's [EXCEPT ALL]
+    (Section 7.1).  Values are machine integers with a [>= 0] invariant. *)
+
+include Semiring_intf.MONUS with type t = int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int

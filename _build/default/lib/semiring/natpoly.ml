@@ -1,0 +1,93 @@
+(** Provenance polynomials N\[X\]: the most general semiring for positive
+    relational algebra (Green et al., PODS 2007).
+
+    A polynomial is kept in canonical form: a sorted association list from
+    monomials to positive coefficients, where a monomial is a sorted list of
+    (variable, exponent > 0) pairs.  The canonical form makes structural
+    equality coincide with semantic equality. *)
+
+type monomial = (string * int) list
+(** Sorted by variable name; exponents are >= 1. *)
+
+type t = (monomial * int) list
+(** Sorted by monomial (lexicographic); coefficients are >= 1. *)
+
+let zero : t = []
+let one : t = [ ([], 1) ]
+
+let var x : t = [ ([ (x, 1) ], 1) ]
+let const n : t = if n = 0 then [] else [ ([], n) ]
+
+let compare_mono (a : monomial) (b : monomial) = Stdlib.compare a b
+
+let rec merge_add (a : t) (b : t) : t =
+  match (a, b) with
+  | [], p | p, [] -> p
+  | (ma, ca) :: ra, (mb, cb) :: rb ->
+      let c = compare_mono ma mb in
+      if c < 0 then (ma, ca) :: merge_add ra b
+      else if c > 0 then (mb, cb) :: merge_add a rb
+      else (ma, ca + cb) :: merge_add ra rb
+
+let add = merge_add
+
+let mul_mono (a : monomial) (b : monomial) : monomial =
+  let rec go a b =
+    match (a, b) with
+    | [], m | m, [] -> m
+    | (xa, ea) :: ra, (xb, eb) :: rb ->
+        let c = String.compare xa xb in
+        if c < 0 then (xa, ea) :: go ra b
+        else if c > 0 then (xb, eb) :: go a rb
+        else (xa, ea + eb) :: go ra rb
+  in
+  go a b
+
+let mul (a : t) (b : t) : t =
+  List.fold_left
+    (fun acc (ma, ca) ->
+      let row = List.map (fun (mb, cb) -> (mul_mono ma mb, ca * cb)) b in
+      let row = List.sort (fun (m1, _) (m2, _) -> compare_mono m1 m2) row in
+      merge_add acc row)
+    zero a
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (t : t) = Hashtbl.hash t
+
+let pp_mono ppf (m : monomial) =
+  match m with
+  | [] -> Format.pp_print_string ppf "1"
+  | _ ->
+      Fmt.(list ~sep:(any "·") (fun ppf (x, e) ->
+               if e = 1 then Format.pp_print_string ppf x
+               else Format.fprintf ppf "%s^%d" x e))
+        ppf m
+
+let pp ppf (t : t) =
+  match t with
+  | [] -> Format.pp_print_string ppf "0"
+  | _ ->
+      Fmt.(list ~sep:(any " + ") (fun ppf (m, c) ->
+               if c = 1 && m <> [] then pp_mono ppf m
+               else if m = [] then Format.pp_print_int ppf c
+               else Format.fprintf ppf "%d·%a" c pp_mono m))
+        ppf t
+
+let name = "N[X]"
+
+(* Evaluate a polynomial under a valuation of variables into a semiring. *)
+let eval (type k) (module K : Semiring_intf.S with type t = k)
+    (valuation : string -> k) (t : t) : k =
+  let pow k n =
+    let rec go acc n = if n = 0 then acc else go (K.mul acc k) (n - 1) in
+    go K.one n
+  in
+  List.fold_left
+    (fun acc (m, c) ->
+      let mono =
+        List.fold_left (fun acc (x, e) -> K.mul acc (pow (valuation x) e)) K.one m
+      in
+      let rec times acc n = if n = 0 then acc else times (K.add acc mono) (n - 1) in
+      times acc c)
+    K.zero t

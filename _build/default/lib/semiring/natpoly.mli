@@ -1,0 +1,26 @@
+(** Provenance polynomials N\[X\] (Green et al., PODS 2007), the most
+    general semiring for positive relational algebra: every other
+    commutative semiring is its homomorphic image via {!eval}.
+
+    Kept in a canonical sorted form, so structural equality coincides with
+    polynomial equality. *)
+
+type monomial = (string * int) list
+(** Sorted (variable, exponent >= 1) pairs. *)
+
+type t = (monomial * int) list
+(** Sorted (monomial, coefficient >= 1) pairs. *)
+
+include Semiring_intf.S with type t := t
+
+val var : string -> t
+(** The polynomial consisting of one variable. *)
+
+val const : int -> t
+(** A constant polynomial ([const 0 = zero]). *)
+
+val eval :
+  (module Semiring_intf.S with type t = 'k) -> (string -> 'k) -> t -> 'k
+(** [eval (module K) valuation p] specializes [p] under a variable
+    valuation into any semiring K — e.g. bag multiplicities with
+    [fun _ -> 1] into {!Nat}, or set membership into {!Boolean}. *)

@@ -1,0 +1,36 @@
+(** The access-control semiring A = ({P < C < S < T0}, min, max, T0, P).
+
+    Annotations are clearance levels required to see a tuple: alternative
+    use takes the least restrictive level, conjunctive use the most
+    restrictive.  [T0] ("top secret / nobody") is the zero. *)
+
+type t = Public | Confidential | Secret | Top
+
+let rank = function Public -> 0 | Confidential -> 1 | Secret -> 2 | Top -> 3
+let of_rank = function
+  | 0 -> Public
+  | 1 -> Confidential
+  | 2 -> Secret
+  | _ -> Top
+
+let zero = Top
+let one = Public
+let add a b = of_rank (min (rank a) (rank b))
+let mul a b = of_rank (max (rank a) (rank b))
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+let hash = rank
+
+let pp ppf l =
+  Format.pp_print_string ppf
+    (match l with
+    | Public -> "P"
+    | Confidential -> "C"
+    | Secret -> "S"
+    | Top -> "T0")
+
+let name = "Access"
+
+(* Natural order: a <= b iff min(a,b) = b, i.e. b is at most as restrictive.
+   monus a b = smallest c with a <= min(b,c). *)
+let monus a b = if rank b <= rank a then zero else a

@@ -1,0 +1,7 @@
+(** The access-control semiring: clearance levels with
+    [Public < Confidential < Secret < Top], least-restrictive as addition,
+    most-restrictive as multiplication, and [Top] ("nobody") as zero. *)
+
+type t = Public | Confidential | Secret | Top
+
+include Semiring_intf.MONUS with type t := t

@@ -1,0 +1,53 @@
+(** Signatures for commutative semirings and m-semirings.
+
+    A commutative semiring [(K, +, *, 0, 1)] (Section 4.1 of the paper) has
+    commutative, associative [+] and [*] with neutral elements [0] and [1];
+    [*] distributes over [+]; and [0] annihilates [*].
+
+    An m-semiring (Geerts & Poggi; Section 7.1) additionally has a monus
+    operation [a - b], defined as the smallest [c] with [a <= b + c] in the
+    natural order of the semiring. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** Neutral element of addition; tuples annotated [zero] are absent. *)
+
+  val one : t
+  (** Neutral element of multiplication; annotation of "present once". *)
+
+  val add : t -> t -> t
+  (** Alternative use of tuples (e.g. union, projection). *)
+
+  val mul : t -> t -> t
+  (** Conjunctive use of tuples (e.g. join). *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** A total order compatible with [equal], used only to produce canonical
+      orderings (map keys, deterministic printing); it carries no algebraic
+      meaning. *)
+
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val name : string
+  (** Human-readable name of the semiring, e.g. ["N"] or ["B"]. *)
+end
+
+module type MONUS = sig
+  include S
+
+  val monus : t -> t -> t
+  (** [monus a b] is the smallest [c] such that [a <= add b c] in the
+      natural order.  For [N] this is truncating subtraction. *)
+end
+
+(** Convenience: derived helpers shared by all semirings. *)
+module Ops (K : S) = struct
+  let is_zero k = K.equal k K.zero
+  let is_one k = K.equal k K.one
+  let sum = List.fold_left K.add K.zero
+  let product = List.fold_left K.mul K.one
+end

@@ -1,0 +1,42 @@
+(** The tropical (min-plus) semiring [(N ∪ {∞}, min, +, ∞, 0)].
+
+    Annotations are costs; alternative use keeps the cheapest derivation,
+    conjunctive use adds the costs of premises. *)
+
+type t = Inf | Fin of int
+
+let zero = Inf
+let one = Fin 0
+
+let add a b =
+  match (a, b) with
+  | Inf, x | x, Inf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let mul a b =
+  match (a, b) with Inf, _ | _, Inf -> Inf | Fin x, Fin y -> Fin (x + y)
+
+let equal a b =
+  match (a, b) with
+  | Inf, Inf -> true
+  | Fin x, Fin y -> Int.equal x y
+  | Inf, Fin _ | Fin _, Inf -> false
+
+let compare a b =
+  match (a, b) with
+  | Inf, Inf -> 0
+  | Inf, Fin _ -> 1
+  | Fin _, Inf -> -1
+  | Fin x, Fin y -> Int.compare x y
+
+let hash = function Inf -> 0x7fffffff | Fin x -> x
+
+let pp ppf = function
+  | Inf -> Format.pp_print_string ppf "∞"
+  | Fin x -> Format.pp_print_int ppf x
+
+let name = "Trop"
+
+let of_cost c =
+  if c < 0 then invalid_arg "Tropical.of_cost: negative cost";
+  Fin c

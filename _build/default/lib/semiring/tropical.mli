@@ -1,0 +1,9 @@
+(** The tropical (min-plus) semiring [(N ∪ {∞}, min, +, ∞, 0)]:
+    annotations are derivation costs. *)
+
+type t = Inf | Fin of int
+
+include Semiring_intf.S with type t := t
+
+val of_cost : int -> t
+(** @raise Invalid_argument on negative cost. *)

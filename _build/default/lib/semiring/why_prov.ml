@@ -1,0 +1,33 @@
+(** The why-provenance semiring (Why(X), ∪, ⋓, ∅, {∅}).
+
+    Annotations are sets of witnesses, each witness being a set of input
+    tuple identifiers sufficient to derive the output tuple.  Addition
+    unions the witness sets, multiplication pairs witnesses by union. *)
+
+module SS = Set.Make (String)
+module Wset = Set.Make (SS)
+
+type t = Wset.t
+
+let zero = Wset.empty
+let one = Wset.singleton SS.empty
+let of_witnesses ws = Wset.of_list (List.map SS.of_list ws)
+let add = Wset.union
+
+let mul a b =
+  Wset.fold
+    (fun wa acc ->
+      Wset.fold (fun wb acc -> Wset.add (SS.union wa wb) acc) b acc)
+    a Wset.empty
+
+let equal = Wset.equal
+let compare = Wset.compare
+let hash t = Hashtbl.hash (List.map SS.elements (Wset.elements t))
+
+let pp ppf t =
+  let pp_w ppf w =
+    Format.fprintf ppf "{%a}" Fmt.(list ~sep:(any ",") string) (SS.elements w)
+  in
+  Format.fprintf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_w) (Wset.elements t)
+
+let name = "Why"

@@ -1,0 +1,7 @@
+(** The why-provenance semiring (Why(X), ∪, ⋓, ∅, {∅}): annotations are
+    sets of witnesses, each witness a set of input-tuple identifiers
+    sufficient to derive the tuple. *)
+
+include Semiring_intf.S
+
+val of_witnesses : string list list -> t

@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_rel.ml: Array Format List Tkr_relation Tkr_semiring Tkr_timeline

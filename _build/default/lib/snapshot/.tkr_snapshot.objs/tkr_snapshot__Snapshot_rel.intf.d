@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_rel.mli: Format Tkr_relation Tkr_semiring Tkr_timeline

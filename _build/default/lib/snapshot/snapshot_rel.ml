@@ -1,0 +1,110 @@
+(** The abstract model: snapshot K-relations (Section 4.2).
+
+    A snapshot K-relation is a total function from the time points of a
+    finite domain to K-relations; queries are evaluated pointwise
+    (Def. 4.4), so snapshot-reducibility holds by construction.  This model
+    is deliberately verbose — it exists as the semantic ground truth
+    against which the logical model and the SQL implementation are checked. *)
+
+module Domain = Tkr_timeline.Domain
+module Schema = Tkr_relation.Schema
+module Krel = Tkr_relation.Krel
+module Algebra = Tkr_relation.Algebra
+
+module Make (K : Tkr_semiring.Semiring_intf.MONUS) = struct
+  module E = Tkr_relation.Eval.Make (K)
+  module R = E.R
+
+  type t = { domain : Domain.t; schema : Schema.t; snaps : R.t array }
+  (** [snaps.(i)] is the snapshot at time point [Domain.tmin + i]. *)
+
+  let domain r = r.domain
+  let schema r = r.schema
+
+  let make domain schema f =
+    let tmin = Domain.tmin domain in
+    {
+      domain;
+      schema;
+      snaps = Array.init (Domain.size domain) (fun i -> f (tmin + i));
+    }
+
+  let constant domain (rel : R.t) =
+    make domain (Tkr_relation.Krel.schema rel) (fun _ -> rel)
+
+  (** τ_T: the snapshot at time [t]. *)
+  let timeslice (r : t) t : R.t =
+    if not (Domain.contains r.domain t) then
+      invalid_arg "Snapshot_rel.timeslice: time point outside domain";
+    r.snaps.(t - Domain.tmin r.domain)
+
+  (** Build from interval-stamped facts: each [(tuple, (b, e), k)] adds
+      annotation [k] to [tuple] at every point of [\[b, e)]. *)
+  let of_facts domain schema facts =
+    make domain schema (fun t ->
+        List.fold_left
+          (fun acc (tuple, (b, e), k) ->
+            if b <= t && t < e then R.add acc tuple k else acc)
+          (R.empty schema) facts)
+
+  let equal (a : t) (b : t) =
+    Domain.equal a.domain b.domain
+    && Array.for_all2 R.equal a.snaps b.snaps
+
+  (** Snapshot semantics (Def. 4.4): evaluate [q] pointwise. *)
+  let eval (db : string -> t) (q : Algebra.t) : t =
+    let domain =
+      (* any base relation fixes the domain; queries without base relations
+         are rejected at a higher level *)
+      let rec find = function
+        | Algebra.Rel n -> Some (db n).domain
+        | ConstRel _ -> None
+        | Select (_, q) | Project (_, q) | Agg (_, _, q) | Distinct q
+        | Coalesce q | Split_agg { sa_child = q; _ } ->
+            find q
+        | Join (_, l, r) | Union (l, r) | Diff (l, r) | Split (_, l, r) -> (
+            match find l with Some d -> Some d | None -> find r)
+      in
+      match find q with
+      | Some d -> d
+      | None -> invalid_arg "Snapshot_rel.eval: query has no base relation"
+    in
+    let lookup n = (db n).schema in
+    let out_schema = Algebra.schema_of ~lookup q in
+    make domain out_schema (fun t -> E.eval (fun n -> timeslice (db n) t) q)
+
+  let pp ppf (r : t) =
+    let tmin = Domain.tmin r.domain in
+    Array.iteri
+      (fun i snap ->
+        if not (R.is_empty snap) then
+          Format.fprintf ppf "@[<v 2>%d ↦@ %a@]@." (tmin + i) R.pp snap)
+      r.snaps
+end
+
+(** Snapshot N-relations with the full algebra RAagg: pointwise evaluation
+    through the reference multiset evaluator. *)
+module Nsnapshot = struct
+  module M = Make (Tkr_semiring.Nat)
+  include M
+
+  let eval (db : string -> t) (q : Algebra.t) : t =
+    let rec find = function
+      | Algebra.Rel n -> Some (db n).domain
+      | ConstRel _ -> None
+      | Select (_, q) | Project (_, q) | Agg (_, _, q) | Distinct q
+      | Coalesce q | Split_agg { sa_child = q; _ } ->
+          find q
+      | Join (_, l, r) | Union (l, r) | Diff (l, r) | Split (_, l, r) -> (
+          match find l with Some d -> Some d | None -> find r)
+    in
+    let domain =
+      match find q with
+      | Some d -> d
+      | None -> invalid_arg "Nsnapshot.eval: query has no base relation"
+    in
+    let lookup n = (db n).schema in
+    let out_schema = Algebra.schema_of ~lookup q in
+    make domain out_schema (fun t ->
+        Tkr_relation.Neval.eval (fun n -> timeslice (db n) t) q)
+end

@@ -1,0 +1,47 @@
+(** The abstract model: snapshot K-relations (Section 4.2) — total
+    functions from time points to K-relations, with pointwise query
+    evaluation (Def. 4.4).  Snapshot reducibility holds by construction;
+    this model is the semantic ground truth the logical model and the SQL
+    implementation are verified against. *)
+
+module Domain = Tkr_timeline.Domain
+module Schema = Tkr_relation.Schema
+module Krel = Tkr_relation.Krel
+module Algebra = Tkr_relation.Algebra
+
+module Make (K : Tkr_semiring.Semiring_intf.MONUS) : sig
+  module E : module type of Tkr_relation.Eval.Make (K)
+  module R = E.R
+
+  type t
+
+  val domain : t -> Domain.t
+  val schema : t -> Schema.t
+
+  val make : Domain.t -> Schema.t -> (int -> R.t) -> t
+  val constant : Domain.t -> R.t -> t
+
+  val timeslice : t -> int -> R.t
+  (** τ_T (Def. 4.3ff).
+      @raise Invalid_argument outside the domain. *)
+
+  val of_facts : Domain.t -> Schema.t -> (Tkr_relation.Tuple.t * (int * int) * K.t) list -> t
+  (** Interval-stamped facts: annotation [k] at every point of [\[b, e)]. *)
+
+  val equal : t -> t -> bool
+
+  val eval : (string -> t) -> Algebra.t -> t
+  (** Snapshot semantics (Def. 4.4): evaluate pointwise with RA
+      semantics.  Aggregation/DISTINCT raise (see {!Nsnapshot}). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Snapshot N-relations with the full algebra RAagg (pointwise reference
+    multiset evaluation). *)
+module Nsnapshot : sig
+  include module type of Make (Tkr_semiring.Nat)
+
+  val eval : (string -> t) -> Algebra.t -> t
+  (** Pointwise RAagg, including SQL-faithful aggregation and DISTINCT. *)
+end

@@ -1,0 +1,1 @@
+lib/sql/analyzer.ml: Agg Algebra Ast Expr Format List Option Printf Schema String Tkr_relation Value

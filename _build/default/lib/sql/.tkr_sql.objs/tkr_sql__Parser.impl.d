@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Format Lexer List Printf String Tkr_relation

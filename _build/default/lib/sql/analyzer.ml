@@ -1,0 +1,433 @@
+(** Semantic analysis: resolves the parsed AST against a catalog into the
+    logical algebra of [Tkr_relation.Algebra].
+
+    Name resolution follows SQL: unqualified names match unique suffixes,
+    qualified names match exactly; ambiguity and unknown names raise
+    {!Error}.  FROM lists are planned into left-deep join trees, pushing
+    WHERE/ON conjuncts to the lowest operator where all their columns are
+    available (single-table conjuncts become selections below the join —
+    without this, the comma-joins of the paper's workload would degenerate
+    into cross products). *)
+
+open Tkr_relation
+module A = Ast
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type catalog = { cat_schema : string -> Schema.t }
+
+let resolve_name (schema : Schema.t) (path : string list) : int =
+  let name = String.concat "." path in
+  match Schema.find_opt schema name with
+  | Some i -> i
+  | None -> err "unknown column %s" name
+  | exception Schema.Ambiguous n -> err "ambiguous column reference %s" n
+
+let cmp_of : A.cmpop -> Expr.cmp = function
+  | A.Eq -> Expr.Eq
+  | A.Ne -> Expr.Ne
+  | A.Lt -> Expr.Lt
+  | A.Le -> Expr.Le
+  | A.Gt -> Expr.Gt
+  | A.Ge -> Expr.Ge
+
+let bin_of : A.binop -> Expr.binop = function
+  | A.Add -> Expr.Add
+  | A.Sub -> Expr.Sub
+  | A.Mul -> Expr.Mul
+  | A.Div -> Expr.Div
+  | A.Mod -> Expr.Mod
+
+(** Resolve a scalar expression; [on_agg] handles aggregate calls (raises
+    outside SELECT/HAVING). *)
+let rec resolve ~(schema : Schema.t) ~on_agg (e : A.expr) : Expr.t =
+  let r e = resolve ~schema ~on_agg e in
+  match e with
+  | A.Num i -> Expr.Const (Value.Int i)
+  | A.Fnum f -> Expr.Const (Value.Float f)
+  | A.Str s -> Expr.Const (Value.Str s)
+  | A.Bool b -> Expr.Const (Value.Bool b)
+  | A.Null -> Expr.Const Value.Null
+  | A.Ref path -> Expr.Col (resolve_name schema path)
+  | A.Bin (op, a, b) -> Expr.Binop (bin_of op, r a, r b)
+  | A.Neg a -> Expr.Neg (r a)
+  | A.Cmp (op, a, b) -> Expr.Cmp (cmp_of op, r a, r b)
+  | A.And (a, b) -> Expr.And (r a, r b)
+  | A.Or (a, b) -> Expr.Or (r a, r b)
+  | A.Not a -> Expr.Not (r a)
+  | A.Is_null a -> Expr.Is_null (r a)
+  | A.Is_not_null a -> Expr.Not (Expr.Is_null (r a))
+  | A.Like (a, p) -> Expr.Like (r a, p)
+  | A.In_list (a, vs) ->
+      let consts =
+        List.map
+          (fun v ->
+            match r v with
+            | Expr.Const c -> c
+            | _ -> err "IN list elements must be literals")
+          vs
+      in
+      Expr.In_list (r a, consts)
+  | A.Between (a, lo, hi) ->
+      let ra = r a in
+      Expr.And (Expr.Cmp (Expr.Ge, ra, r lo), Expr.Cmp (Expr.Le, ra, r hi))
+  | A.Case (branches, default) ->
+      Expr.Case
+        (List.map (fun (c, v) -> (r c, r v)) branches, Option.map r default)
+  | A.Agg_call (f, arg) -> on_agg f arg
+
+let no_agg _ _ = err "aggregate calls are not allowed in this context"
+
+let agg_func ~schema (f : string) (arg : A.agg_arg) : Agg.func =
+  let input () =
+    match arg with
+    | A.Star -> err "%s(*) is not supported; only count(*)" f
+    | A.Arg e -> resolve ~schema ~on_agg:no_agg e
+  in
+  match (f, arg) with
+  | "count", A.Star -> Agg.Count_star
+  | "count", _ -> Agg.Count (input ())
+  | "sum", _ -> Agg.Sum (input ())
+  | "avg", _ -> Agg.Avg (input ())
+  | "min", _ -> Agg.Min (input ())
+  | "max", _ -> Agg.Max (input ())
+  | _ -> err "unknown aggregate function %s" f
+
+let conjuncts_of (e : Expr.t) : Expr.t list =
+  let rec go acc = function Expr.And (a, b) -> go (go acc a) b | e -> e :: acc in
+  List.rev (go [] e)
+
+let conj = function
+  | [] -> Expr.Const (Value.Bool true)
+  | first :: rest -> List.fold_left (fun a c -> Expr.And (a, c)) first rest
+
+let derived_name i (e : A.expr) =
+  match e with
+  | A.Ref path -> Schema.local_name (String.concat "." path)
+  | A.Agg_call (f, _) -> f
+  | _ -> Printf.sprintf "col%d" i
+
+(** The result of analyzing a query: a logical algebra term and its output
+    schema. *)
+type analyzed = { algebra : Algebra.t; schema : Schema.t }
+
+let rec analyze_query (cat : catalog) (q : A.query) : analyzed =
+  match q with
+  | A.Seq_vt _ | A.Seq_vt_as_of _ | A.Seq_vt_set _ ->
+      err "SEQ VT must enclose the whole query"
+  | A.Select_q s -> analyze_select cat s
+  | A.Union_q (all, l, r) ->
+      let la = analyze_query cat l and ra = analyze_query cat r in
+      check_compat la ra "UNION";
+      let u = Algebra.Union (la.algebra, ra.algebra) in
+      {
+        la with
+        algebra = (if all then u else Algebra.Distinct u);
+      }
+  | A.Except_q (all, l, r) ->
+      let la = analyze_query cat l and ra = analyze_query cat r in
+      check_compat la ra "EXCEPT";
+      if all then { la with algebra = Algebra.Diff (la.algebra, ra.algebra) }
+      else
+        {
+          la with
+          algebra =
+            Algebra.Diff (Algebra.Distinct la.algebra, Algebra.Distinct ra.algebra);
+        }
+  | A.Intersect_q (all, l, r) ->
+      let la = analyze_query cat l and ra = analyze_query cat r in
+      check_compat la ra "INTERSECT";
+      (* bag intersection: L - (L - R) *)
+      let inter l r = Algebra.Diff (l, Algebra.Diff (l, r)) in
+      if all then { la with algebra = inter la.algebra ra.algebra }
+      else
+        {
+          la with
+          algebra =
+            Algebra.Distinct
+              (inter (Algebra.Distinct la.algebra) (Algebra.Distinct ra.algebra));
+        }
+
+and check_compat la ra op =
+  if not (Schema.union_compatible la.schema ra.schema) then
+    err "%s branches have incompatible schemas %a vs %a" op Schema.pp la.schema
+      Schema.pp ra.schema
+
+and analyze_from_item (cat : catalog) (item : A.from_item) :
+    Algebra.t * Schema.t =
+  match item with
+  | A.Table { name; alias } ->
+      let schema =
+        try cat.cat_schema name
+        with Schema.Unknown n -> err "unknown table %s" n
+      in
+      let prefix = Option.value alias ~default:name in
+      (Algebra.Rel name, Schema.qualify prefix schema)
+  | A.Subquery { sub; sub_alias } ->
+      let a = analyze_query cat sub in
+      (a.algebra, Schema.qualify sub_alias a.schema)
+
+and analyze_select (cat : catalog) (s : A.select) : analyzed =
+  (* 1. FROM: resolve all items, then plan a left-deep join tree. *)
+  let items = List.map (fun (item, on) -> (analyze_from_item cat item, on)) s.from in
+  let full_schema =
+    List.fold_left
+      (fun acc ((_, sch), _) -> Schema.concat acc sch)
+      (Schema.make []) items
+  in
+  let offsets =
+    let _, offs =
+      List.fold_left
+        (fun (off, acc) ((_, sch), _) -> (off + Schema.arity sch, off :: acc))
+        (0, []) items
+    in
+    List.rev offs
+  in
+  (* conjunct pool: WHERE plus all ON conditions, resolved over the full
+     concatenated schema *)
+  let where_conjs =
+    match s.where with
+    | None -> []
+    | Some w -> conjuncts_of (resolve ~schema:full_schema ~on_agg:no_agg w)
+  in
+  let on_conjs =
+    List.concat_map
+      (fun ((_, _), on) ->
+        match on with
+        | None -> []
+        | Some c -> conjuncts_of (resolve ~schema:full_schema ~on_agg:no_agg c))
+      items
+  in
+  let pool = ref (where_conjs @ on_conjs) in
+  let take pred =
+    let mine, rest = List.partition pred !pool in
+    pool := rest;
+    mine
+  in
+  let within lo hi c = List.for_all (fun i -> lo <= i && i < hi) (Expr.cols c) in
+  (* selections local to one item are pushed below the joins *)
+  let items_planned =
+    List.map2
+      (fun ((alg, sch), _) off ->
+        let n = Schema.arity sch in
+        let local = take (within off (off + n)) in
+        let alg =
+          if local = [] then alg
+          else
+            Algebra.Select
+              (Expr.map_cols (fun i -> i - off) (conj local), alg)
+        in
+        (alg, sch, off, n))
+      items offsets
+  in
+  let planned =
+    match items_planned with
+    | [] -> err "empty FROM"
+    | (alg0, _, _, n0) :: rest ->
+        let acc, _ =
+          List.fold_left
+            (fun (acc, avail) (alg, _, off, n) ->
+              let avail' = avail + n in
+              assert (off = avail);
+              let join_preds = take (within 0 avail') in
+              (Algebra.Join (conj join_preds, acc, alg), avail'))
+            (alg0, n0) rest
+        in
+        acc
+  in
+  let planned =
+    match !pool with
+    | [] -> planned
+    | leftover -> Algebra.Select (conj leftover, planned)
+  in
+  (* 2. aggregation context *)
+  let has_agg =
+    let rec expr_has_agg = function
+      | A.Agg_call _ -> true
+      | A.Bin (_, a, b) | A.Cmp (_, a, b) | A.And (a, b) | A.Or (a, b) ->
+          expr_has_agg a || expr_has_agg b
+      | A.Neg a | A.Not a | A.Is_null a | A.Is_not_null a | A.Like (a, _) ->
+          expr_has_agg a
+      | A.In_list (a, vs) -> expr_has_agg a || List.exists expr_has_agg vs
+      | A.Between (a, b, c) -> expr_has_agg a || expr_has_agg b || expr_has_agg c
+      | A.Case (bs, d) ->
+          List.exists (fun (c, v) -> expr_has_agg c || expr_has_agg v) bs
+          || (match d with Some d -> expr_has_agg d | None -> false)
+      | _ -> false
+    in
+    List.exists
+      (function A.Star_item -> false | A.Item it -> expr_has_agg it.item_expr)
+      s.items
+    || (match s.having with Some h -> expr_has_agg h | None -> false)
+  in
+  let select_star schema =
+    List.mapi
+      (fun i attr ->
+        ( Algebra.proj (Expr.Col i) (Schema.local_name attr.Schema.name),
+          attr.Schema.name ))
+      (Schema.attrs schema)
+  in
+  let analyzed =
+    if (not has_agg) && s.group_by = [] then (
+      (* plain projection *)
+      let projs =
+        List.concat_map
+          (function
+            | A.Star_item -> List.map fst (select_star full_schema)
+            | A.Item it ->
+                let e = resolve ~schema:full_schema ~on_agg:no_agg it.item_expr in
+                let name =
+                  match it.item_alias with
+                  | Some a -> a
+                  | None -> derived_name 0 it.item_expr
+                in
+                [ Algebra.proj e name ])
+          s.items
+      in
+      (match s.having with
+      | Some _ -> err "HAVING without GROUP BY or aggregates"
+      | None -> ());
+      let algebra = Algebra.Project (projs, planned) in
+      let schema =
+        Schema.make
+          (List.map
+             (fun (p : Algebra.proj) ->
+               Schema.attr p.name (Expr.infer_ty full_schema p.expr))
+             projs)
+      in
+      { algebra; schema })
+    else (
+      (* grouped / aggregated select *)
+      let group_resolved =
+        List.map (fun g -> (g, resolve ~schema:full_schema ~on_agg:no_agg g)) s.group_by
+      in
+      let group_projs =
+        List.mapi
+          (fun i (g, e) -> Algebra.proj e (derived_name i g))
+          group_resolved
+      in
+      let k = List.length group_projs in
+      let aggs : Algebra.agg_spec list ref = ref [] in
+      let agg_col f arg =
+        let func = agg_func ~schema:full_schema f arg in
+        (* reuse identical aggregate calls *)
+        let rec find i = function
+          | [] -> None
+          | (spec : Algebra.agg_spec) :: rest ->
+              if spec.func = func then Some i else find (i + 1) rest
+        in
+        match find 0 !aggs with
+        | Some i -> Expr.Col (k + i)
+        | None ->
+            let i = List.length !aggs in
+            aggs :=
+              !aggs @ [ { Algebra.func; agg_name = Printf.sprintf "agg%d" i } ];
+            Expr.Col (k + i)
+      in
+      (* resolve an output expression over the aggregate's result schema:
+         group expressions become group columns, aggregate calls become
+         aggregate columns *)
+      let rec resolve_out (e : A.expr) : Expr.t =
+        match
+          List.find_index (fun (g, _) -> g = e) group_resolved
+        with
+        | Some i -> Expr.Col i
+        | None -> (
+            match e with
+            | A.Agg_call (f, arg) -> agg_col f arg
+            | A.Ref _ -> (
+                (* a bare column must be one of the grouping columns *)
+                let r = resolve ~schema:full_schema ~on_agg:no_agg e in
+                match
+                  List.find_index (fun (_, ge) -> ge = r) group_resolved
+                with
+                | Some i -> Expr.Col i
+                | None ->
+                    err
+                      "column %s must appear in GROUP BY or an aggregate"
+                      (String.concat "."
+                         (match e with A.Ref p -> p | _ -> [])))
+            | A.Num i -> Expr.Const (Value.Int i)
+            | A.Fnum f -> Expr.Const (Value.Float f)
+            | A.Str s -> Expr.Const (Value.Str s)
+            | A.Bool b -> Expr.Const (Value.Bool b)
+            | A.Null -> Expr.Const Value.Null
+            | A.Bin (op, a, b) -> Expr.Binop (bin_of op, resolve_out a, resolve_out b)
+            | A.Neg a -> Expr.Neg (resolve_out a)
+            | A.Cmp (op, a, b) -> Expr.Cmp (cmp_of op, resolve_out a, resolve_out b)
+            | A.And (a, b) -> Expr.And (resolve_out a, resolve_out b)
+            | A.Or (a, b) -> Expr.Or (resolve_out a, resolve_out b)
+            | A.Not a -> Expr.Not (resolve_out a)
+            | A.Is_null a -> Expr.Is_null (resolve_out a)
+            | A.Is_not_null a -> Expr.Not (Expr.Is_null (resolve_out a))
+            | A.Like (a, p) -> Expr.Like (resolve_out a, p)
+            | A.In_list (a, vs) ->
+                let consts =
+                  List.map
+                    (fun v ->
+                      match resolve_out v with
+                      | Expr.Const c -> c
+                      | _ -> err "IN list elements must be literals")
+                    vs
+                in
+                Expr.In_list (resolve_out a, consts)
+            | A.Between (a, lo, hi) ->
+                let ra = resolve_out a in
+                Expr.And
+                  ( Expr.Cmp (Expr.Ge, ra, resolve_out lo),
+                    Expr.Cmp (Expr.Le, ra, resolve_out hi) )
+            | A.Case (bs, d) ->
+                Expr.Case
+                  ( List.map (fun (c, v) -> (resolve_out c, resolve_out v)) bs,
+                    Option.map resolve_out d ))
+      in
+      let out_items =
+        List.concat_map
+          (function
+            | A.Star_item -> err "SELECT * cannot be combined with GROUP BY"
+            | A.Item it ->
+                let e = resolve_out it.item_expr in
+                let name =
+                  match it.item_alias with
+                  | Some a -> a
+                  | None -> derived_name 0 it.item_expr
+                in
+                [ Algebra.proj e name ])
+          s.items
+      in
+      let having_pred = Option.map resolve_out s.having in
+      let agg_node = Algebra.Agg (group_projs, !aggs, planned) in
+      let filtered =
+        match having_pred with
+        | None -> agg_node
+        | Some p -> Algebra.Select (p, agg_node)
+      in
+      let algebra = Algebra.Project (out_items, filtered) in
+      (* output schema: infer types over the aggregate output schema *)
+      let agg_schema =
+        Algebra.schema_of
+          ~lookup:(fun n -> cat.cat_schema n)
+          agg_node
+      in
+      let schema =
+        Schema.make
+          (List.map
+             (fun (p : Algebra.proj) ->
+               Schema.attr p.name (Expr.infer_ty agg_schema p.expr))
+             out_items)
+      in
+      { algebra; schema })
+  in
+  if s.distinct then
+    { analyzed with algebra = Algebra.Distinct analyzed.algebra }
+  else analyzed
+
+(** Resolve an ORDER BY item against the output schema of a query: either
+    a 1-based output position or an output column name. *)
+let resolve_order (schema : Schema.t) (o : A.order_item) : int * bool =
+  match o.A.ord_expr with
+  | A.Num i when i >= 1 && i <= Schema.arity schema -> (i - 1, o.A.ord_desc)
+  | A.Ref path -> (resolve_name schema path, o.A.ord_desc)
+  | _ -> err "ORDER BY supports output columns or positions only"

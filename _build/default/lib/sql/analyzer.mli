@@ -1,0 +1,33 @@
+(** Semantic analysis: resolves parsed SQL against a catalog into the
+    logical algebra.
+
+    Name resolution follows SQL (unique-suffix or qualified); FROM lists
+    are planned into left-deep join trees with WHERE/ON conjuncts pushed
+    to the lowest operator where their columns are available; aggregates
+    are extracted from SELECT/HAVING into an [Agg] node with a final
+    projection over group and aggregate columns. *)
+
+open Tkr_relation
+
+exception Error of string
+
+type catalog = { cat_schema : string -> Schema.t }
+(** [cat_schema] returns the (data) schema of a base table or raises
+    [Schema.Unknown]. *)
+
+type analyzed = { algebra : Algebra.t; schema : Schema.t }
+
+val analyze_query : catalog -> Ast.query -> analyzed
+(** @raise Error on unknown/ambiguous names, aggregates in WHERE, bare
+    non-grouped columns, incompatible set operations, or nested [SEQ VT]. *)
+
+val resolve :
+  schema:Schema.t -> on_agg:(string -> Ast.agg_arg -> Expr.t) -> Ast.expr -> Expr.t
+(** Resolve a scalar expression; [on_agg] handles aggregate calls. *)
+
+val no_agg : string -> Ast.agg_arg -> Expr.t
+(** An [on_agg] that rejects aggregate calls. *)
+
+val resolve_order : Schema.t -> Ast.order_item -> int * bool
+(** Resolve an ORDER BY item to (output column, descending): by 1-based
+    position or output name. *)

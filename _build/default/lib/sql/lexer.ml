@@ -1,0 +1,129 @@
+(** A hand-written SQL lexer.  Keywords are case-insensitive; identifiers
+    are lower-cased; strings use single quotes with [''] escaping. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string
+
+let keywords =
+  [
+    "select"; "from"; "where"; "group"; "by"; "having"; "order"; "limit";
+    "as"; "and"; "or"; "not"; "null"; "is"; "like"; "in"; "between"; "case";
+    "when"; "then"; "else"; "end"; "union"; "except"; "intersect"; "all";
+    "distinct"; "join"; "inner"; "cross"; "on"; "true"; "false"; "seq";
+    "vt"; "count"; "sum"; "avg"; "min"; "max"; "create"; "table"; "insert";
+    "into"; "values"; "period"; "int"; "integer"; "float"; "real"; "text";
+    "varchar"; "bool"; "boolean"; "asc"; "desc"; "drop"; "update"; "set";
+    "delete"; "for"; "portion"; "of"; "to";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize a full SQL string.  Line comments ([-- ...]) are skipped. *)
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '-' when i + 1 < n && s.[i + 1] = '-' ->
+          let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '.' when not (i + 1 < n && is_digit s.[i + 1] && acc_is_numeric acc) ->
+          go (i + 1) (DOT :: acc)
+      | ';' -> go (i + 1) (SEMI :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '+' -> go (i + 1) (PLUS :: acc)
+      | '-' -> go (i + 1) (MINUS :: acc)
+      | '/' -> go (i + 1) (SLASH :: acc)
+      | '%' -> go (i + 1) (PERCENT :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (NE :: acc)
+      | '<' when i + 1 < n && s.[i + 1] = '>' -> go (i + 2) (NE :: acc)
+      | '<' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (LE :: acc)
+      | '<' -> go (i + 1) (LT :: acc)
+      | '>' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (GE :: acc)
+      | '>' -> go (i + 1) (GT :: acc)
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Error "unterminated string literal")
+            else if s.[j] = '\'' then
+              if j + 1 < n && s.[j + 1] = '\'' then (
+                Buffer.add_char buf '\'';
+                str (j + 2))
+              else j + 1
+            else (
+              Buffer.add_char buf s.[j];
+              str (j + 1))
+          in
+          let i' = str (i + 1) in
+          go i' (STRING (Buffer.contents buf) :: acc)
+      | c when is_digit c ->
+          let rec num j = if j < n && is_digit s.[j] then num (j + 1) else j in
+          let j = num i in
+          if j < n && s.[j] = '.' && j + 1 < n && is_digit s.[j + 1] then (
+            let j' = num (j + 1) in
+            let f = float_of_string (String.sub s i (j' - i)) in
+            go j' (FLOAT f :: acc))
+          else go j (INT (int_of_string (String.sub s i (j - i))) :: acc)
+      | c when is_ident_start c ->
+          let rec ident j = if j < n && is_ident_char s.[j] then ident (j + 1) else j in
+          let j = ident i in
+          let word = String.lowercase_ascii (String.sub s i (j - i)) in
+          go j (IDENT word :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  and acc_is_numeric = function INT _ :: _ -> true | _ -> false in
+  go 0 []
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | INT i -> Format.fprintf ppf "%d" i
+  | FLOAT f -> Format.fprintf ppf "%g" f
+  | STRING s -> Format.fprintf ppf "'%s'" s
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | COMMA -> Format.pp_print_string ppf ","
+  | DOT -> Format.pp_print_string ppf "."
+  | SEMI -> Format.pp_print_string ppf ";"
+  | STAR -> Format.pp_print_string ppf "*"
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | PERCENT -> Format.pp_print_string ppf "%"
+  | EQ -> Format.pp_print_string ppf "="
+  | NE -> Format.pp_print_string ppf "<>"
+  | LT -> Format.pp_print_string ppf "<"
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_string ppf ">"
+  | GE -> Format.pp_print_string ppf ">="
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,35 @@
+(** Hand-written SQL lexer.  Keywords and identifiers are case-insensitive
+    (lower-cased); strings use single quotes with [''] escaping; [-- ...]
+    comments are skipped. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string
+
+val is_keyword : string -> bool
+
+val tokenize : string -> token list
+(** @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

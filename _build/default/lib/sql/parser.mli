@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SQL subset of {!Ast}, including the
+    [SEQ VT (...)] / [SEQ VT AS OF t (...)] snapshot blocks and the
+    SQL:2011 [FOR PORTION OF] update/delete forms. *)
+
+exception Error of string
+
+val statement : string -> Ast.statement
+(** Parse a single statement (a trailing semicolon is allowed).
+    @raise Error on syntax errors or trailing input. *)
+
+val script : string -> Ast.statement list
+(** Parse a [;]-separated script. *)

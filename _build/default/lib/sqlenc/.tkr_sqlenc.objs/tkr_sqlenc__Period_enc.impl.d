@@ -1,0 +1,1 @@
+lib/sqlenc/period_enc.ml: Array Fun Hashtbl Krel List Schema Tkr_core Tkr_engine Tkr_relation Tkr_temporal Tkr_timeline Tuple Value

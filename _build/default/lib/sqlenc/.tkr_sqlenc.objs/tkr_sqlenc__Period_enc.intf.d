@@ -1,0 +1,1 @@
+lib/sqlenc/period_enc.mli: Schema Tkr_core Tkr_engine Tkr_relation Tkr_temporal

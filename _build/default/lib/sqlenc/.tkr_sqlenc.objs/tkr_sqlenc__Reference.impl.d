@@ -1,0 +1,1 @@
+lib/sqlenc/reference.ml: Array Hashtbl List Tkr_engine Tkr_relation Tkr_semiring Tkr_temporal Tkr_timeline Tuple Value

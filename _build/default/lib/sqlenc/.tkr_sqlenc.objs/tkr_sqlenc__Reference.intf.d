@@ -1,0 +1,1 @@
+lib/sqlenc/reference.mli: Tkr_engine

@@ -1,0 +1,1 @@
+lib/sqlenc/rewriter.ml: Agg Algebra Expr List Period_enc Printf Schema Tkr_relation Tuple Value

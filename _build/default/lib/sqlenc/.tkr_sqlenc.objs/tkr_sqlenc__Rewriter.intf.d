@@ -1,0 +1,1 @@
+lib/sqlenc/rewriter.mli: Algebra Schema Tkr_relation

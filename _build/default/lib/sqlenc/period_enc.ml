@@ -1,0 +1,64 @@
+(** PERIODENC (Def. 8.1): the bijection between N^T-relations (the logical
+    model) and SQL period relations (physical multiset tables with
+    [Abegin]/[Aend] as the last two columns). *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Interval = Tkr_timeline.Interval
+
+let begin_attr = Schema.attr "__b" Value.TInt
+let end_attr = Schema.attr "__e" Value.TInt
+
+(** Schema of the encoding of an N^T-relation with the given data schema. *)
+let encoded_schema (data : Schema.t) : Schema.t =
+  Schema.make (Schema.attrs data @ [ begin_attr; end_attr ])
+
+let data_schema (encoded : Schema.t) : Schema.t =
+  Schema.project encoded (List.init (Schema.arity encoded - 2) Fun.id)
+
+module Make (D : Tkr_temporal.Period_semiring.DOMAIN) = struct
+  module NP = Tkr_core.Nperiod.Make (D)
+
+  (** PERIODENC: one row per (interval, multiplicity) entry of each tuple's
+      temporal element, duplicated per multiplicity. *)
+  let to_table (r : NP.t) : Table.t =
+    let schema = encoded_schema (Krel.schema r) in
+    let buf = ref [] in
+    NP.R.iter
+      (fun tuple el ->
+        List.iter
+          (fun (i, m) ->
+            let row =
+              Tuple.append tuple
+                (Tuple.make
+                   [ Value.Int (Interval.b i); Value.Int (Interval.e i) ])
+            in
+            for _ = 1 to m do
+              buf := row :: !buf
+            done)
+          el)
+      r;
+    Table.make schema (List.rev !buf)
+
+  (** PERIODENC⁻¹ followed by K-coalescing: decode an arbitrary period
+      table into the canonical N^T-relation it is snapshot-equivalent to.
+      On tables produced by {!to_table} this is the exact inverse. *)
+  let of_table (t : Table.t) : NP.t =
+    let data = data_schema (Table.schema t) in
+    let raws : (Tuple.t, (Interval.t * int) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    Array.iter
+      (fun row ->
+        let d = Tkr_engine.Ops.data_of_row row in
+        let b, e = Tkr_engine.Ops.period_of_row row in
+        if b < e then
+          match Hashtbl.find_opt raws d with
+          | Some cell -> cell := (Interval.make b e, 1) :: !cell
+          | None -> Hashtbl.add raws d (ref [ (Interval.make b e, 1) ]))
+      (Table.rows t);
+    Hashtbl.fold
+      (fun tuple cell acc -> NP.R.add acc tuple (NP.KT.of_raw !cell))
+      raws
+      (NP.R.empty data)
+end

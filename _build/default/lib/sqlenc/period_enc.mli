@@ -1,0 +1,28 @@
+(** PERIODENC (Def. 8.1): the bijection between N^T-relations (the logical
+    model) and SQL period tables — multiset tables with [__b]/[__e] as the
+    trailing columns. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+
+val begin_attr : Schema.attr
+val end_attr : Schema.attr
+
+val encoded_schema : Schema.t -> Schema.t
+(** Data schema plus trailing period attributes. *)
+
+val data_schema : Schema.t -> Schema.t
+(** Drop the trailing period attributes. *)
+
+module Make (D : Tkr_temporal.Period_semiring.DOMAIN) : sig
+  module NP : module type of Tkr_core.Nperiod.Make (D)
+
+  val to_table : NP.t -> Table.t
+  (** One row per (interval, multiplicity) entry, duplicated per
+      multiplicity: the canonical period-table encoding. *)
+
+  val of_table : Table.t -> NP.t
+  (** PERIODENC⁻¹ followed by coalescing: the canonical N^T-relation an
+      arbitrary period table is snapshot-equivalent to.  Exact inverse of
+      {!to_table}.  Rows with empty intervals are ignored. *)
+end

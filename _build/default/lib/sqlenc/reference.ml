@@ -1,0 +1,101 @@
+(** Specification-level implementations of the coalesce (Def. 8.2) and
+    split (Def. 8.3) operators, written by direct transcription of the
+    definitions.  They are quadratic and exist purely as differential-test
+    oracles for the engine's O(n log n) sweep implementations. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Interval = Tkr_timeline.Interval
+module Endpoints = Tkr_timeline.Endpoints
+module TE = Tkr_temporal.Temporal_element.Make (Tkr_semiring.Nat)
+
+let coalesce_spec (t : Table.t) : Table.t =
+  (* Def. 8.2: decode each tuple's raw temporal element, apply C_N,
+     re-encode. *)
+  let raws : (Tuple.t, (Interval.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let d = Tkr_engine.Ops.data_of_row row in
+      let b, e = Tkr_engine.Ops.period_of_row row in
+      match Hashtbl.find_opt raws d with
+      | Some cell -> cell := (Interval.make b e, 1) :: !cell
+      | None ->
+          Hashtbl.add raws d (ref [ (Interval.make b e, 1) ]);
+          order := d :: !order)
+    (Table.rows t);
+  let buf = ref [] in
+  List.iter
+    (fun d ->
+      let el = TE.coalesce !(Hashtbl.find raws d) in
+      List.iter
+        (fun (i, m) ->
+          let row =
+            Tuple.append d
+              (Tuple.make [ Value.Int (Interval.b i); Value.Int (Interval.e i) ])
+          in
+          for _ = 1 to m do
+            buf := row :: !buf
+          done)
+        el)
+    (List.rev !order);
+  Table.make (Table.schema t) (List.rev !buf)
+
+let split_spec (group_cols : int list) (left : Table.t) (right : Table.t) :
+    Table.t =
+  (* Def. 8.3, literally: for every candidate output tuple (d, I) where I
+     is an elementary interval of the endpoint set of d's group, the output
+     multiplicity is the number of left rows (d, I') with I ⊆ I'. *)
+  let ep : (Tuple.t, Endpoints.t ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      Array.iter
+        (fun row ->
+          let key = Tuple.project group_cols row in
+          let b, e = Tkr_engine.Ops.period_of_row row in
+          match Hashtbl.find_opt ep key with
+          | Some cell -> cell := Endpoints.add b (Endpoints.add e !cell)
+          | None -> Hashtbl.add ep key (ref (Endpoints.of_list [ b; e ])))
+        (Table.rows t))
+    [ left; right ];
+  (* left rows grouped by full data *)
+  let by_data : (Tuple.t, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let d = Tkr_engine.Ops.data_of_row row in
+      let p = Tkr_engine.Ops.period_of_row row in
+      match Hashtbl.find_opt by_data d with
+      | Some cell -> cell := p :: !cell
+      | None ->
+          Hashtbl.add by_data d (ref [ p ]);
+          order := d :: !order)
+    (Table.rows left);
+  let buf = ref [] in
+  List.iter
+    (fun d ->
+      let intervals = !(Hashtbl.find by_data d) in
+      (* the group key of data d: project data positions onto group cols *)
+      let key = Tuple.project group_cols d in
+      let eps = match Hashtbl.find_opt ep key with Some c -> !c | None -> Endpoints.of_list [] in
+      List.iter
+        (fun seg ->
+          let count =
+            List.length
+              (List.filter
+                 (fun (b, e) -> b <= Interval.b seg && Interval.e seg <= e)
+                 intervals)
+          in
+          let row =
+            Tuple.append d
+              (Tuple.make
+                 [ Value.Int (Interval.b seg); Value.Int (Interval.e seg) ])
+          in
+          for _ = 1 to count do
+            buf := row :: !buf
+          done)
+        (Endpoints.elementary eps))
+    (List.rev !order);
+  Table.make (Table.schema left) (List.rev !buf)

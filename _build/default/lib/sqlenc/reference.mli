@@ -1,0 +1,8 @@
+(** Specification-level transcriptions of the coalesce (Def. 8.2) and
+    split (Def. 8.3) operators: quadratic, used only as differential-test
+    oracles for the engine's sweep implementations. *)
+
+module Table = Tkr_engine.Table
+
+val coalesce_spec : Table.t -> Table.t
+val split_spec : int list -> Table.t -> Table.t -> Table.t

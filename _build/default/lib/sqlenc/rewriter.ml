@@ -1,0 +1,189 @@
+(** REWR (Fig. 4): reduction of snapshot queries over N^T to non-temporal
+    multiset queries over the period encoding.
+
+    Conventions: encoded relations carry their period as the last two
+    (integer) columns [__b]/[__e]; every rule below preserves this
+    invariant.
+
+    Two optimizations from Section 9 are controlled by {!options}:
+    - [final_coalesce_only]: apply K-coalescing once, as the query's final
+      operator, instead of after every operator (sound by Lemma 6.1 and its
+      monus extension);
+    - [fused_split_agg]: replace the literal
+      [γ_{G,b,e}(N_G(Q, Q))] pipeline by the fused pre-aggregating
+      {!Algebra.Split_agg} operator. *)
+
+open Tkr_relation
+
+type options = { final_coalesce_only : bool; fused_split_agg : bool }
+
+let optimized = { final_coalesce_only = true; fused_split_agg = true }
+
+(** The unoptimized, rule-by-rule transcription of Fig. 4. *)
+let literal = { final_coalesce_only = false; fused_split_agg = false }
+
+let range lo hi = List.init (hi - lo) (fun i -> lo + i)
+
+(** [rewrite ~options ~tmin ~tmax ~lookup q] rewrites the logical snapshot
+    query [q] (whose base relations have the data-only schemas given by
+    [lookup]) into a query over the period encoding. *)
+let rewrite ~(options : options) ~tmin ~tmax
+    ~(lookup : string -> Schema.t) (q : Algebra.t) : Algebra.t =
+  let data_schema q = Algebra.schema_of ~lookup q in
+  let arity q = Schema.arity (data_schema q) in
+  let c q = if options.final_coalesce_only then q else Algebra.Coalesce q in
+  let b_proj n = Algebra.proj (Expr.Col n) "__b" in
+  let e_proj n = Algebra.proj (Expr.Col (n + 1)) "__e" in
+  let rec go (q : Algebra.t) : Algebra.t =
+    match q with
+    | Rel n -> Rel n
+    | ConstRel (schema, tuples) ->
+        (* constants hold at every snapshot: valid over the whole domain *)
+        let enc_schema = Period_enc.encoded_schema schema in
+        let enc_tuples =
+          List.map
+            (fun t ->
+              Tuple.append t (Tuple.make [ Value.Int tmin; Value.Int tmax ]))
+            tuples
+        in
+        ConstRel (enc_schema, enc_tuples)
+    | Select (p, q0) -> c (Select (p, go q0))
+    | Project (projs, q0) ->
+        let n = arity q0 in
+        c (Project (projs @ [ b_proj n; e_proj n ], go q0))
+    | Join (p, l, r) ->
+        let nl = arity l and nr = arity r in
+        (* concatenated encoded schema: dataL bL eL dataR bR eR *)
+        let bl = nl and el = nl + 1 in
+        let br = nl + 2 + nr and er = nl + 2 + nr + 1 in
+        let p' = Expr.map_cols (fun i -> if i >= nl then i + 2 else i) p in
+        let overlap =
+          Expr.And
+            ( Expr.Cmp (Expr.Lt, Expr.Col bl, Expr.Col er),
+              Expr.Cmp (Expr.Lt, Expr.Col br, Expr.Col el) )
+        in
+        let sl = data_schema l and sr = data_schema r in
+        let out_projs =
+          List.map
+            (fun i -> Algebra.proj (Expr.Col i) (Schema.name sl i))
+            (range 0 nl)
+          @ List.map
+              (fun i ->
+                Algebra.proj (Expr.Col (nl + 2 + i)) (Schema.name sr i))
+              (range 0 nr)
+          @ [
+              Algebra.proj (Expr.Greatest (Expr.Col bl, Expr.Col br)) "__b";
+              Algebra.proj (Expr.Least (Expr.Col el, Expr.Col er)) "__e";
+            ]
+        in
+        c (Project (out_projs, Join (Expr.And (p', overlap), go l, go r)))
+    | Union (l, r) -> c (Union (go l, go r))
+    | Diff (l, r) ->
+        let g = range 0 (arity l) in
+        let le = go l and re = go r in
+        c (Diff (Split (g, le, re), Split (g, re, le)))
+    | Agg (group, aggs, q0) -> rewrite_agg group aggs q0
+    | Distinct q0 ->
+        let g = range 0 (arity q0) in
+        let e = go q0 in
+        c (Distinct (Split (g, e, e)))
+    | Coalesce _ | Split _ | Split_agg _ ->
+        invalid_arg "Rewriter.rewrite: query is already rewritten"
+  and rewrite_agg group aggs q0 =
+    let s0 = data_schema q0 in
+    let n = Schema.arity s0 in
+    let enc = go q0 in
+    let k = List.length group in
+    let m = List.length aggs in
+    let ungrouped = k = 0 in
+    (* materialize group expressions and aggregate inputs as columns, so
+       the split operator can group on column positions *)
+    let agg_input (spec : Algebra.agg_spec) =
+      match Agg.input_expr spec.func with
+      | Some e -> e
+      | None -> Expr.Const (Value.Int 1) (* count(·): constant non-null *)
+    in
+    let prep_projs =
+      group
+      @ List.mapi
+          (fun i spec -> Algebra.proj (agg_input spec) (Printf.sprintf "__a%d" i))
+          aggs
+      @ [ b_proj n; e_proj n ]
+    in
+    let prep = Algebra.Project (prep_projs, enc) in
+    (* remap aggregate functions onto the materialized input columns; the
+       count(·) preprocessing of Fig. 4 (count over a constant-1 column)
+       makes the NULL gap row invisible to COUNT *)
+    let remapped =
+      List.mapi
+        (fun i (spec : Algebra.agg_spec) ->
+          let col = Expr.Col (k + i) in
+          let func : Agg.func =
+            match spec.func with
+            | Agg.Count_star | Agg.Count _ -> Agg.Count col
+            | Agg.Sum _ -> Agg.Sum col
+            | Agg.Avg _ -> Agg.Avg col
+            | Agg.Min _ -> Agg.Min col
+            | Agg.Max _ -> Agg.Max col
+          in
+          { spec with func })
+        aggs
+    in
+    if options.fused_split_agg then
+      c
+        (Split_agg
+           {
+             sa_group = range 0 k;
+             sa_aggs = remapped;
+             sa_gap = (if ungrouped then Some (tmin, tmax) else None);
+             sa_child = prep;
+           })
+    else
+      (* the literal Fig. 4 pipeline *)
+      let prep_schema =
+        Schema.make
+          (List.map
+             (fun (p : Algebra.proj) ->
+               Schema.attr p.name (Expr.infer_ty s0 p.expr))
+             (group
+             @ List.mapi
+                 (fun i spec ->
+                   Algebra.proj (agg_input spec) (Printf.sprintf "__a%d" i))
+                 aggs)
+          @ [ Schema.attr "__b" Value.TInt; Schema.attr "__e" Value.TInt ])
+      in
+      let left =
+        if ungrouped then
+          let null_row =
+            Tuple.make
+              (List.init m (fun _ -> Value.Null)
+              @ [ Value.Int tmin; Value.Int tmax ])
+          in
+          Algebra.Union (prep, ConstRel (prep_schema, [ null_row ]))
+        else prep
+      in
+      let split = Algebra.Split (range 0 k, left, prep) in
+      let group_projs =
+        List.map2
+          (fun i (p : Algebra.proj) -> Algebra.proj (Expr.Col i) p.name)
+          (range 0 k) group
+        @ [ b_proj (k + m); e_proj (k + m) ]
+      in
+      let agg_node = Algebra.Agg (group_projs, remapped, split) in
+      (* agg output: g..., __b, __e, aggs...; restore the encoding order *)
+      let reorder =
+        List.map2
+          (fun i (p : Algebra.proj) -> Algebra.proj (Expr.Col i) p.name)
+          (range 0 k) group
+        @ List.map2
+            (fun i (spec : Algebra.agg_spec) ->
+              Algebra.proj (Expr.Col (k + 2 + i)) spec.agg_name)
+            (range 0 m) remapped
+        @ [ Algebra.proj (Expr.Col k) "__b"; Algebra.proj (Expr.Col (k + 1)) "__e" ]
+      in
+      c (Project (reorder, agg_node))
+  in
+  let rewritten = go q in
+  match rewritten with
+  | Algebra.Coalesce _ -> rewritten
+  | r -> Algebra.Coalesce r

@@ -1,0 +1,36 @@
+(** REWR (Fig. 4): reduction of snapshot queries over N^T to non-temporal
+    multiset queries over the period encoding.
+
+    Every rule preserves the invariant that encoded relations carry their
+    period as the trailing two integer columns. *)
+
+open Tkr_relation
+
+type options = {
+  final_coalesce_only : bool;
+      (** apply K-coalescing once as the final operator instead of after
+          every operator — sound by Lemma 6.1 and its monus extension
+          (Section 9) *)
+  fused_split_agg : bool;
+      (** replace the literal [γ(N_G(Q, Q))] aggregation pipeline with the
+          fused pre-aggregating {!Algebra.Split_agg} operator (Section 9) *)
+}
+
+val optimized : options
+(** Both optimizations on (the middleware default). *)
+
+val literal : options
+(** The rule-by-rule transcription of Fig. 4, for comparison. *)
+
+val rewrite :
+  options:options ->
+  tmin:int ->
+  tmax:int ->
+  lookup:(string -> Schema.t) ->
+  Algebra.t ->
+  Algebra.t
+(** [rewrite ~options ~tmin ~tmax ~lookup q] rewrites the logical snapshot
+    query [q], whose base relations have the {e data-only} schemas given
+    by [lookup], into a query over the encoding ready for the engine.
+    [\[tmin, tmax)] is the time domain (gap rows, constants).
+    @raise Invalid_argument if [q] already contains encoding operators. *)

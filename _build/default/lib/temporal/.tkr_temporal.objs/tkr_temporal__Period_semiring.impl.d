@@ -1,0 +1,1 @@
+lib/temporal/period_semiring.ml: Temporal_element Tkr_semiring Tkr_timeline

@@ -1,0 +1,1 @@
+lib/temporal/period_semiring.mli: Temporal_element Tkr_semiring Tkr_timeline

@@ -1,0 +1,1 @@
+lib/temporal/temporal_element.ml: Fmt Format Int List Tkr_semiring Tkr_timeline

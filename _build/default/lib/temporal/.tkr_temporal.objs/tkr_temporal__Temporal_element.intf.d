@@ -1,0 +1,1 @@
+lib/temporal/temporal_element.mli: Format Tkr_semiring Tkr_timeline

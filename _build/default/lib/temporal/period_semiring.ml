@@ -1,0 +1,52 @@
+(** Period semirings K^T (Def. 6.1): the semiring of coalesced temporal
+    K-elements over a fixed time domain.
+
+    [Make (K) (D)] builds K^T for an arbitrary commutative semiring [K];
+    [MakeMonus] additionally provides the monus (Thm. 7.1), making K^T an
+    m-semiring whenever [K] is one.  The timeslice operator {!Make.timeslice}
+    is a (m-)semiring homomorphism K^T → K (Thms. 6.3 / 7.2); this is the
+    property that makes period K-relations snapshot-reducible. *)
+
+module Domain = Tkr_timeline.Domain
+module Interval = Tkr_timeline.Interval
+
+module type DOMAIN = sig
+  val domain : Domain.t
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) (D : DOMAIN) = struct
+  module Elt = Temporal_element.Make (K)
+
+  type t = Elt.t
+  (** Invariant: always in coalesced normal form. *)
+
+  let domain = D.domain
+  let zero : t = []
+
+  let one : t =
+    let tmin, tmax = Domain.whole D.domain in
+    [ (Interval.make tmin tmax, K.one) ]
+
+  let add a b = Elt.coalesce (Elt.add_pointwise a b)
+  let mul a b = Elt.coalesce (Elt.mul_pointwise a b)
+  let equal = Elt.equal_coalesced
+  let compare = Elt.compare
+  let hash = Elt.hash
+  let pp = Elt.pp
+  let name = K.name ^ "^T"
+
+  (** Normalize an arbitrary raw temporal element into K^T. *)
+  let of_raw (l : (Interval.t * K.t) list) : t = Elt.coalesce l
+
+  let of_assoc l : t = Elt.coalesce (Elt.of_assoc l)
+
+  (** τ_T as a function K^T → K. *)
+  let timeslice (el : t) t = Elt.timeslice el t
+end
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) (D : DOMAIN) = struct
+  include Make (K) (D)
+  module EltM = Temporal_element.MakeMonus (K)
+
+  let monus a b = EltM.coalesce (EltM.monus_pointwise a b)
+end

@@ -1,0 +1,44 @@
+(** Period semirings K^T (Def. 6.1): coalesced temporal K-elements over a
+    fixed time domain form a commutative semiring (Thm. 6.2); if K has a
+    well-defined monus, so does K^T (Thm. 7.1).
+
+    The timeslice operator is a (m-)semiring homomorphism K^T → K
+    (Thms. 6.3 / 7.2) — the property behind snapshot reducibility of
+    period K-relations. *)
+
+module Domain = Tkr_timeline.Domain
+module Interval = Tkr_timeline.Interval
+
+module type DOMAIN = sig
+  val domain : Domain.t
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) (D : DOMAIN) : sig
+  module Elt : Temporal_element.S with type k = K.t
+
+  include Tkr_semiring.Semiring_intf.S with type t = Elt.t
+  (** [zero] maps everything to 0_K; [one] maps the whole domain to 1_K;
+      [add]/[mul] are the coalesced pointwise operations of Def. 6.1. *)
+
+  val domain : Domain.t
+
+  val of_raw : (Interval.t * K.t) list -> t
+  (** Normalize an arbitrary raw element (coalesces). *)
+
+  val of_assoc : ((int * int) * K.t) list -> t
+
+  val timeslice : t -> int -> K.t
+  (** The homomorphism τ_T. *)
+end
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) (D : DOMAIN) : sig
+  module Elt : Temporal_element.S with type k = K.t
+  module EltM : module type of Temporal_element.MakeMonus (K)
+
+  include Tkr_semiring.Semiring_intf.MONUS with type t = Elt.t
+
+  val domain : Domain.t
+  val of_raw : (Interval.t * K.t) list -> t
+  val of_assoc : ((int * int) * K.t) list -> t
+  val timeslice : t -> int -> K.t
+end

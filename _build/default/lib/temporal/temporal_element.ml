@@ -1,0 +1,183 @@
+(** Temporal K-elements (Section 5): functions from intervals to K,
+    recording how a tuple's annotation changes over time.
+
+    Representation: a list of [(interval, k)] pairs with non-zero [k].
+    Following the paper's semantics for overlap, the annotation at time [t]
+    is the {e sum} of all entries whose interval contains [t]; a list is
+    therefore a faithful representation of a temporal K-element viewed as a
+    finitely-supported function (duplicate intervals act as added values).
+
+    {!coalesce} computes the unique normal form of Def. 5.3: maximal
+    intervals of constant, non-zero annotation — sorted, pairwise disjoint,
+    with adjacent intervals carrying different annotations. *)
+
+module Interval = Tkr_timeline.Interval
+module Endpoints = Tkr_timeline.Endpoints
+
+module type S = sig
+  type k
+  type t = (Interval.t * k) list
+
+  val zero : t
+  val is_zero : t -> bool
+  val of_list : (Interval.t * k) list -> t
+  val of_assoc : ((int * int) * k) list -> t
+  val singleton : Interval.t -> k -> t
+  val timeslice : t -> int -> k
+  val coalesce : t -> t
+  val is_coalesced : t -> bool
+  val changepoints : t -> int list
+  val add_pointwise : t -> t -> t
+  val mul_pointwise : t -> t -> t
+  val equal_coalesced : t -> t -> bool
+  val snapshot_equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val covered_duration : t -> int
+  val support_endpoints : t -> Endpoints.t
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) = struct
+  type k = K.t
+  type t = (Interval.t * K.t) list
+
+  let zero : t = []
+  let is_zero (el : t) = el = []
+
+  (** Drop explicit zero entries; any list is a valid raw element. *)
+  let of_list (l : (Interval.t * K.t) list) : t =
+    List.filter (fun (_, k) -> not (K.equal k K.zero)) l
+
+  let of_assoc l = of_list (List.map (fun ((b, e), k) -> (Interval.make b e, k)) l)
+
+  let singleton i k : t = if K.equal k K.zero then [] else [ (i, k) ]
+
+  (** τ_T: the annotation valid at time point [t]. *)
+  let timeslice (el : t) (t : int) : K.t =
+    List.fold_left
+      (fun acc (i, k) -> if Interval.mem t i then K.add acc k else acc)
+      K.zero el
+
+  let support_endpoints (el : t) =
+    Endpoints.of_intervals (List.map fst el)
+
+  (** K-coalesce (Def. 5.3): sweep the elementary segments induced by all
+      endpoints, compute the constant annotation of each, and merge maximal
+      runs of adjacent segments with equal annotations. *)
+  let coalesce (el : t) : t =
+    let el = of_list el in
+    match el with
+    | [] -> []
+    | _ ->
+        let segments = Endpoints.elementary (support_endpoints el) in
+        let annotated =
+          List.filter_map
+            (fun seg ->
+              let k = timeslice el (Interval.b seg) in
+              if K.equal k K.zero then None else Some (seg, k))
+            segments
+        in
+        (* merge adjacent segments with equal annotations *)
+        let rec merge = function
+          | (i1, k1) :: (i2, k2) :: rest
+            when Interval.e i1 = Interval.b i2 && K.equal k1 k2 ->
+              merge ((Interval.make (Interval.b i1) (Interval.e i2), k1) :: rest)
+          | entry :: rest -> entry :: merge rest
+          | [] -> []
+        in
+        merge annotated
+
+  (** A coalesced element is sorted, disjoint, zero-free, and adjacent
+      entries carry different annotations. *)
+  let is_coalesced (el : t) =
+    let rec go = function
+      | [] | [ _ ] -> true
+      | (i1, k1) :: ((i2, k2) :: _ as rest) ->
+          Interval.e i1 <= Interval.b i2
+          && (not (Interval.e i1 = Interval.b i2 && K.equal k1 k2))
+          && go rest
+    in
+    List.for_all (fun (_, k) -> not (K.equal k K.zero)) el && go el
+
+  (** Annotation changepoints (Def. 5.2), excluding the implicit [Tmin]. *)
+  let changepoints (el : t) : int list
+      =
+    let cps =
+      List.concat_map
+        (fun seg ->
+          [ Interval.b seg; Interval.e seg ])
+        (coalesce el |> List.map fst)
+    in
+    List.sort_uniq Int.compare cps
+
+  (** Pointwise addition +_KP: the multiset union of the entries. *)
+  let add_pointwise (a : t) (b : t) : t = a @ b
+
+  (** Pointwise multiplication ·_KP: products over all overlapping pairs,
+      valid on the intersections (Def. 6.1). *)
+  let mul_pointwise (a : t) (b : t) : t =
+    List.concat_map
+      (fun (ia, ka) ->
+        List.filter_map
+          (fun (ib, kb) ->
+            match Interval.intersect ia ib with
+            | Some i ->
+                let k = K.mul ka kb in
+                if K.equal k K.zero then None else Some (i, k)
+            | None -> None)
+          b)
+      a
+
+  (** Snapshot equivalence: same annotation at every time point.  By the
+      uniqueness of the normal form this is equality of coalesced forms. *)
+  let equal_coalesced (a : t) (b : t) =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (ia, ka) (ib, kb) -> Interval.equal ia ib && K.equal ka kb)
+         a b
+
+  let snapshot_equal (a : t) (b : t) = equal_coalesced (coalesce a) (coalesce b)
+
+  let compare (a : t) (b : t) =
+    List.compare
+      (fun (ia, ka) (ib, kb) ->
+        let c = Interval.compare ia ib in
+        if c <> 0 then c else K.compare ka kb)
+      a b
+
+  let hash (el : t) =
+    List.fold_left
+      (fun acc (i, k) -> (acc * 31) lxor Interval.hash i lxor K.hash k)
+      0 el
+
+  (** Total duration (number of time points with non-zero annotation);
+      meaningful on coalesced elements. *)
+  let covered_duration (el : t) =
+    List.fold_left (fun acc (i, _) -> acc + Interval.duration i) 0 el
+
+  let pp ppf (el : t) =
+    Format.fprintf ppf "{%a}"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (i, k) ->
+            Format.fprintf ppf "%a ↦ %a" Interval.pp i K.pp k))
+      el
+
+  let to_string el = Format.asprintf "%a" pp el
+end
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) = struct
+  include Make (K)
+
+  (** Pointwise monus −_KP, computed segment-wise: align both elements on
+      the elementary intervals of their combined endpoints (on which both
+      are constant) and apply [K.monus] per segment (Section 7.1). *)
+  let monus_pointwise (a : t) (b : t) : t =
+    let eps = Endpoints.union (support_endpoints a) (support_endpoints b) in
+    Endpoints.elementary eps
+    |> List.filter_map (fun seg ->
+           let p = Interval.b seg in
+           let k = K.monus (timeslice a p) (timeslice b p) in
+           if K.equal k K.zero then None else Some (seg, k))
+end

@@ -1,0 +1,68 @@
+(** Temporal K-elements (Section 5): interval-indexed annotation histories.
+
+    Represented as lists of [(interval, k)] pairs with the paper's overlap
+    semantics — the annotation at a time point is the {e sum} of the
+    entries whose interval contains it — so any list is a faithful raw
+    element.  {!Make.coalesce} computes the unique normal form of
+    Def. 5.3. *)
+
+module Interval = Tkr_timeline.Interval
+module Endpoints = Tkr_timeline.Endpoints
+
+module type S = sig
+  type k
+  type t = (Interval.t * k) list
+
+  val zero : t
+  val is_zero : t -> bool
+
+  val of_list : (Interval.t * k) list -> t
+  (** Drops explicit zero entries. *)
+
+  val of_assoc : ((int * int) * k) list -> t
+  val singleton : Interval.t -> k -> t
+
+  val timeslice : t -> int -> k
+  (** τ_T: the annotation valid at a time point. *)
+
+  val coalesce : t -> t
+  (** K-coalesce (Def. 5.3): maximal intervals of constant non-zero
+      annotation.  Idempotent; unique on snapshot-equivalence classes;
+      snapshot-preserving (Lemma 5.1). *)
+
+  val is_coalesced : t -> bool
+
+  val changepoints : t -> int list
+  (** Annotation changepoints (Def. 5.2), as the sorted boundary points of
+      the coalesced form. *)
+
+  val add_pointwise : t -> t -> t
+  (** +_KP of Def. 6.1 (not coalesced). *)
+
+  val mul_pointwise : t -> t -> t
+  (** ·_KP of Def. 6.1: products over interval intersections. *)
+
+  val equal_coalesced : t -> t -> bool
+  (** Structural equality; decides snapshot equivalence on coalesced
+      elements (Lemma 5.1, uniqueness). *)
+
+  val snapshot_equal : t -> t -> bool
+  (** τ-pointwise equality, decided via coalescing. *)
+
+  val compare : t -> t -> int
+  val hash : t -> int
+  val covered_duration : t -> int
+  val support_endpoints : t -> Endpoints.t
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (K : Tkr_semiring.Semiring_intf.S) : S with type k = K.t
+
+module MakeMonus (K : Tkr_semiring.Semiring_intf.MONUS) : sig
+  include S with type k = K.t
+
+  val monus_pointwise : t -> t -> t
+  (** −_KP (Section 7.1), computed on the elementary segments of the
+      combined endpoints, where both elements are constant. *)
+end

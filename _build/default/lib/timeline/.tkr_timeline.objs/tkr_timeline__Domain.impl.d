@@ -1,0 +1,1 @@
+lib/timeline/domain.ml: Format Printf

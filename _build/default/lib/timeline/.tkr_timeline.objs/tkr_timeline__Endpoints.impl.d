@@ -1,0 +1,1 @@
+lib/timeline/endpoints.ml: Fmt Format Int Interval List Set

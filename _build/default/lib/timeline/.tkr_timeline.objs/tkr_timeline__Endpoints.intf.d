@@ -1,0 +1,1 @@
+lib/timeline/endpoints.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/timeline/interval.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/timeline/interval.mli: Format

@@ -1,0 +1,24 @@
+type t = { tmin : int; tmax : int }
+
+let make ~tmin ~tmax =
+  if tmin >= tmax then
+    invalid_arg
+      (Printf.sprintf "Domain.make: need tmin < tmax, got [%d, %d)" tmin tmax);
+  { tmin; tmax }
+
+let tmin d = d.tmin
+let tmax d = d.tmax
+let size d = d.tmax - d.tmin
+let contains d t = d.tmin <= t && t < d.tmax
+
+let points d =
+  let rec go t acc = if t < d.tmin then acc else go (t - 1) (t :: acc) in
+  go (d.tmax - 1) []
+
+let fold f d init =
+  let rec go t acc = if t >= d.tmax then acc else go (t + 1) (f t acc) in
+  go d.tmin init
+
+let whole d = (d.tmin, d.tmax)
+let equal a b = a.tmin = b.tmin && a.tmax = b.tmax
+let pp ppf d = Format.fprintf ppf "[%d, %d)" d.tmin d.tmax

@@ -1,0 +1,38 @@
+(** Finite, totally ordered time domains.
+
+    The paper assumes a finite domain [T] of time points with a minimal
+    point [Tmin] and a maximal (exclusive) point [Tmax].  We represent time
+    points as integers; a domain is the half-open integer range
+    [\[tmin, tmax)]. *)
+
+type t
+(** A finite time domain [\[tmin, tmax)]. *)
+
+val make : tmin:int -> tmax:int -> t
+(** [make ~tmin ~tmax] is the domain of points [tmin, tmin+1, ..., tmax-1].
+    @raise Invalid_argument if [tmin >= tmax]. *)
+
+val tmin : t -> int
+(** Smallest time point of the domain. *)
+
+val tmax : t -> int
+(** Exclusive upper bound of the domain (the paper's [Tmax]). *)
+
+val size : t -> int
+(** Number of time points. *)
+
+val contains : t -> int -> bool
+(** [contains d t] is [true] iff [tmin d <= t < tmax d]. *)
+
+val points : t -> int list
+(** All time points in ascending order.  Intended for tests and small
+    examples; the library never materializes domains on hot paths. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f d init] folds [f] over all points in ascending order. *)
+
+val whole : t -> int * int
+(** [whole d] is [(tmin d, tmax d)], the bounds of the all-time interval. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

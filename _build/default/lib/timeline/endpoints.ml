@@ -1,0 +1,37 @@
+module IS = Set.Make (Int)
+
+type t = IS.t
+
+let of_list l = IS.of_list l
+
+let of_intervals is =
+  List.fold_left (fun s i -> IS.add (Interval.b i) (IS.add (Interval.e i) s)) IS.empty is
+
+let union = IS.union
+let to_list = IS.elements
+let is_empty = IS.is_empty
+let cardinal = IS.cardinal
+let add = IS.add
+
+let elementary ep =
+  match IS.elements ep with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let segs, _ =
+        List.fold_left
+          (fun (acc, prev) point -> (Interval.make prev point :: acc, point))
+          ([], first) rest
+      in
+      List.rev segs
+
+let elementary_closed ~tmax ep =
+  let ep = if IS.is_empty ep then ep else IS.add (min tmax (IS.max_elt ep)) ep in
+  let ep =
+    match IS.max_elt_opt ep with
+    | Some m when m < tmax -> IS.add tmax ep
+    | _ -> ep
+  in
+  elementary ep
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}" Fmt.(list ~sep:(any "; ") int) (IS.elements s)

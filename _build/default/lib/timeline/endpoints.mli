@@ -1,0 +1,32 @@
+(** Endpoint sets and elementary intervals.
+
+    Several constructions in the paper (K-coalescing, the split operator
+    [N_G], the monus of period semirings) partition time into the maximal
+    segments induced by a finite set of endpoints, on which annotations are
+    guaranteed constant.  This module computes those segments. *)
+
+type t
+(** A sorted, duplicate-free set of time points. *)
+
+val of_list : int list -> t
+(** Build an endpoint set from an arbitrary list of points. *)
+
+val of_intervals : Interval.t list -> t
+(** All begin and end points of the given intervals. *)
+
+val union : t -> t -> t
+val to_list : t -> int list
+val is_empty : t -> bool
+val cardinal : t -> int
+val add : int -> t -> t
+
+val elementary : t -> Interval.t list
+(** [elementary ep] is the list of intervals between consecutive points of
+    [ep], in ascending order (the paper's [EPI] without the implicit
+    [Tmax]-closing rule).  Empty or singleton sets yield []. *)
+
+val elementary_closed : tmax:int -> t -> Interval.t list
+(** Like {!elementary} but additionally closes the last segment at [tmax]
+    when the largest endpoint is below it, matching [EPI] of Def. 8.3. *)
+
+val pp : Format.formatter -> t -> unit

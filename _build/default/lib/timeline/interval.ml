@@ -1,0 +1,27 @@
+type t = { b : int; e : int }
+
+let make b e =
+  if b >= e then
+    invalid_arg (Printf.sprintf "Interval.make: need b < e, got [%d, %d)" b e);
+  { b; e }
+
+let make_opt b e = if b < e then Some { b; e } else None
+let b i = i.b
+let e i = i.e
+let duration i = i.e - i.b
+let singleton t = { b = t; e = t + 1 }
+let mem t i = i.b <= t && t < i.e
+let equal i j = i.b = j.b && i.e = j.e
+let compare i j = if i.b <> j.b then Int.compare i.b j.b else Int.compare i.e j.e
+let overlaps i j = i.b < j.e && j.b < i.e
+let adjacent i j = i.e = j.b || j.e = i.b
+let subset i j = j.b <= i.b && i.e <= j.e
+let intersect i j = make_opt (max i.b j.b) (min i.e j.e)
+
+let union i j =
+  if overlaps i j || adjacent i j then Some { b = min i.b j.b; e = max i.e j.e }
+  else None
+
+let hash i = (i.b * 1000003) lxor i.e
+let pp ppf i = Format.fprintf ppf "[%02d, %02d)" i.b i.e
+let to_string i = Format.asprintf "%a" pp i

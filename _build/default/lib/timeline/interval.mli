@@ -1,0 +1,55 @@
+(** Half-open time intervals [\[b, e)] over integer time points.
+
+    Intervals are always non-empty ([b < e]).  They denote the set of
+    contiguous time points [{t | b <= t < e}] (Section 5.1 of the paper). *)
+
+type t = private { b : int; e : int }
+(** An interval [\[b, e)] with the invariant [b < e]. *)
+
+val make : int -> int -> t
+(** [make b e] is the interval [\[b, e)].
+    @raise Invalid_argument if [b >= e]. *)
+
+val make_opt : int -> int -> t option
+(** [make_opt b e] is [Some \[b, e)] if [b < e] and [None] otherwise. *)
+
+val b : t -> int
+(** Inclusive start point (the paper's [I+]). *)
+
+val e : t -> int
+(** Exclusive end point (the paper's [I-]). *)
+
+val duration : t -> int
+(** Number of time points covered. *)
+
+val singleton : int -> t
+(** [singleton t] is [\[t, t+1)]. *)
+
+val mem : int -> t -> bool
+(** [mem t i] is [true] iff time point [t] lies in [i]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic order on [(b, e)]; a total order used for canonical
+    representations of temporal elements. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps i j] is [true] iff [i] and [j] share at least one point. *)
+
+val adjacent : t -> t -> bool
+(** The paper's [adj]: the intervals meet end-to-start in either order. *)
+
+val subset : t -> t -> bool
+(** [subset i j] is [true] iff every point of [i] lies in [j]. *)
+
+val intersect : t -> t -> t option
+(** Interval covering exactly the common points, if any. *)
+
+val union : t -> t -> t option
+(** Union as an interval; defined only when the inputs overlap or are
+    adjacent (Section 5.1), otherwise [None]. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workload/employees.ml: List Printf Prng Schema Tkr_engine Tkr_relation Tuple Value

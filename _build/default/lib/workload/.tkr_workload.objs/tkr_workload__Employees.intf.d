@@ -1,0 +1,1 @@
+lib/workload/employees.mli: Tkr_engine

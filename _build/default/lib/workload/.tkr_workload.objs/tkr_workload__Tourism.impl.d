@@ -1,0 +1,1 @@
+lib/workload/tourism.ml: List Prng Schema Tkr_engine Tkr_relation Tuple Value

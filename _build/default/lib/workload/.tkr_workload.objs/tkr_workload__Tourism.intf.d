@@ -1,0 +1,1 @@
+lib/workload/tourism.mli: Tkr_engine

@@ -1,0 +1,1 @@
+lib/workload/tpcbih.ml: Array List Printf Prng Schema Tkr_engine Tkr_relation Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/tpcbih.mli: Tkr_engine

@@ -1,0 +1,163 @@
+(** A scaled synthetic reproduction of the MySQL [employees] dataset used
+    in Section 10: six period tables with the same schemas and realistic
+    temporal correlation (consecutive salary/title periods per employee,
+    department assignments, manager stints covering each department's
+    lifetime).  The generator is deterministic in its seed. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+
+type config = {
+  employees : int;  (** number of employees (the scale knob) *)
+  departments : int;
+  tmax : int;  (** time domain is [\[0, tmax)], in days *)
+  seed : int;
+}
+
+let default = { employees = 500; departments = 9; tmax = 4000; seed = 42 }
+
+(** [scaled n] is the default configuration with [n] employees. *)
+let scaled n = { default with employees = n; departments = max 4 (n / 60) }
+
+let first_names =
+  [| "Georgi"; "Bezalel"; "Parto"; "Chirstian"; "Kyoichi"; "Anneke";
+     "Tzvetan"; "Saniya"; "Sumant"; "Duangkaew"; "Mary"; "Patricio" |]
+
+let titles_pool =
+  [| "Engineer"; "Senior Engineer"; "Staff"; "Senior Staff";
+     "Assistant Engineer"; "Technique Leader"; "Manager" |]
+
+let generate (cfg : config) : Database.t =
+  let g = Prng.create cfg.seed in
+  let db = Database.create ~tmin:0 ~tmax:cfg.tmax () in
+  let add name data_cols rows =
+    let schema =
+      Schema.make
+        (List.map (fun (n, ty) -> Schema.attr n ty) data_cols
+        @ [ Schema.attr "vt_b" Value.TInt; Schema.attr "vt_e" Value.TInt ])
+    in
+    Database.add_period_table db name (Table.make schema (List.rev rows))
+  in
+
+  (* departments: alive for the whole history *)
+  let dept_rows = ref [] in
+  for d = 1 to cfg.departments do
+    dept_rows :=
+      Tuple.make
+        [
+          Value.Int d;
+          Value.Str (Printf.sprintf "Department %02d" d);
+          Value.Int 0;
+          Value.Int cfg.tmax;
+        ]
+      :: !dept_rows
+  done;
+  add "departments"
+    [ ("dept_no", Value.TInt); ("dept_name", Value.TStr) ]
+    !dept_rows;
+
+  (* employees and their dependent history tables *)
+  let emp_rows = ref [] in
+  let salary_rows = ref [] in
+  let title_rows = ref [] in
+  let dept_emp_rows = ref [] in
+  for e = 1 to cfg.employees do
+    let hire = Prng.int g (cfg.tmax * 3 / 4) in
+    let gender = if Prng.flip g 0.45 then "F" else "M" in
+    let name = Printf.sprintf "%s %04d" (Prng.choice g first_names) e in
+    emp_rows :=
+      Tuple.make
+        [ Value.Int e; Value.Str name; Value.Str gender;
+          Value.Int hire; Value.Int cfg.tmax ]
+      :: !emp_rows;
+    (* consecutive salary periods from hire to tmax *)
+    let salary = ref (Prng.range g 38000 65000) in
+    let t = ref hire in
+    while !t < cfg.tmax do
+      let len = Prng.range g 200 500 in
+      let stop = min cfg.tmax (!t + len) in
+      salary_rows :=
+        Tuple.make [ Value.Int e; Value.Int !salary; Value.Int !t; Value.Int stop ]
+        :: !salary_rows;
+      salary := !salary + Prng.range g 0 6000;
+      t := stop
+    done;
+    (* one to three consecutive title periods *)
+    let n_titles = Prng.range g 1 3 in
+    let t = ref hire in
+    for i = 1 to n_titles do
+      let stop =
+        if i = n_titles then cfg.tmax
+        else min cfg.tmax (!t + Prng.range g 300 1200)
+      in
+      if !t < stop then
+        title_rows :=
+          Tuple.make
+            [ Value.Int e; Value.Str (Prng.choice g titles_pool);
+              Value.Int !t; Value.Int stop ]
+          :: !title_rows;
+      t := stop
+    done;
+    (* department assignments: one or two stints *)
+    let n_depts = if Prng.flip g 0.2 then 2 else 1 in
+    let t = ref hire in
+    for i = 1 to n_depts do
+      let stop =
+        if i = n_depts then cfg.tmax
+        else min cfg.tmax (!t + Prng.range g 400 1500)
+      in
+      if !t < stop then
+        dept_emp_rows :=
+          Tuple.make
+            [ Value.Int e; Value.Int (Prng.range g 1 cfg.departments);
+              Value.Int !t; Value.Int stop ]
+          :: !dept_emp_rows;
+      t := stop
+    done
+  done;
+  add "employees"
+    [ ("emp_no", Value.TInt); ("name", Value.TStr); ("gender", Value.TStr) ]
+    !emp_rows;
+  add "salaries" [ ("emp_no", Value.TInt); ("salary", Value.TInt) ] !salary_rows;
+  add "titles" [ ("emp_no", Value.TInt); ("title", Value.TStr) ] !title_rows;
+  add "dept_emp" [ ("emp_no", Value.TInt); ("dept_no", Value.TInt) ] !dept_emp_rows;
+
+  (* manager stints: each department is managed at all times *)
+  let manager_rows = ref [] in
+  for d = 1 to cfg.departments do
+    let t = ref 0 in
+    while !t < cfg.tmax do
+      let stop = min cfg.tmax (!t + Prng.range g 600 1800) in
+      manager_rows :=
+        Tuple.make
+          [ Value.Int (Prng.range g 1 cfg.employees); Value.Int d;
+            Value.Int !t; Value.Int stop ]
+        :: !manager_rows;
+      t := stop
+    done
+  done;
+  add "dept_manager" [ ("emp_no", Value.TInt); ("dept_no", Value.TInt) ] !manager_rows;
+  db
+
+(** A single selection-shaped table for the coalescing microbenchmark of
+    Figure 5: [n] rows of employee salary periods whose data column has the
+    given duplication level, so that coalescing has real merging work. *)
+let coalesce_input ~n ~seed ~tmax : Table.t =
+  let g = Prng.create seed in
+  let schema =
+    Schema.make
+      [
+        Schema.attr "emp_no" Value.TInt;
+        Schema.attr "vt_b" Value.TInt;
+        Schema.attr "vt_e" Value.TInt;
+      ]
+  in
+  let rows =
+    List.init n (fun _ ->
+        let emp = Prng.range g 1 (max 1 (n / 4)) in
+        let b = Prng.int g (tmax - 1) in
+        let e = min tmax (b + Prng.range g 1 (tmax / 8)) in
+        Tuple.make [ Value.Int emp; Value.Int b; Value.Int e ])
+  in
+  Table.make schema rows

@@ -1,0 +1,21 @@
+(** A scaled synthetic reproduction of the MySQL [employees] dataset
+    (Section 10.1): six period tables — departments, employees, salaries,
+    titles, dept_emp, dept_manager — with realistic temporal correlation.
+    Deterministic in the seed. *)
+
+type config = {
+  employees : int;  (** the scale knob *)
+  departments : int;
+  tmax : int;  (** time domain [\[0, tmax)], days *)
+  seed : int;
+}
+
+val default : config
+val scaled : int -> config
+
+val generate : config -> Tkr_engine.Database.t
+(** A database with all six tables registered as period tables
+    ([vt_b]/[vt_e]). *)
+
+val coalesce_input : n:int -> seed:int -> tmax:int -> Tkr_engine.Table.t
+(** The selection-shaped input of the Figure 5 coalescing microbenchmark. *)

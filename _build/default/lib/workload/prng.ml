@@ -1,0 +1,31 @@
+(** A tiny deterministic PRNG (splitmix64) so that generated datasets are
+    reproducible across runs and platforms, independent of [Stdlib.Random]
+    version changes. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next (g : t) : int64 =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [\[0, bound)]. *)
+let int (g : t) bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next g) 1) (Int64.of_int bound))
+
+(** Uniform integer in [\[lo, hi\]] (inclusive). *)
+let range (g : t) lo hi = lo + int g (hi - lo + 1)
+
+(** Uniform float in [\[0, 1)]. *)
+let float (g : t) =
+  Int64.to_float (Int64.shift_right_logical (next g) 11) /. 9007199254740992.0
+
+let choice (g : t) (a : 'a array) = a.(int g (Array.length a))
+
+(** Bernoulli with probability [p]. *)
+let flip (g : t) p = float g < p

@@ -1,0 +1,19 @@
+(** A tiny deterministic PRNG (splitmix64): generated datasets are
+    reproducible across runs and platforms. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument on bound <= 0. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]], inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val choice : t -> 'a array -> 'a
+val flip : t -> float -> bool

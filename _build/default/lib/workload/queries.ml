@@ -1,0 +1,184 @@
+(** The paper's query workloads (Section 10.1), expressed in the
+    middleware's SQL dialect with [SEQ VT] snapshot blocks.
+
+    Employee workload: the ten queries join-1..4, agg-1..3, agg-join,
+    diff-1..2.  TPC-BiH workload: the TPC-H queries the paper evaluates
+    under snapshot semantics, adapted to the supported subset (date-range
+    predicates become the snapshot time dimension). *)
+
+let employee : (string * string) list =
+  [
+    ( "join-1",
+      {|SEQ VT (SELECT d.dept_no, s.emp_no, s.salary
+               FROM dept_emp d, salaries s WHERE d.emp_no = s.emp_no)|} );
+    ( "join-2",
+      {|SEQ VT (SELECT t.title, s.emp_no, s.salary
+               FROM salaries s, titles t WHERE s.emp_no = t.emp_no)|} );
+    ( "join-3",
+      {|SEQ VT (SELECT m.dept_no
+               FROM dept_manager m, salaries s
+               WHERE m.emp_no = s.emp_no AND s.salary > 70000)|} );
+    ( "join-4",
+      {|SEQ VT (SELECT m.dept_no, m.emp_no, s.salary, e.name
+               FROM dept_manager m, salaries s, employees e
+               WHERE m.emp_no = s.emp_no AND m.emp_no = e.emp_no)|} );
+    ( "agg-1",
+      {|SEQ VT (SELECT d.dept_no, avg(s.salary) AS avg_salary
+               FROM dept_emp d, salaries s WHERE d.emp_no = s.emp_no
+               GROUP BY d.dept_no)|} );
+    ( "agg-2",
+      {|SEQ VT (SELECT avg(s.salary) AS avg_salary
+               FROM dept_manager m, salaries s WHERE m.emp_no = s.emp_no)|} );
+    ( "agg-3",
+      {|SEQ VT (SELECT count(*) AS cnt
+               FROM (SELECT dept_no, count(*) AS c
+                     FROM dept_emp GROUP BY dept_no) AS t
+               WHERE t.c > 21)|} );
+    ( "agg-join",
+      {|SEQ VT (SELECT e.name
+               FROM employees e, dept_emp d, salaries s,
+                    (SELECT d2.dept_no AS dn, max(s2.salary) AS ms
+                     FROM dept_emp d2, salaries s2
+                     WHERE d2.emp_no = s2.emp_no
+                     GROUP BY d2.dept_no) AS mx
+               WHERE e.emp_no = d.emp_no AND e.emp_no = s.emp_no
+                 AND d.dept_no = mx.dn AND s.salary = mx.ms)|} );
+    ( "diff-1",
+      {|SEQ VT (SELECT emp_no FROM employees
+               EXCEPT ALL
+               SELECT emp_no FROM dept_manager)|} );
+    ( "diff-2",
+      {|SEQ VT (SELECT emp_no, salary FROM salaries
+               EXCEPT ALL
+               SELECT s.emp_no, s.salary FROM salaries s, dept_manager m
+               WHERE s.emp_no = m.emp_no)|} );
+  ]
+
+let tpch : (string * string) list =
+  [
+    ( "Q1",
+      {|SEQ VT (SELECT l_returnflag, l_linestatus,
+                      sum(l_quantity) AS sum_qty,
+                      sum(l_extendedprice) AS sum_base_price,
+                      sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+                      avg(l_quantity) AS avg_qty,
+                      avg(l_extendedprice) AS avg_price,
+                      avg(l_discount) AS avg_disc,
+                      count(*) AS count_order
+               FROM lineitem
+               GROUP BY l_returnflag, l_linestatus)|} );
+    ( "Q3",
+      {|SEQ VT (SELECT o.o_orderkey,
+                      sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+               FROM customer c, orders o, lineitem l
+               WHERE c.c_mktsegment = 'BUILDING'
+                 AND c.c_custkey = o.o_custkey
+                 AND l.l_orderkey = o.o_orderkey
+               GROUP BY o.o_orderkey)|} );
+    ( "Q5",
+      {|SEQ VT (SELECT n.n_name,
+                      sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+               FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+               WHERE c.c_custkey = o.o_custkey
+                 AND l.l_orderkey = o.o_orderkey
+                 AND l.l_suppkey = s.s_suppkey
+                 AND c.c_nationkey = s.s_nationkey
+                 AND s.s_nationkey = n.n_nationkey
+                 AND n.n_regionkey = r.r_regionkey
+                 AND r.r_name = 'ASIA'
+               GROUP BY n.n_name)|} );
+    ( "Q6",
+      {|SEQ VT (SELECT sum(l_extendedprice * l_discount) AS revenue
+               FROM lineitem
+               WHERE l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)|} );
+    ( "Q7",
+      {|SEQ VT (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+                      sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+               FROM supplier s, lineitem l, orders o, customer c,
+                    nation n1, nation n2
+               WHERE s.s_suppkey = l.l_suppkey
+                 AND o.o_orderkey = l.l_orderkey
+                 AND c.c_custkey = o.o_custkey
+                 AND s.s_nationkey = n1.n_nationkey
+                 AND c.c_nationkey = n2.n_nationkey
+                 AND (n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+                      OR n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')
+               GROUP BY n1.n_name, n2.n_name)|} );
+    ( "Q8",
+      {|SEQ VT (SELECT sum(CASE WHEN n2.n_name = 'BRAZIL'
+                               THEN l.l_extendedprice * (1 - l.l_discount)
+                               ELSE 0.0 END)
+                      / sum(l.l_extendedprice * (1 - l.l_discount)) AS mkt_share
+               FROM part p, supplier s, lineitem l, orders o, customer c,
+                    nation n1, nation n2, region r
+               WHERE p.p_partkey = l.l_partkey
+                 AND s.s_suppkey = l.l_suppkey
+                 AND l.l_orderkey = o.o_orderkey
+                 AND o.o_custkey = c.c_custkey
+                 AND c.c_nationkey = n1.n_nationkey
+                 AND n1.n_regionkey = r.r_regionkey
+                 AND r.r_name = 'AMERICA'
+                 AND s.s_nationkey = n2.n_nationkey
+                 AND p.p_type = 'ECONOMY ANODIZED STEEL')|} );
+    ( "Q9",
+      {|SEQ VT (SELECT n.n_name AS nation,
+                      sum(l.l_extendedprice * (1 - l.l_discount)
+                          - ps.ps_supplycost * l.l_quantity) AS sum_profit
+               FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+               WHERE s.s_suppkey = l.l_suppkey
+                 AND ps.ps_suppkey = l.l_suppkey
+                 AND ps.ps_partkey = l.l_partkey
+                 AND p.p_partkey = l.l_partkey
+                 AND o.o_orderkey = l.l_orderkey
+                 AND s.s_nationkey = n.n_nationkey
+                 AND p.p_name LIKE '%green%'
+               GROUP BY n.n_name)|} );
+    ( "Q10",
+      {|SEQ VT (SELECT c.c_custkey, c.c_name,
+                      sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+               FROM customer c, orders o, lineitem l, nation n
+               WHERE c.c_custkey = o.o_custkey
+                 AND l.l_orderkey = o.o_orderkey
+                 AND l.l_returnflag = 'R'
+                 AND c.c_nationkey = n.n_nationkey
+               GROUP BY c.c_custkey, c.c_name)|} );
+    ( "Q12",
+      {|SEQ VT (SELECT l.l_shipmode,
+                      sum(CASE WHEN o.o_orderstatus = 'P' THEN 1 ELSE 0 END)
+                        AS high_line_count,
+                      sum(CASE WHEN o.o_orderstatus <> 'P' THEN 1 ELSE 0 END)
+                        AS low_line_count
+               FROM orders o, lineitem l
+               WHERE o.o_orderkey = l.l_orderkey
+                 AND l.l_shipmode IN ('MAIL', 'SHIP')
+               GROUP BY l.l_shipmode)|} );
+    ( "Q14",
+      {|SEQ VT (SELECT 100.0 * sum(CASE WHEN p.p_type LIKE 'PROMO%'
+                                       THEN l.l_extendedprice * (1 - l.l_discount)
+                                       ELSE 0.0 END)
+                      / sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+               FROM lineitem l, part p
+               WHERE l.l_partkey = p.p_partkey)|} );
+    ( "Q19",
+      {|SEQ VT (SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+               FROM lineitem l, part p
+               WHERE p.p_partkey = l.l_partkey
+                 AND (p.p_brand = 'Brand#12'
+                        AND p.p_container IN ('SM CASE', 'SM BOX')
+                        AND l.l_quantity BETWEEN 1 AND 11
+                      OR p.p_brand = 'Brand#23'
+                        AND p.p_container IN ('MED BAG', 'MED BOX')
+                        AND l.l_quantity BETWEEN 10 AND 20
+                      OR p.p_brand = 'Brand#34'
+                        AND p.p_container IN ('LG CASE', 'LG BOX')
+                        AND l.l_quantity BETWEEN 20 AND 30))|} );
+  ]
+
+(** The nine TPC-H queries used in the performance experiment of Table 3
+    (bottom); Q3 and Q10 additionally appear in the row-count Table 2. *)
+let tpch_perf_names = [ "Q1"; "Q5"; "Q6"; "Q7"; "Q8"; "Q9"; "Q12"; "Q14"; "Q19" ]
+
+let lookup name suite =
+  match List.assoc_opt name suite with
+  | Some q -> q
+  | None -> invalid_arg ("unknown workload query " ^ name)

@@ -1,0 +1,12 @@
+(** The paper's query workloads (Section 10.1) in the middleware's SQL
+    dialect: the ten employee queries (join-1..4, agg-1..3, agg-join,
+    diff-1..2) and the TPC-H queries evaluated under snapshot semantics. *)
+
+val employee : (string * string) list
+val tpch : (string * string) list
+
+val tpch_perf_names : string list
+(** The nine queries of the Table 3 performance experiment. *)
+
+val lookup : string -> (string * string) list -> string
+(** @raise Invalid_argument on unknown names. *)

@@ -1,0 +1,112 @@
+(** A simulated stand-in for the real-world Tourism dataset the paper's
+    technical report evaluates on (835k records of South Tyrol
+    accommodation data, not publicly distributable): registered
+    accommodation facilities and guest stays, both period tables.
+
+    The temporal texture mimics the real data: facilities are registered
+    for long periods with occasional category changes; stays are short,
+    heavily overlapping within each facility, and seasonal (clustered
+    around two peaks per year). *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+
+type config = {
+  facilities : int;
+  stays_per_facility : int;
+  years : int;  (** time domain is [\[0, 365 * years)], days *)
+  seed : int;
+}
+
+let default = { facilities = 120; stays_per_facility = 40; years = 3; seed = 99 }
+
+let categories = [| "hotel"; "bnb"; "camping"; "farm" |]
+
+let generate (cfg : config) : Database.t =
+  let g = Prng.create cfg.seed in
+  let tmax = 365 * cfg.years in
+  let db = Database.create ~tmin:0 ~tmax () in
+  let add name data_cols rows =
+    let schema =
+      Schema.make
+        (List.map (fun (n, ty) -> Schema.attr n ty) data_cols
+        @ [ Schema.attr "vt_b" Value.TInt; Schema.attr "vt_e" Value.TInt ])
+    in
+    Database.add_period_table db name (Table.make schema (List.rev rows))
+  in
+  (* a seasonal arrival day: clustered around winter and summer peaks *)
+  let seasonal_day year =
+    let peak = if Prng.flip g 0.5 then 15 (* mid January *) else 200 (* July *) in
+    let jitter = Prng.range g (-40) 40 in
+    let day = (year * 365) + peak + jitter in
+    max 0 (min (tmax - 2) day)
+  in
+  let fac_rows = ref [] in
+  let stay_rows = ref [] in
+  for f = 1 to cfg.facilities do
+    let capacity = Prng.range g 4 120 in
+    (* registration history: one or two category periods *)
+    let reg_start = Prng.int g (tmax / 4) in
+    let change =
+      if Prng.flip g 0.25 then Some (reg_start + Prng.range g 200 (max 201 (tmax / 2)))
+      else None
+    in
+    (match change with
+    | Some c when c < tmax ->
+        fac_rows :=
+          Tuple.make
+            [ Value.Int f; Value.Str (Prng.choice g categories);
+              Value.Int capacity; Value.Int reg_start; Value.Int c ]
+          :: Tuple.make
+               [ Value.Int f; Value.Str (Prng.choice g categories);
+                 Value.Int capacity; Value.Int c; Value.Int tmax ]
+          :: !fac_rows
+    | _ ->
+        fac_rows :=
+          Tuple.make
+            [ Value.Int f; Value.Str (Prng.choice g categories);
+              Value.Int capacity; Value.Int reg_start; Value.Int tmax ]
+          :: !fac_rows);
+    for _ = 1 to cfg.stays_per_facility do
+      let year = Prng.int g cfg.years in
+      let arrive = max reg_start (seasonal_day year) in
+      let nights = Prng.range g 1 21 in
+      let depart = min tmax (arrive + nights) in
+      if arrive < depart then
+        stay_rows :=
+          Tuple.make
+            [ Value.Int f; Value.Int (Prng.range g 1 6);
+              Value.Int arrive; Value.Int depart ]
+          :: !stay_rows
+    done
+  done;
+  add "facilities"
+    [ ("fac_id", Value.TInt); ("category", Value.TStr); ("capacity", Value.TInt) ]
+    !fac_rows;
+  add "stays" [ ("fac_id", Value.TInt); ("guests", Value.TInt) ] !stay_rows;
+  db
+
+(** The tourism query suite: occupancy analytics under snapshot semantics. *)
+let queries : (string * string) list =
+  [
+    ( "occupancy-by-category",
+      {|SEQ VT (SELECT f.category, sum(s.guests) AS guests
+               FROM facilities f, stays s
+               WHERE f.fac_id = s.fac_id
+               GROUP BY f.category)|} );
+    ( "total-guests",
+      (* the AG fix matters here: gap rows are the off-season *)
+      {|SEQ VT (SELECT count(*) AS stays_now, sum(guests) AS guests_now
+               FROM stays)|} );
+    ( "overbooked",
+      {|SEQ VT (SELECT f.fac_id
+               FROM facilities f,
+                    (SELECT fac_id AS fid, sum(guests) AS gs
+                     FROM stays GROUP BY fac_id) AS o
+               WHERE f.fac_id = o.fid AND o.gs > f.capacity)|} );
+    ( "idle-facilities",
+      {|SEQ VT (SELECT fac_id FROM facilities
+               EXCEPT ALL
+               SELECT DISTINCT fac_id FROM stays)|} );
+  ]

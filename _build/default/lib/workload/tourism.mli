@@ -1,0 +1,14 @@
+(** A simulated stand-in for the technical report's real-world Tourism
+    dataset: accommodation facilities and seasonal guest stays as period
+    tables, plus an occupancy-analytics snapshot query suite. *)
+
+type config = {
+  facilities : int;
+  stays_per_facility : int;
+  years : int;
+  seed : int;
+}
+
+val default : config
+val generate : config -> Tkr_engine.Database.t
+val queries : (string * string) list

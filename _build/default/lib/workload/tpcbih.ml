@@ -1,0 +1,194 @@
+(** A compact valid-time TPC-H (TPC-BiH [25]) generator.
+
+    Schemas follow TPC-H; every table is a period table.  Reference tables
+    (region, nation) live for the whole history; suppliers, customers and
+    parts from their creation; orders and their lineitems are valid from
+    the order date until (shipment + receipt) — giving the temporal overlap
+    structure the snapshot queries aggregate over.  [scale] is a row-count
+    multiplier playing the role of the paper's SF (SF 1 here is laptop
+    sized; the paper's absolute sizes are not reproducible in a container,
+    the scaling *shape* is). *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+
+type config = { scale : float; tmax : int; seed : int }
+
+let default = { scale = 1.0; tmax = 2500; seed = 7 }
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  (* (name, region index) — the 25 TPC-H nations *)
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4);
+    ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0);
+    ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3);
+    ("UNITED KINGDOM", 3); ("UNITED STATES", 1);
+  |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let brands = [| "Brand#12"; "Brand#23"; "Brand#34"; "Brand#45"; "Brand#51" |]
+
+let containers =
+  [| "SM CASE"; "SM BOX"; "MED BAG"; "MED BOX"; "LG CASE"; "LG BOX"; "JUMBO PKG" |]
+
+let types =
+  [| "ECONOMY ANODIZED STEEL"; "PROMO BURNISHED COPPER"; "STANDARD POLISHED TIN";
+     "SMALL PLATED BRASS"; "PROMO BRUSHED NICKEL"; "MEDIUM ANODIZED COPPER" |]
+
+let part_adjectives = [| "green"; "blush"; "powder"; "chocolate"; "azure"; "ivory" |]
+
+let shipmodes = [| "MAIL"; "SHIP"; "AIR"; "TRUCK"; "RAIL"; "FOB" |]
+
+let sz scale base = max 1 (int_of_float (float_of_int base *. scale))
+
+let generate (cfg : config) : Database.t =
+  let g = Prng.create cfg.seed in
+  let db = Database.create ~tmin:0 ~tmax:cfg.tmax () in
+  let whole = (0, cfg.tmax) in
+  let add name data_cols rows =
+    let schema =
+      Schema.make
+        (List.map (fun (n, ty) -> Schema.attr n ty) data_cols
+        @ [ Schema.attr "vt_b" Value.TInt; Schema.attr "vt_e" Value.TInt ])
+    in
+    Database.add_period_table db name (Table.make schema (List.rev rows))
+  in
+  let iv (b, e) = [ Value.Int b; Value.Int e ] in
+
+  add "region"
+    [ ("r_regionkey", Value.TInt); ("r_name", Value.TStr) ]
+    (List.rev
+       (Array.to_list
+          (Array.mapi
+             (fun i name -> Tuple.make ([ Value.Int i; Value.Str name ] @ iv whole))
+             regions)));
+  add "nation"
+    [ ("n_nationkey", Value.TInt); ("n_name", Value.TStr); ("n_regionkey", Value.TInt) ]
+    (List.rev
+       (Array.to_list
+          (Array.mapi
+             (fun i (name, r) ->
+               Tuple.make ([ Value.Int i; Value.Str name; Value.Int r ] @ iv whole))
+             nations)));
+
+  let n_supplier = sz cfg.scale 60 in
+  let n_customer = sz cfg.scale 250 in
+  let n_part = sz cfg.scale 300 in
+  let n_orders = sz cfg.scale 900 in
+
+  let supplier_rows = ref [] in
+  for s = 1 to n_supplier do
+    let birth = Prng.int g (cfg.tmax / 3) in
+    supplier_rows :=
+      Tuple.make
+        ([ Value.Int s; Value.Str (Printf.sprintf "Supplier#%05d" s);
+           Value.Int (Prng.int g (Array.length nations)) ]
+        @ iv (birth, cfg.tmax))
+      :: !supplier_rows
+  done;
+  add "supplier"
+    [ ("s_suppkey", Value.TInt); ("s_name", Value.TStr); ("s_nationkey", Value.TInt) ]
+    !supplier_rows;
+
+  let customer_rows = ref [] in
+  for c = 1 to n_customer do
+    let birth = Prng.int g (cfg.tmax / 2) in
+    customer_rows :=
+      Tuple.make
+        ([ Value.Int c; Value.Str (Printf.sprintf "Customer#%06d" c);
+           Value.Int (Prng.int g (Array.length nations));
+           Value.Str (Prng.choice g segments) ]
+        @ iv (birth, cfg.tmax))
+      :: !customer_rows
+  done;
+  add "customer"
+    [ ("c_custkey", Value.TInt); ("c_name", Value.TStr);
+      ("c_nationkey", Value.TInt); ("c_mktsegment", Value.TStr) ]
+    !customer_rows;
+
+  let part_rows = ref [] in
+  for p = 1 to n_part do
+    part_rows :=
+      Tuple.make
+        ([ Value.Int p;
+           Value.Str
+             (Printf.sprintf "%s %s part-%d" (Prng.choice g part_adjectives)
+                (Prng.choice g part_adjectives) p);
+           Value.Str (Prng.choice g types);
+           Value.Str (Prng.choice g brands);
+           Value.Str (Prng.choice g containers);
+           Value.Int (Prng.range g 1 50) ]
+        @ iv whole)
+      :: !part_rows
+  done;
+  add "part"
+    [ ("p_partkey", Value.TInt); ("p_name", Value.TStr); ("p_type", Value.TStr);
+      ("p_brand", Value.TStr); ("p_container", Value.TStr); ("p_size", Value.TInt) ]
+    !part_rows;
+
+  let partsupp_rows = ref [] in
+  for p = 1 to n_part do
+    let n_links = Prng.range g 1 3 in
+    for _ = 1 to n_links do
+      partsupp_rows :=
+        Tuple.make
+          ([ Value.Int p; Value.Int (Prng.range g 1 n_supplier);
+             Value.Float (float_of_int (Prng.range g 100 99900) /. 100.) ]
+          @ iv whole)
+        :: !partsupp_rows
+    done
+  done;
+  add "partsupp"
+    [ ("ps_partkey", Value.TInt); ("ps_suppkey", Value.TInt);
+      ("ps_supplycost", Value.TFloat) ]
+    !partsupp_rows;
+
+  let order_rows = ref [] in
+  let lineitem_rows = ref [] in
+  for o = 1 to n_orders do
+    let odate = Prng.int g (cfg.tmax - 60) in
+    let oclose = min cfg.tmax (odate + Prng.range g 30 180) in
+    let status = if Prng.flip g 0.3 then "P" else if Prng.flip g 0.5 then "F" else "O" in
+    order_rows :=
+      Tuple.make
+        ([ Value.Int o; Value.Int (Prng.range g 1 n_customer); Value.Str status ]
+        @ iv (odate, oclose))
+      :: !order_rows;
+    let n_lines = Prng.range g 1 5 in
+    for _ = 1 to n_lines do
+      let ship = min (oclose - 1) (odate + Prng.range g 1 60) in
+      let receipt = min cfg.tmax (ship + Prng.range g 5 40) in
+      let qty = Prng.range g 1 50 in
+      let price = float_of_int (Prng.range g 90000 1100000) /. 100. in
+      lineitem_rows :=
+        Tuple.make
+          ([ Value.Int o; Value.Int (Prng.range g 1 n_part);
+             Value.Int (Prng.range g 1 n_supplier);
+             Value.Int qty; Value.Float price;
+             Value.Float (float_of_int (Prng.range g 0 10) /. 100.);
+             Value.Float (float_of_int (Prng.range g 0 8) /. 100.);
+             Value.Str (if Prng.flip g 0.25 then "R" else if Prng.flip g 0.5 then "A" else "N");
+             Value.Str (if Prng.flip g 0.5 then "O" else "F");
+             Value.Str (Prng.choice g shipmodes) ]
+          @ iv (ship, max (ship + 1) receipt))
+        :: !lineitem_rows
+    done
+  done;
+  add "orders"
+    [ ("o_orderkey", Value.TInt); ("o_custkey", Value.TInt);
+      ("o_orderstatus", Value.TStr) ]
+    !order_rows;
+  add "lineitem"
+    [ ("l_orderkey", Value.TInt); ("l_partkey", Value.TInt);
+      ("l_suppkey", Value.TInt); ("l_quantity", Value.TInt);
+      ("l_extendedprice", Value.TFloat); ("l_discount", Value.TFloat);
+      ("l_tax", Value.TFloat); ("l_returnflag", Value.TStr);
+      ("l_linestatus", Value.TStr); ("l_shipmode", Value.TStr) ]
+    !lineitem_rows;
+  db

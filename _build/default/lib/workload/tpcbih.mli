@@ -1,0 +1,8 @@
+(** A compact valid-time TPC-H (TPC-BiH) generator: the eight TPC-H tables
+    as period tables, with order/lineitem validity derived from order and
+    shipment dates.  [scale] plays the role of the paper's SF. *)
+
+type config = { scale : float; tmax : int; seed : int }
+
+val default : config
+val generate : config -> Tkr_engine.Database.t

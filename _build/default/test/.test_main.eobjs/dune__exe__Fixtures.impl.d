@@ -1,0 +1,1 @@
+test/fixtures.ml: Agg Algebra Expr QCheck Schema Tkr_core Tkr_relation Tkr_semiring Tkr_snapshot Tkr_temporal Tkr_timeline Tuple Value

@@ -1,0 +1,1 @@
+test/laws.ml: Format QCheck QCheck_alcotest Tkr_semiring

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array D24 Fixtures List NP Tkr_baseline Tkr_engine Tkr_middleware Tkr_relation Tkr_sqlenc

@@ -1,0 +1,1 @@
+test/test_compiled.ml: Alcotest D24 Fixtures Format List NP QCheck QCheck_alcotest Test_representation Tkr_engine Tkr_middleware Tkr_relation Tkr_sqlenc Tkr_workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest D24 Fixtures List NP NT Printf QCheck QCheck_alcotest Snap String Tkr_relation Tkr_timeline

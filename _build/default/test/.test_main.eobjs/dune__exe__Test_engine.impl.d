@@ -1,0 +1,1 @@
+test/test_engine.ml: Agg Alcotest Algebra Expr Filename Krel Neval QCheck QCheck_alcotest Schema String Sys Tkr_engine Tkr_relation Tkr_semiring Tuple Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fixtures List Printf Tkr_core Tkr_engine Tkr_middleware Tkr_relation Tkr_semiring Tkr_timeline

@@ -1,0 +1,1 @@
+test/test_middleware_errors.ml: Alcotest Array Tkr_engine Tkr_middleware Tkr_relation Tkr_sql

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest List QCheck QCheck_alcotest Tkr_engine Tkr_middleware Tkr_relation Tkr_workload

@@ -1,0 +1,1 @@
+test/test_relation.ml: Agg Alcotest Expr Krel List Option Schema Tkr_relation Tkr_semiring Tuple Value

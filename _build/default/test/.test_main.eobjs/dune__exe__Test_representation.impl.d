@@ -1,0 +1,1 @@
+test/test_representation.ml: D24 Fixtures Format Fun List NP Printf QCheck QCheck_alcotest Snap Tkr_engine Tkr_relation Tkr_sqlenc

@@ -1,0 +1,1 @@
+test/test_semiring.ml: Alcotest Array Boolean Fuzzy Laws Lineage List Nat Natpoly QCheck Security Semiring_intf Tkr_semiring Tkr_workload Tropical Why_prov

@@ -1,0 +1,1 @@
+test/test_set_mode.ml: Alcotest Array D24 Fixtures List Printf QCheck QCheck_alcotest Tkr_core Tkr_engine Tkr_middleware Tkr_relation Tkr_semiring Tkr_sqlenc Tkr_timeline

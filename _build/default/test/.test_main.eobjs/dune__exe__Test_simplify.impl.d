@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Fixtures Format List NP QCheck QCheck_alcotest Test_representation Tkr_relation

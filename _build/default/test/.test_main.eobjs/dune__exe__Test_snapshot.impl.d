@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest D24 Fixtures Fun List NP Printf QCheck QCheck_alcotest Snap Tkr_core Tkr_relation Tkr_semiring Tkr_snapshot Tkr_timeline

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Tkr_relation Tkr_sql

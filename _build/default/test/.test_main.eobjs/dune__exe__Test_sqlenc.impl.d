@@ -1,0 +1,1 @@
+test/test_sqlenc.ml: Alcotest D24 Fixtures List NP Printf QCheck QCheck_alcotest Tkr_engine Tkr_relation Tkr_sqlenc

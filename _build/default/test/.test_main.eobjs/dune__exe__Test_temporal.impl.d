@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest BT Fixtures Format Fun Laws List NT QCheck QCheck_alcotest Tkr_semiring Tkr_temporal Tkr_timeline

@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Domain Endpoints Gen Int Interval List QCheck QCheck_alcotest Tkr_timeline

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Tkr_baseline Tkr_engine Tkr_middleware Tkr_relation Tkr_sqlenc Tkr_workload

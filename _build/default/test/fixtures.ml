@@ -1,0 +1,134 @@
+(* Shared fixtures: the paper's running example (Figure 1) and small
+   helpers used across test suites. *)
+
+open Tkr_relation
+module Domain = Tkr_timeline.Domain
+module Interval = Tkr_timeline.Interval
+
+module D24 = struct
+  let domain = Domain.make ~tmin:0 ~tmax:24
+end
+
+module NT = Tkr_temporal.Period_semiring.MakeMonus (Tkr_semiring.Nat) (D24)
+module BT = Tkr_temporal.Period_semiring.MakeMonus (Tkr_semiring.Boolean) (D24)
+module NP = Tkr_core.Nperiod.Make (D24)
+
+let str s = Value.Str s
+let int i = Value.Int i
+let tup vs = Tuple.make vs
+
+let works_schema =
+  Schema.make [ Schema.attr "name" Value.TStr; Schema.attr "skill" Value.TStr ]
+
+let assign_schema =
+  Schema.make [ Schema.attr "mach" Value.TStr; Schema.attr "skill" Value.TStr ]
+
+(* Figure 1a *)
+let works_facts =
+  [
+    (tup [ str "Ann"; str "SP" ], (3, 10), 1);
+    (tup [ str "Joe"; str "NS" ], (8, 16), 1);
+    (tup [ str "Sam"; str "SP" ], (8, 16), 1);
+    (tup [ str "Ann"; str "SP" ], (18, 20), 1);
+  ]
+
+let assign_facts =
+  [
+    (tup [ str "M1"; str "SP" ], (3, 12), 1);
+    (tup [ str "M2"; str "SP" ], (6, 14), 1);
+    (tup [ str "M3"; str "NS" ], (3, 16), 1);
+  ]
+
+let works_period = NP.P.of_facts works_schema works_facts
+let assign_period = NP.P.of_facts assign_schema assign_facts
+
+let period_db name =
+  match name with
+  | "works" -> works_period
+  | "assign" -> assign_period
+  | _ -> invalid_arg ("unknown relation " ^ name)
+
+module Snap = Tkr_snapshot.Snapshot_rel.Nsnapshot
+
+let works_snapshot = Snap.of_facts D24.domain works_schema works_facts
+let assign_snapshot = Snap.of_facts D24.domain assign_schema assign_facts
+
+let snapshot_db name =
+  match name with
+  | "works" -> works_snapshot
+  | "assign" -> assign_snapshot
+  | _ -> invalid_arg ("unknown relation " ^ name)
+
+(* Qonduty: SELECT count(·) AS cnt FROM works WHERE skill = 'SP' *)
+let qonduty : Algebra.t =
+  Algebra.Agg
+    ( [],
+      [ { func = Agg.Count_star; agg_name = "cnt" } ],
+      Algebra.Select
+        (Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (str "SP")), Algebra.Rel "works")
+    )
+
+(* Qskillreq: SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works *)
+let qskillreq : Algebra.t =
+  Algebra.Diff
+    ( Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "assign"),
+      Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works") )
+
+(* A positive query: machines with a matching worker (Example 4.1 shape). *)
+let qmachines : Algebra.t =
+  Algebra.Project
+    ( [ Algebra.proj (Expr.Col 0) "mach" ],
+      Algebra.Join
+        (Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Col 3), Algebra.Rel "assign", Algebra.Rel "works")
+    )
+
+(* Expected Figure 1b as a period N-relation. *)
+let expected_onduty =
+  NP.R.of_list
+    (Schema.make [ Schema.attr "cnt" Value.TInt ])
+    [
+      (tup [ int 0 ], NT.of_assoc [ ((0, 3), 1); ((16, 18), 1); ((20, 24), 1) ]);
+      (tup [ int 1 ], NT.of_assoc [ ((3, 8), 1); ((10, 16), 1); ((18, 20), 1) ]);
+      (tup [ int 2 ], NT.of_assoc [ ((8, 10), 1) ]);
+    ]
+
+(* Expected Figure 1c as a period N-relation. *)
+let expected_skillreq =
+  NP.R.of_list
+    (Schema.make [ Schema.attr "skill" Value.TStr ])
+    [
+      (tup [ str "SP" ], NT.of_assoc [ ((6, 8), 1); ((10, 12), 1) ]);
+      (tup [ str "NS" ], NT.of_assoc [ ((3, 8), 1) ]);
+    ]
+
+(* Generator for raw temporal N-elements over the [0,24) domain. *)
+let raw_nt_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 5)
+    (map3
+       (fun b d k -> (Interval.make b (min 24 (b + d)), k))
+       (int_range 0 22) (int_range 1 8) (int_range 1 3))
+
+let nt_gen = QCheck.Gen.map NT.of_raw raw_nt_gen
+
+let raw_bt_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 5)
+    (map2
+       (fun b d -> (Interval.make b (min 24 (b + d)), true))
+       (int_range 0 22) (int_range 1 8))
+
+let bt_gen = QCheck.Gen.map BT.of_raw raw_bt_gen
+
+(* Generator for random interval facts over a small schema, used by
+   round-trip and representation-system tests. *)
+let facts_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 8)
+    (map3
+       (fun name (b, d) k -> (tup [ str name ], (b, min 24 (b + d)), k))
+       (oneofl [ "a"; "b"; "c" ])
+       (pair (int_range 0 22) (int_range 1 8))
+       (int_range 1 3))
+
+let one_col_schema = Schema.make [ Schema.attr "x" Value.TStr ]

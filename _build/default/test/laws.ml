@@ -1,0 +1,73 @@
+(* Functorized QCheck law suites for (m-)semirings.  Each instance of the
+   paper's framework (including every period semiring K^T) must satisfy
+   these; Thm. 6.2 is exercised by instantiating them on K^T. *)
+
+module type ARB = sig
+  type t
+
+  val gen : t QCheck.Gen.t
+end
+
+module Semiring_laws
+    (K : Tkr_semiring.Semiring_intf.S)
+    (A : ARB with type t = K.t) =
+struct
+  let arb = QCheck.make ~print:(fun k -> Format.asprintf "%a" K.pp k) A.gen
+  let pair = QCheck.pair arb arb
+  let triple = QCheck.triple arb arb arb
+  let count = 200
+
+  let test name arb prop =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count ~name:(K.name ^ ": " ^ name) arb prop)
+
+  let tests =
+    [
+      test "add commutative" pair (fun (a, b) ->
+          K.equal (K.add a b) (K.add b a));
+      test "add associative" triple (fun (a, b, c) ->
+          K.equal (K.add a (K.add b c)) (K.add (K.add a b) c));
+      test "add zero neutral" arb (fun a -> K.equal (K.add a K.zero) a);
+      test "mul commutative" pair (fun (a, b) ->
+          K.equal (K.mul a b) (K.mul b a));
+      test "mul associative" triple (fun (a, b, c) ->
+          K.equal (K.mul a (K.mul b c)) (K.mul (K.mul a b) c));
+      test "mul one neutral" arb (fun a -> K.equal (K.mul a K.one) a);
+      test "mul distributes over add" triple (fun (a, b, c) ->
+          K.equal (K.mul a (K.add b c)) (K.add (K.mul a b) (K.mul a c)));
+      test "zero annihilates mul" arb (fun a ->
+          K.equal (K.mul a K.zero) K.zero);
+      test "compare consistent with equal" pair (fun (a, b) ->
+          K.equal a b = (K.compare a b = 0));
+    ]
+end
+
+module Monus_laws
+    (K : Tkr_semiring.Semiring_intf.MONUS)
+    (A : ARB with type t = K.t) =
+struct
+  let arb = QCheck.make ~print:(fun k -> Format.asprintf "%a" K.pp k) A.gen
+  let pair = QCheck.pair arb arb
+  let count = 200
+
+  let test name arb prop =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count ~name:(K.name ^ ": " ^ name) arb prop)
+
+  let triple = QCheck.triple arb arb arb
+
+  (* The axioms of commutative monoids with monus (Amer 1984), which
+     characterize the well-defined monus of Section 7.1. *)
+  let tests =
+    [
+      test "monus by zero is identity" arb (fun a ->
+          K.equal (K.monus a K.zero) a);
+      test "zero monus anything is zero" arb (fun a ->
+          K.equal (K.monus K.zero a) K.zero);
+      test "a monus a is zero" arb (fun a -> K.equal (K.monus a a) K.zero);
+      test "a + (b - a) = b + (a - b)" pair (fun (a, b) ->
+          K.equal (K.add a (K.monus b a)) (K.add b (K.monus a b)));
+      test "(a - b) - c = a - (b + c)" triple (fun (a, b, c) ->
+          K.equal (K.monus (K.monus a b) c) (K.monus a (K.add b c)));
+    ]
+end

@@ -1,0 +1,125 @@
+(* The closure-compiling executor produces exactly the interpreter's
+   multisets: on random expressions, on random rewritten snapshot queries,
+   and through the middleware on the paper workload. *)
+
+open Fixtures
+module M = Tkr_middleware.Middleware
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Exec = Tkr_engine.Exec
+module Compiled = Tkr_engine.Compiled
+module Rewriter = Tkr_sqlenc.Rewriter
+module PE = Tkr_sqlenc.Period_enc.Make (D24)
+module Schema = Tkr_relation.Schema
+module Value = Tkr_relation.Value
+module Tuple = Tkr_relation.Tuple
+module Expr = Tkr_relation.Expr
+
+let table_bag = Alcotest.testable Table.pp Table.equal_bag
+
+(* random rewritten snapshot queries: compiled = interpreted *)
+let prop_random_queries =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"compiled = interpreted on random plans"
+       (QCheck.make
+          ~print:(fun ((q, _), _) -> Tkr_relation.Algebra.to_string q)
+          QCheck.Gen.(pair Test_representation.gen_query Test_representation.gen_db))
+       (fun ((q, _), (wfacts, afacts)) ->
+         let works_p = NP.P.of_facts works_schema wfacts in
+         let assign_p = NP.P.of_facts assign_schema afacts in
+         let db = Database.create ~tmin:0 ~tmax:24 () in
+         Database.add_period_table db "works" (PE.to_table works_p);
+         Database.add_period_table db "assign" (PE.to_table assign_p);
+         let lookup = function
+           | "works" -> works_schema
+           | "assign" -> assign_schema
+           | n -> raise (Schema.Unknown n)
+         in
+         let plan =
+           Rewriter.rewrite ~options:Rewriter.optimized ~tmin:0 ~tmax:24 ~lookup q
+         in
+         Table.equal_bag (Exec.eval db plan) (Compiled.eval db plan)))
+
+(* expression compiler agrees with the interpreter on every expression the
+   simplifier generator produces *)
+let prop_exprs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"compiled expressions = interpreted"
+       (QCheck.make ~print:(Format.asprintf "%a" Expr.pp)
+         QCheck.Gen.(
+           let leaf =
+             oneof
+               [
+                 map (fun i -> Expr.Col (i mod 2)) (int_range 0 1);
+                 map (fun i -> Expr.Const (Value.Int i)) (int_range (-3) 3);
+                 return (Expr.Const Value.Null);
+               ]
+           in
+           fix
+             (fun self depth ->
+               if depth = 0 then leaf
+               else
+                 let sub = self (depth - 1) in
+                 oneof
+                   [
+                     leaf;
+                     map2 (fun a b -> Expr.Binop (Expr.Add, a, b)) sub sub;
+                     map2 (fun a b -> Expr.Binop (Expr.Mul, a, b)) sub sub;
+                     map2 (fun a b -> Expr.Cmp (Expr.Le, a, b)) sub sub;
+                     map2 (fun a b -> Expr.Greatest (a, b)) sub sub;
+                     map (fun a -> Expr.Is_null a) sub;
+                   ])
+             3))
+       (fun e ->
+         let c = Compiled.compile_expr e in
+         (* ill-typed combinations raise identically in both executors *)
+         List.for_all
+           (fun t ->
+             match Expr.eval t e with
+             | v -> ( match c t with cv -> Value.equal v cv | exception _ -> false)
+             | exception Invalid_argument _ -> (
+                 match c t with
+                 | _ -> false
+                 | exception Invalid_argument _ -> true))
+           [
+             Tuple.make [ Value.Int 1; Value.Int 2 ];
+             Tuple.make [ Value.Null; Value.Int 0 ];
+             Tuple.make [ Value.Int (-5); Value.Null ];
+           ]))
+
+let test_workload_backend_equivalence () =
+  let db = Tkr_workload.Employees.generate { (Tkr_workload.Employees.scaled 60) with tmax = 900 } in
+  let mi = M.create ~backend:M.Interpreted ~db () in
+  let mc = M.create ~backend:M.Compiled ~db () in
+  List.iter
+    (fun name ->
+      let sql = Tkr_workload.Queries.lookup name Tkr_workload.Queries.employee in
+      Alcotest.check table_bag name (M.query mi sql) (M.query mc sql))
+    [ "join-1"; "join-3"; "agg-1"; "agg-2"; "agg-3"; "diff-1"; "diff-2"; "agg-join" ]
+
+let test_case_like_compiled () =
+  (* the branches the random generators don't reach *)
+  let e =
+    Expr.Case
+      ( [ (Expr.Like (Expr.Col 0, "PROMO%"), Expr.Const (Value.Int 1)) ],
+        Some (Expr.Const (Value.Int 0)) )
+  in
+  let c = Compiled.compile_expr e in
+  let t1 = Tuple.make [ Value.Str "PROMO X" ] in
+  let t2 = Tuple.make [ Value.Str "OTHER" ] in
+  Alcotest.(check bool) "promo" true (Value.equal (c t1) (Value.Int 1));
+  Alcotest.(check bool) "other" true (Value.equal (c t2) (Value.Int 0));
+  let inlist = Expr.In_list (Expr.Col 0, [ Value.Str "A"; Value.Str "B" ]) in
+  let ci = Compiled.compile_pred inlist in
+  Alcotest.(check bool) "in" true (ci (Tuple.make [ Value.Str "B" ]));
+  Alcotest.(check bool) "not in" false (ci (Tuple.make [ Value.Str "C" ]))
+
+let suite =
+  ( "compiled executor",
+    [
+      prop_random_queries;
+      prop_exprs;
+      Alcotest.test_case "workload: compiled = interpreted" `Slow
+        test_workload_backend_equivalence;
+      Alcotest.test_case "CASE/LIKE/IN compiled" `Quick test_case_like_compiled;
+    ] )

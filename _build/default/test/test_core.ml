@@ -1,0 +1,184 @@
+(* The logical model end to end: period N-relations evaluate the paper's
+   running example correctly (Figure 1), are snapshot-reducible against the
+   abstract model, and encode/decode is a bijection. *)
+
+open Fixtures
+module Algebra = Tkr_relation.Algebra
+module Schema = Tkr_relation.Schema
+module Value = Tkr_relation.Value
+module Expr = Tkr_relation.Expr
+module Krel = Tkr_relation.Krel
+module Domain = Tkr_timeline.Domain
+
+let period_rel = Alcotest.testable NP.R.pp NP.R.equal
+
+let test_qonduty () =
+  let result = NP.eval period_db qonduty in
+  Alcotest.check period_rel "figure 1b" expected_onduty result
+
+let test_qskillreq () =
+  let result = NP.eval period_db qskillreq in
+  Alcotest.check period_rel "figure 1c" expected_skillreq result
+
+let test_qmachines () =
+  let result = NP.eval period_db qmachines in
+  (* M1 (SP): works SP during [3,10) with 1 and [8,10) adds Sam... compute:
+     M1 valid [3,12) joins Ann-SP [3,10) and Sam-SP [8,16):
+       [3,8) -> 1, [8,10) -> 2, [10,12) -> 1
+     M2 valid [6,14): [6,8) -> 1, [8,10) -> 2, [10,14) -> 1
+     M3 (NS) valid [3,16) joins Joe-NS [8,16): [8,16) -> 1 *)
+  let expected =
+    NP.R.of_list
+      (Schema.make [ Schema.attr "mach" Value.TStr ])
+      [
+        (tup [ str "M1" ], NT.of_assoc [ ((3, 8), 1); ((8, 10), 2); ((10, 12), 1) ]);
+        (tup [ str "M2" ], NT.of_assoc [ ((6, 8), 1); ((8, 10), 2); ((10, 14), 1) ]);
+        (tup [ str "M3" ], NT.of_assoc [ ((8, 16), 1) ]);
+      ]
+  in
+  Alcotest.check period_rel "machines" expected result
+
+let test_grouped_aggregation () =
+  (* Count workers per skill: grouped aggregation has no gap rows for
+     absent groups (snapshot-reducibility), but counts correctly. *)
+  let q =
+    Algebra.Agg
+      ( [ Algebra.proj (Expr.Col 1) "skill" ],
+        [ { func = Tkr_relation.Agg.Count_star; agg_name = "cnt" } ],
+        Algebra.Rel "works" )
+  in
+  let expected =
+    NP.R.of_list
+      (Schema.make [ Schema.attr "skill" Value.TStr; Schema.attr "cnt" Value.TInt ])
+      [
+        ( tup [ str "SP"; int 1 ],
+          NT.of_assoc [ ((3, 8), 1); ((10, 16), 1); ((18, 20), 1) ] );
+        (tup [ str "SP"; int 2 ], NT.of_assoc [ ((8, 10), 1) ]);
+        (tup [ str "NS"; int 1 ], NT.of_assoc [ ((8, 16), 1) ]);
+      ]
+  in
+  Alcotest.check period_rel "per-skill counts" expected (NP.eval period_db q)
+
+let test_sum_gap_null () =
+  (* Ungrouped SUM over gaps yields NULL rows (empty snapshot -> SQL NULL). *)
+  let q =
+    Algebra.Agg
+      ( [],
+        [ { func = Tkr_relation.Agg.Sum (Expr.Col 0); agg_name = "s" } ],
+        Algebra.Project
+          ( [ Algebra.proj (Expr.Const (Value.Int 5)) "v" ],
+            Algebra.Select
+              ( Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (str "NS")),
+                Algebra.Rel "works" ) ) )
+  in
+  let expected =
+    NP.R.of_list
+      (Schema.make [ Schema.attr "s" Value.TInt ])
+      [
+        (tup [ Value.Null ], NT.of_assoc [ ((0, 8), 1); ((16, 24), 1) ]);
+        (tup [ int 5 ], NT.of_assoc [ ((8, 16), 1) ]);
+      ]
+  in
+  Alcotest.check period_rel "sum with NULL gaps" expected (NP.eval period_db q)
+
+let test_distinct () =
+  let q = Algebra.Distinct (Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works")) in
+  let expected =
+    NP.R.of_list
+      (Schema.make [ Schema.attr "skill" Value.TStr ])
+      [
+        (tup [ str "SP" ], NT.of_assoc [ ((3, 16), 1); ((18, 20), 1) ]);
+        (tup [ str "NS" ], NT.of_assoc [ ((8, 16), 1) ]);
+      ]
+  in
+  Alcotest.check period_rel "distinct skills" expected (NP.eval period_db q)
+
+(* --- Snapshot-reducibility: the logical model commutes with the abstract
+   model on a family of queries, at every time point. --- *)
+
+let union_query =
+  Algebra.Union
+    ( Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works"),
+      Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "assign") )
+
+let queries =
+  [
+    ("qonduty", qonduty);
+    ("qskillreq", qskillreq);
+    ("qmachines", qmachines);
+    ("union", union_query);
+    ("select", Algebra.Select (Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (str "SP")), Algebra.Rel "works"));
+  ]
+
+let nrel = Alcotest.testable NP.P.KR.pp NP.P.KR.equal
+
+let test_snapshot_reducibility () =
+  List.iter
+    (fun (name, q) ->
+      let period_result = NP.eval period_db q in
+      let snapshot_result = Snap.eval snapshot_db q in
+      for t = 0 to 23 do
+        Alcotest.check nrel
+          (Printf.sprintf "%s at %d" name t)
+          (Snap.timeslice snapshot_result t)
+          (NP.P.timeslice period_result t)
+      done)
+    queries
+
+(* --- ENC is a bijection preserving snapshots (Lemmas 6.4, 6.5) --- *)
+
+let facts_arb =
+  QCheck.make
+    ~print:(fun facts ->
+      String.concat "; "
+        (List.map
+           (fun (t, (b, e), k) ->
+             Printf.sprintf "%s@[%d,%d)x%d" (Tkr_relation.Tuple.to_string t) b e k)
+           facts))
+    facts_gen
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"decode . encode = id (Lemmas 6.4/6.5)"
+       facts_arb (fun facts ->
+         let snap = Snap.of_facts D24.domain one_col_schema facts in
+         let period = NP.P.encode snap in
+         let back = NP.P.decode period in
+         Snap.equal snap back))
+
+let prop_encode_coalesced =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"encode produces normal forms" facts_arb
+       (fun facts ->
+         let snap = Snap.of_facts D24.domain one_col_schema facts in
+         let period = NP.P.encode snap in
+         NP.R.fold
+           (fun _ el acc -> acc && NT.equal el (NT.of_raw el))
+           period true))
+
+let prop_of_facts_agrees_with_encode =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"of_facts = encode . snapshots (unique encoding)" facts_arb
+       (fun facts ->
+         let direct = NP.P.of_facts one_col_schema facts in
+         let via_snapshots =
+           NP.P.encode (Snap.of_facts D24.domain one_col_schema facts)
+         in
+         NP.R.equal direct via_snapshots))
+
+let suite =
+  ( "core (logical model)",
+    [
+      Alcotest.test_case "Qonduty = figure 1b" `Quick test_qonduty;
+      Alcotest.test_case "Qskillreq = figure 1c" `Quick test_qskillreq;
+      Alcotest.test_case "machine join" `Quick test_qmachines;
+      Alcotest.test_case "grouped aggregation" `Quick test_grouped_aggregation;
+      Alcotest.test_case "sum over gaps is NULL" `Quick test_sum_gap_null;
+      Alcotest.test_case "distinct" `Quick test_distinct;
+      Alcotest.test_case "snapshot reducibility (5 queries x 24 points)" `Quick
+        test_snapshot_reducibility;
+      prop_roundtrip;
+      prop_encode_coalesced;
+      prop_of_facts_agrees_with_encode;
+    ] )

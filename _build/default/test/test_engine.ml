@@ -1,0 +1,212 @@
+(* Unit tests for the physical engine: each operator against the reference
+   multiset evaluator on random inputs, plus CSV persistence. *)
+
+open Tkr_relation
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Exec = Tkr_engine.Exec
+module Csv_io = Tkr_engine.Csv_io
+module NR = Krel.MakeMonus (Tkr_semiring.Nat)
+
+let table_bag = Alcotest.testable Table.pp Table.equal_bag
+
+let schema2 =
+  Schema.make [ Schema.attr "k" Value.TInt; Schema.attr "v" Value.TStr ]
+
+let gen_table =
+  let open QCheck.Gen in
+  let row =
+    map2
+      (fun k v -> Tuple.make [ Value.Int k; Value.Str v ])
+      (int_range 0 5)
+      (oneofl [ "a"; "b"; "c" ])
+  in
+  map (Table.make schema2) (list_size (int_range 0 12) row)
+
+let arb2 =
+  QCheck.make ~print:(fun (a, b) -> Table.to_text a ^ "---\n" ^ Table.to_text b)
+    QCheck.Gen.(pair gen_table gen_table)
+
+let qt name prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb2 prop)
+
+(* reference via Neval over N-relations *)
+let eval_ref q (a : Table.t) (b : Table.t) =
+  let db = function
+    | "a" -> Table.to_nrel a
+    | "b" -> Table.to_nrel b
+    | n -> invalid_arg n
+  in
+  Table.of_nrel (Neval.eval db q)
+
+let eval_engine q (a : Table.t) (b : Table.t) =
+  let db = Database.create () in
+  Database.add_table db "a" a;
+  Database.add_table db "b" b;
+  Exec.eval db q
+
+let check_query name q =
+  qt name (fun (a, b) -> Table.equal_bag (eval_ref q a b) (eval_engine q a b))
+
+let prop_union = check_query "union all" (Algebra.Union (Rel "a", Rel "b"))
+
+let prop_except =
+  check_query "except all (counting)" (Algebra.Diff (Rel "a", Rel "b"))
+
+let prop_select =
+  check_query "selection"
+    (Algebra.Select
+       (Expr.Cmp (Expr.Le, Expr.Col 0, Expr.Const (Value.Int 2)), Rel "a"))
+
+let prop_hash_join =
+  check_query "equi join (hash)"
+    (Algebra.Join (Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Col 2), Rel "a", Rel "b"))
+
+let prop_theta_join =
+  check_query "theta join (nested loop)"
+    (Algebra.Join (Expr.Cmp (Expr.Lt, Expr.Col 0, Expr.Col 2), Rel "a", Rel "b"))
+
+let prop_agg =
+  check_query "grouped aggregation"
+    (Algebra.Agg
+       ( [ Algebra.proj (Expr.Col 1) "v" ],
+         [
+           { Algebra.func = Agg.Count_star; agg_name = "c" };
+           { Algebra.func = Agg.Sum (Expr.Col 0); agg_name = "s" };
+           { Algebra.func = Agg.Min (Expr.Col 0); agg_name = "m" };
+         ],
+         Rel "a" ))
+
+let prop_agg_ungrouped =
+  check_query "ungrouped aggregation (single row on empty input)"
+    (Algebra.Agg
+       ( [],
+         [
+           { Algebra.func = Agg.Count_star; agg_name = "c" };
+           { Algebra.func = Agg.Avg (Expr.Col 0); agg_name = "a" };
+         ],
+         Rel "a" ))
+
+let prop_distinct = check_query "distinct" (Algebra.Distinct (Rel "a"))
+
+let prop_project =
+  check_query "projection with expressions"
+    (Algebra.Project
+       ( [
+           Algebra.proj (Expr.Binop (Expr.Mul, Expr.Col 0, Expr.Const (Value.Int 2))) "d";
+         ],
+         Rel "a" ))
+
+(* hash join with NULL keys never matches *)
+let test_null_keys () =
+  let a = Table.make schema2 [ Tuple.make [ Value.Null; Value.Str "x" ] ] in
+  let b = Table.make schema2 [ Tuple.make [ Value.Null; Value.Str "y" ] ] in
+  let q = Algebra.Join (Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Col 2), Algebra.Rel "a", Algebra.Rel "b") in
+  Alcotest.(check int) "null keys don't join" 0
+    (Table.cardinality (eval_engine q a b))
+
+(* database catalog *)
+let test_database_period_reorder () =
+  let schema =
+    Schema.make
+      [
+        Schema.attr "b" Value.TInt; Schema.attr "x" Value.TStr;
+        Schema.attr "e" Value.TInt;
+      ]
+  in
+  let t =
+    Table.make schema [ Tuple.make [ Value.Int 1; Value.Str "a"; Value.Int 5 ] ]
+  in
+  let db = Database.create () in
+  Database.add_period_table db "t" ~begin_col:0 ~end_col:2 t;
+  let stored = Database.find db "t" in
+  Alcotest.(check (list string)) "period moved last" [ "x"; "b"; "e" ]
+    (Schema.names (Table.schema stored));
+  Alcotest.(check (pair int int)) "bounds widened" (0, 5) (Database.time_bounds db);
+  Alcotest.(check (list string)) "data schema hides period" [ "x" ]
+    (Schema.names (Database.data_schema_of db "t"))
+
+let test_database_errors () =
+  let db = Database.create () in
+  Alcotest.check_raises "unknown table" (Schema.Unknown "nope") (fun () ->
+      ignore (Database.find db "nope"))
+
+(* CSV round trip with tricky values *)
+let test_csv_roundtrip () =
+  let schema =
+    Schema.make
+      [
+        Schema.attr "i" Value.TInt; Schema.attr "f" Value.TFloat;
+        Schema.attr "s" Value.TStr; Schema.attr "b" Value.TBool;
+      ]
+  in
+  let t =
+    Table.make schema
+      [
+        Tuple.make [ Value.Int 1; Value.Float 2.5; Value.Str "plain"; Value.Bool true ];
+        Tuple.make [ Value.Null; Value.Null; Value.Str "with, comma"; Value.Bool false ];
+        Tuple.make [ Value.Int (-3); Value.Float 1e-9; Value.Str "quo\"te"; Value.Null ];
+        Tuple.make [ Value.Int 0; Value.Float 0.1; Value.Str ""; Value.Bool true ];
+      ]
+  in
+  let path = Filename.temp_file "tkr" ".csv" in
+  Csv_io.write_table path t;
+  let back = Csv_io.read_table path in
+  Sys.remove path;
+  Alcotest.check table_bag "roundtrip" t back;
+  Alcotest.(check bool) "schema preserved" true
+    (Schema.equal schema (Table.schema back))
+
+let csv_gen =
+  let open QCheck.Gen in
+  let value =
+    frequency
+      [
+        (1, return Value.Null);
+        (3, map (fun i -> Value.Int i) (int_range (-100) 100));
+        (3, map (fun s -> Value.Str s) (oneofl [ "x"; "a,b"; "q\"q"; ""; "nl" ]));
+      ]
+  in
+  map
+    (fun rows ->
+      Table.make
+        (Schema.make [ Schema.attr "a" Value.TInt; Schema.attr "b" Value.TStr ])
+        rows)
+    (list_size (int_range 0 10)
+       (map2 (fun a b ->
+            let a = match a with Value.Str _ -> Value.Null | v -> v in
+            let b = match b with Value.Int _ -> Value.Null | v -> v in
+            Tuple.make [ a; b ]) value value))
+
+let prop_csv =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"csv roundtrip (random)"
+       (QCheck.make ~print:Table.to_text csv_gen)
+       (fun t ->
+         let path = Filename.temp_file "tkr" ".csv" in
+         Csv_io.write_table path t;
+         let back = Csv_io.read_table path in
+         Sys.remove path;
+         Table.equal_bag t back))
+
+let test_to_text () =
+  let t =
+    Table.make schema2
+      [ Tuple.make [ Value.Int 1; Value.Str "hello" ] ]
+  in
+  let text = Table.to_text t in
+  Alcotest.(check bool) "header" true
+    (String.length text > 0 && String.sub text 0 1 = "k")
+
+let suite =
+  ( "engine (physical operators)",
+    [
+      prop_union; prop_except; prop_select; prop_hash_join; prop_theta_join;
+      prop_agg; prop_agg_ungrouped; prop_distinct; prop_project;
+      Alcotest.test_case "null join keys" `Quick test_null_keys;
+      Alcotest.test_case "period table registration" `Quick
+        test_database_period_reorder;
+      Alcotest.test_case "catalog errors" `Quick test_database_errors;
+      Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+      prop_csv;
+      Alcotest.test_case "table rendering" `Quick test_to_text;
+    ] )

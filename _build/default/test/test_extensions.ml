@@ -1,0 +1,232 @@
+(* Extensions beyond the paper's core: timeslice queries (SEQ VT AS OF),
+   SQL:2011 FOR PORTION OF updates/deletes, and bitemporal relations via
+   functor composition — the paper's future-work items. *)
+
+open Fixtures
+module M = Tkr_middleware.Middleware
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Schema = Tkr_relation.Schema
+module Value = Tkr_relation.Value
+module Tuple = Tkr_relation.Tuple
+module Expr = Tkr_relation.Expr
+module Algebra = Tkr_relation.Algebra
+
+let table_bag = Alcotest.testable Table.pp Table.equal_bag
+
+let fresh () =
+  let m = M.create () in
+  Database.set_time_bounds (M.database m) ~tmin:0 ~tmax:24;
+  ignore
+    (M.execute_script m
+       {|
+       CREATE TABLE works (name text, skill text, b int, e int) PERIOD (b, e);
+       INSERT INTO works VALUES
+         ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16),
+         ('Sam', 'SP', 8, 16), ('Ann', 'SP', 18, 20);
+     |});
+  m
+
+(* --- SEQ VT AS OF: timeslice queries --- *)
+
+let test_as_of_matches_snapshot () =
+  let m = fresh () in
+  (* for every time point, AS OF t equals the rows of the full snapshot
+     query whose period contains t *)
+  let full =
+    M.query m "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')"
+  in
+  for t = 0 to 23 do
+    let sliced =
+      M.query m
+        (Printf.sprintf
+           "SEQ VT AS OF %d (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')"
+           t)
+    in
+    Alcotest.(check int) (Printf.sprintf "one row at %d" t) 1
+      (Table.cardinality sliced);
+    let expected =
+      Array.to_list (Table.rows full)
+      |> List.filter_map (fun row ->
+             match (Tuple.get row 1, Tuple.get row 2) with
+             | Value.Int b, Value.Int e when b <= t && t < e ->
+                 Some (Tuple.get row 0)
+             | _ -> None)
+    in
+    Alcotest.(check int) "matches full query" 0
+      (Value.compare (List.hd expected) (Tuple.get (Table.rows sliced).(0) 0))
+  done
+
+let test_as_of_schema () =
+  let m = fresh () in
+  let t = M.query m "SEQ VT AS OF 9 (SELECT name FROM works WHERE skill = 'SP')" in
+  Alcotest.(check (list string)) "no period columns" [ "name" ]
+    (Schema.names (Table.schema t));
+  Alcotest.(check int) "Ann and Sam at 9" 2 (Table.cardinality t)
+
+(* --- FOR PORTION OF --- *)
+
+let count_query m sql = Table.cardinality (M.query m sql)
+
+let test_portion_update () =
+  let m = fresh () in
+  (* retrain Ann as NS during [5, 8): her SP row [3,10) must split *)
+  ignore
+    (M.execute m
+       "UPDATE works FOR PORTION OF vt FROM 5 TO 8 SET skill = 'NS' WHERE name = 'Ann'");
+  let rows =
+    M.query m "SELECT name, skill, b, e FROM works WHERE name = 'Ann' ORDER BY b"
+  in
+  let expected =
+    Table.make
+      (Schema.make
+         [
+           Schema.attr "name" Value.TStr; Schema.attr "skill" Value.TStr;
+           Schema.attr "b" Value.TInt; Schema.attr "e" Value.TInt;
+         ])
+      [
+        Tuple.make [ str "Ann"; str "SP"; int 3; int 5 ];
+        Tuple.make [ str "Ann"; str "NS"; int 5; int 8 ];
+        Tuple.make [ str "Ann"; str "SP"; int 8; int 10 ];
+        Tuple.make [ str "Ann"; str "SP"; int 18; int 20 ];
+      ]
+  in
+  Alcotest.check table_bag "row splitting" expected rows;
+  (* snapshot count must now dip to 0 during [5, 8) at SP *)
+  let t =
+    M.query m "SEQ VT AS OF 6 (SELECT count(*) AS c FROM works WHERE skill = 'SP')"
+  in
+  Alcotest.(check bool) "SP count is 0 at 6" true
+    (Value.equal (Tuple.get (Table.rows t).(0) 0) (Value.Int 0))
+
+let test_portion_update_outside () =
+  let m = fresh () in
+  ignore
+    (M.execute m
+       "UPDATE works FOR PORTION OF vt FROM 20 TO 24 SET skill = 'NS' WHERE name = 'Joe'");
+  (* Joe's row [8,16) does not overlap [20,24): unchanged *)
+  Alcotest.(check int) "unchanged" 4 (count_query m "SELECT * FROM works")
+
+let test_portion_delete () =
+  let m = fresh () in
+  ignore (M.execute m "DELETE FROM works FOR PORTION OF vt FROM 9 TO 12 WHERE name = 'Sam'");
+  let rows = M.query m "SELECT b, e FROM works WHERE name = 'Sam' ORDER BY b" in
+  let expected =
+    Table.make
+      (Schema.make [ Schema.attr "b" Value.TInt; Schema.attr "e" Value.TInt ])
+      [ Tuple.make [ int 8; int 9 ]; Tuple.make [ int 12; int 16 ] ]
+  in
+  Alcotest.check table_bag "delete splits" expected rows
+
+let test_plain_update_delete () =
+  let m = fresh () in
+  ignore (M.execute m "UPDATE works SET skill = 'XX' WHERE name = 'Joe'");
+  Alcotest.(check int) "one XX row" 1
+    (count_query m "SELECT * FROM works WHERE skill = 'XX'");
+  ignore (M.execute m "DELETE FROM works WHERE skill = 'XX'");
+  Alcotest.(check int) "deleted" 3 (count_query m "SELECT * FROM works")
+
+let test_portion_requires_period_table () =
+  let m = fresh () in
+  ignore (M.execute m "CREATE TABLE plain (x int)");
+  (try
+     ignore (M.execute m "UPDATE plain FOR PORTION OF vt FROM 1 TO 2 SET x = 1");
+     Alcotest.fail "expected error"
+   with M.Error _ -> ());
+  try
+    ignore
+      (M.execute m "UPDATE works FOR PORTION OF vt FROM 1 TO 2 SET b = 99");
+    Alcotest.fail "expected error on setting period column"
+  with M.Error _ -> ()
+
+(* --- bitemporal (K^VT)^TT --- *)
+
+module VT = struct
+  let domain = Tkr_timeline.Domain.make ~tmin:0 ~tmax:24
+end
+
+module TT = struct
+  let domain = Tkr_timeline.Domain.make ~tmin:100 ~tmax:200
+end
+
+module Bi = Tkr_core.Bitemporal.Make (Tkr_semiring.Nat) (VT) (TT)
+
+let bi_schema = Schema.make [ Schema.attr "name" Value.TStr ]
+
+(* At transaction time 100 we recorded Ann as working [3, 10); at
+   transaction time 150 the record was corrected to [3, 12). *)
+let bi_facts =
+  [
+    (tup [ str "Ann" ], (100, 150), (3, 10), 1);
+    (tup [ str "Ann" ], (150, 200), (3, 12), 1);
+    (tup [ str "Sam" ], (120, 200), (8, 16), 1);
+  ]
+
+let test_bitemporal_timeslices () =
+  let r = Bi.of_facts bi_schema bi_facts in
+  (* before the correction: Ann not working at vt = 11 *)
+  let before = Bi.timeslice r ~tt:120 ~vt:11 in
+  Alcotest.(check int) "Ann at (120, 11)" 0 (Bi.RK.annot before (tup [ str "Ann" ]));
+  (* after the correction: she is *)
+  let after = Bi.timeslice r ~tt:160 ~vt:11 in
+  Alcotest.(check int) "Ann at (160, 11)" 1 (Bi.RK.annot after (tup [ str "Ann" ]));
+  (* Sam only exists from tt = 120 *)
+  Alcotest.(check int) "Sam unknown at tt=110" 0
+    (Bi.RK.annot (Bi.timeslice r ~tt:110 ~vt:12) (tup [ str "Sam" ]));
+  Alcotest.(check int) "Sam known at tt=130" 1
+    (Bi.RK.annot (Bi.timeslice r ~tt:130 ~vt:12) (tup [ str "Sam" ]))
+
+let test_bitemporal_query_commutes () =
+  (* snapshot reducibility in both dimensions: project and compare at
+     every (tt, vt) pair on a coarse grid *)
+  let r = Bi.of_facts bi_schema bi_facts in
+  let db = function "r" -> r | n -> invalid_arg n in
+  let q =
+    Algebra.Project ([ Algebra.proj (Expr.Col 0) "name" ], Algebra.Rel "r")
+  in
+  let result = Bi.eval db q in
+  List.iter
+    (fun tt ->
+      List.iter
+        (fun vt ->
+          let direct = Bi.timeslice result ~tt ~vt in
+          let via_slices =
+            (* slice first, then evaluate over the plain K-relation *)
+            let module NE = Tkr_relation.Eval.Make (Tkr_semiring.Nat) in
+            NE.eval (fun _ -> Bi.timeslice r ~tt ~vt) q
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "commutes at tt=%d vt=%d" tt vt)
+            true
+            (Bi.RK.equal direct via_slices))
+        [ 0; 5; 9; 11; 15; 23 ])
+    [ 100; 119; 120; 149; 150; 199 ]
+
+let test_bitemporal_union_multiplicity () =
+  let r = Bi.of_facts bi_schema bi_facts in
+  let db = function "r" -> r | n -> invalid_arg n in
+  let q = Algebra.Union (Algebra.Rel "r", Algebra.Rel "r") in
+  let result = Bi.eval db q in
+  Alcotest.(check int) "doubled multiplicity" 2
+    (Bi.RK.annot (Bi.timeslice result ~tt:160 ~vt:11) (tup [ str "Ann" ]))
+
+let suite =
+  ( "extensions (AS OF, portion updates, bitemporal)",
+    [
+      Alcotest.test_case "AS OF matches full snapshot query" `Quick
+        test_as_of_matches_snapshot;
+      Alcotest.test_case "AS OF output schema" `Quick test_as_of_schema;
+      Alcotest.test_case "FOR PORTION OF update splits rows" `Quick
+        test_portion_update;
+      Alcotest.test_case "portion update outside period" `Quick
+        test_portion_update_outside;
+      Alcotest.test_case "FOR PORTION OF delete splits rows" `Quick
+        test_portion_delete;
+      Alcotest.test_case "plain update/delete" `Quick test_plain_update_delete;
+      Alcotest.test_case "portion errors" `Quick test_portion_requires_period_table;
+      Alcotest.test_case "bitemporal timeslices" `Quick test_bitemporal_timeslices;
+      Alcotest.test_case "bitemporal snapshot reducibility" `Quick
+        test_bitemporal_query_commutes;
+      Alcotest.test_case "bitemporal multiset union" `Quick
+        test_bitemporal_union_multiplicity;
+    ] )

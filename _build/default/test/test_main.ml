@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "snapshot-semantics"
+    [
+      Test_timeline.suite;
+      Test_semiring.suite;
+      Test_temporal.suite;
+      Test_core.suite;
+      Test_relation.suite;
+      Test_engine.suite;
+      Test_sqlenc.suite;
+      Test_sql.suite;
+      Test_middleware.suite;
+      Test_baseline.suite;
+      Test_middleware_errors.suite;
+      Test_workload.suite;
+      Test_extensions.suite;
+      Test_representation.suite;
+      Test_optimizer.suite;
+      Test_simplify.suite;
+      Test_compiled.suite;
+      Test_set_mode.suite;
+      Test_snapshot.suite;
+    ]

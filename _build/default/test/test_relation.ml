@@ -1,0 +1,258 @@
+(* Unit tests for the relation substrate: values (SQL three-valued logic,
+   coercions), expressions, aggregation accumulators, schemas and generic
+   K-relations (including the paper's Example 4.1). *)
+
+open Tkr_relation
+module B = Tkr_semiring.Boolean
+module N = Tkr_semiring.Nat
+
+let v = Alcotest.testable Value.pp Value.equal
+
+(* --- values --- *)
+
+let test_value_compare () =
+  Alcotest.(check (option int)) "int vs float coercion" (Some 0)
+    (Value.sql_compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check (option int)) "int less" (Some (-1))
+    (Option.map (fun c -> compare c 0) (Value.sql_compare (Value.Int 2) (Value.Float 2.5)));
+  Alcotest.(check (option int)) "null incomparable" None
+    (Value.sql_compare Value.Null (Value.Int 1));
+  Alcotest.check_raises "incompatible types"
+    (Invalid_argument "Value.sql_compare: incompatible types (2 vs 4)")
+    (fun () -> ignore (Value.sql_compare (Value.Int 1) (Value.Str "x")))
+
+let test_value_arith () =
+  Alcotest.check v "int add" (Value.Int 7) (Value.add (Value.Int 3) (Value.Int 4));
+  Alcotest.check v "mixed mul" (Value.Float 7.5)
+    (Value.mul (Value.Int 3) (Value.Float 2.5));
+  Alcotest.check v "null propagates" Value.Null (Value.add Value.Null (Value.Int 1));
+  Alcotest.check v "div by zero is null" Value.Null
+    (Value.div (Value.Int 3) (Value.Int 0));
+  Alcotest.check v "float div" (Value.Float 1.5)
+    (Value.div (Value.Float 3.0) (Value.Int 2));
+  Alcotest.check v "neg" (Value.Int (-3)) (Value.neg (Value.Int 3))
+
+(* --- expressions --- *)
+
+let t3 = Tuple.make [ Value.Int 10; Value.Str "abc"; Value.Null ]
+
+let test_expr_3vl () =
+  let open Expr in
+  (* UNKNOWN AND FALSE = FALSE; UNKNOWN OR TRUE = TRUE *)
+  let unknown = Cmp (Eq, Col 2, Const (Value.Int 1)) in
+  Alcotest.check v "unknown" Value.Null (eval t3 unknown);
+  Alcotest.check v "unknown and false" (Value.Bool false)
+    (eval t3 (And (unknown, Const (Value.Bool false))));
+  Alcotest.check v "unknown or true" (Value.Bool true)
+    (eval t3 (Or (unknown, Const (Value.Bool true))));
+  Alcotest.check v "not unknown" Value.Null (eval t3 (Not unknown));
+  Alcotest.(check bool) "holds filters unknown" false (holds t3 unknown);
+  Alcotest.check v "is null" (Value.Bool true) (eval t3 (Is_null (Col 2)))
+
+let test_expr_like () =
+  let open Expr in
+  let like p s = eval (Tuple.make [ Value.Str s ]) (Like (Col 0, p)) in
+  Alcotest.check v "prefix" (Value.Bool true) (like "PROMO%" "PROMO BRUSHED");
+  Alcotest.check v "infix" (Value.Bool true) (like "%green%" "dark green part");
+  Alcotest.check v "no match" (Value.Bool false) (like "%green%" "blue part");
+  Alcotest.check v "underscore" (Value.Bool true) (like "a_c" "abc");
+  Alcotest.check v "underscore strict" (Value.Bool false) (like "a_c" "abxc");
+  Alcotest.check v "empty pattern" (Value.Bool false) (like "" "x");
+  Alcotest.check v "double percent" (Value.Bool true) (like "%a%b%" "xxaYYb")
+
+let test_expr_case_in () =
+  let open Expr in
+  let e =
+    Case
+      ( [ (Cmp (Gt, Col 0, Const (Value.Int 5)), Const (Value.Str "big")) ],
+        Some (Const (Value.Str "small")) )
+  in
+  Alcotest.check v "case then" (Value.Str "big") (eval t3 e);
+  Alcotest.check v "case else" (Value.Str "small")
+    (eval (Tuple.make [ Value.Int 1 ]) e);
+  Alcotest.check v "in list hit" (Value.Bool true)
+    (eval t3 (In_list (Col 0, [ Value.Int 9; Value.Int 10 ])));
+  Alcotest.check v "in list miss" (Value.Bool false)
+    (eval t3 (In_list (Col 0, [ Value.Int 9 ])));
+  Alcotest.check v "in list null" Value.Null
+    (eval t3 (In_list (Col 2, [ Value.Int 9 ])));
+  Alcotest.check v "greatest" (Value.Int 10)
+    (eval t3 (Greatest (Col 0, Const (Value.Int 4))));
+  Alcotest.check v "least" (Value.Int 4)
+    (eval t3 (Least (Col 0, Const (Value.Int 4))))
+
+let test_expr_cols_shift () =
+  let open Expr in
+  let e = And (Cmp (Eq, Col 1, Col 4), Cmp (Lt, Col 0, Const (Value.Int 3))) in
+  Alcotest.(check (list int)) "cols" [ 1; 4; 0 ] (cols e);
+  let shifted = shift_cols ~from:2 ~by:2 e in
+  Alcotest.(check (list int)) "shifted" [ 1; 6; 0 ] (cols shifted)
+
+let test_equi_keys () =
+  let open Expr in
+  let p =
+    And
+      ( Cmp (Eq, Col 0, Col 3),
+        And (Cmp (Eq, Col 4, Col 1), Cmp (Lt, Col 2, Col 5)) )
+  in
+  let keys, residual = equi_keys ~left_arity:3 p in
+  Alcotest.(check (list (pair int int))) "keys" [ (0, 0); (1, 1) ] keys;
+  Alcotest.(check bool) "residual" true (residual <> None)
+
+(* --- aggregation accumulators --- *)
+
+let test_agg_acc () =
+  let open Agg in
+  let acc =
+    List.fold_left (fun a x -> step a x) empty
+      [ Value.Int 4; Value.Null; Value.Int 2; Value.Int 6 ]
+  in
+  Alcotest.check v "count(*)" (Value.Int 4) (final Count_star acc);
+  Alcotest.check v "count(x)" (Value.Int 3) (final (Count (Expr.Col 0)) acc);
+  Alcotest.check v "sum" (Value.Int 12) (final (Sum (Expr.Col 0)) acc);
+  Alcotest.check v "min" (Value.Int 2) (final (Min (Expr.Col 0)) acc);
+  Alcotest.check v "max" (Value.Int 6) (final (Max (Expr.Col 0)) acc);
+  Alcotest.check v "avg" (Value.Float 4.0) (final (Avg (Expr.Col 0)) acc)
+
+let test_agg_empty_and_combine () =
+  let open Agg in
+  Alcotest.check v "count over empty" (Value.Int 0) (final Count_star empty);
+  Alcotest.check v "sum over empty" Value.Null (final (Sum (Expr.Col 0)) empty);
+  Alcotest.check v "avg over empty" Value.Null (final (Avg (Expr.Col 0)) empty);
+  (* combine = running both halves *)
+  let xs = [ Value.Int 1; Value.Int 5; Value.Null; Value.Int 3 ] in
+  let whole = List.fold_left (fun a x -> step a x) empty xs in
+  let h1 = List.fold_left (fun a x -> step a x) empty [ Value.Int 1; Value.Int 5 ] in
+  let h2 = List.fold_left (fun a x -> step a x) empty [ Value.Null; Value.Int 3 ] in
+  let merged = combine h1 h2 in
+  List.iter
+    (fun f -> Alcotest.check v "combine" (final f whole) (final f merged))
+    [ Count_star; Count (Expr.Col 0); Sum (Expr.Col 0); Min (Expr.Col 0);
+      Max (Expr.Col 0); Avg (Expr.Col 0) ]
+
+let test_agg_multiplicity () =
+  let open Agg in
+  let acc = step ~mult:3 empty (Value.Int 5) in
+  Alcotest.check v "count x3" (Value.Int 3) (final Count_star acc);
+  Alcotest.check v "sum x3" (Value.Int 15) (final (Sum (Expr.Col 0)) acc);
+  Alcotest.check v "min unaffected" (Value.Int 5) (final (Min (Expr.Col 0)) acc);
+  (* string values with multiplicity: min/max fine, sum stays NULL *)
+  let sacc = step ~mult:2 empty (Value.Str "b") in
+  Alcotest.check v "string max" (Value.Str "b") (final (Max (Expr.Col 0)) sacc);
+  Alcotest.check v "string sum is null" Value.Null (final (Sum (Expr.Col 0)) sacc)
+
+(* --- schema resolution --- *)
+
+let schema =
+  Schema.make
+    [
+      Schema.attr "w.name" Value.TStr;
+      Schema.attr "w.skill" Value.TStr;
+      Schema.attr "a.mach" Value.TStr;
+      Schema.attr "a.skill" Value.TStr;
+    ]
+
+let test_schema_resolution () =
+  Alcotest.(check (option int)) "unique suffix" (Some 0) (Schema.find_opt schema "name");
+  Alcotest.(check (option int)) "qualified" (Some 3) (Schema.find_opt schema "a.skill");
+  Alcotest.(check (option int)) "unknown" None (Schema.find_opt schema "nope");
+  Alcotest.check_raises "ambiguous" (Schema.Ambiguous "skill") (fun () ->
+      ignore (Schema.find_opt schema "skill"))
+
+(* --- K-relations: Example 4.1 --- *)
+
+module NR = Krel.MakeMonus (N)
+
+let test_example_41 () =
+  let works_schema =
+    Schema.make [ Schema.attr "name" Value.TStr; Schema.attr "skill" Value.TStr ]
+  in
+  let assign_schema =
+    Schema.make [ Schema.attr "mach" Value.TStr; Schema.attr "skill" Value.TStr ]
+  in
+  let works =
+    NR.of_list works_schema
+      [
+        (Tuple.make [ Value.Str "Pete"; Value.Str "SP" ], 1);
+        (Tuple.make [ Value.Str "Bob"; Value.Str "SP" ], 1);
+        (Tuple.make [ Value.Str "Alice"; Value.Str "NS" ], 1);
+      ]
+  in
+  let assign =
+    NR.of_list assign_schema
+      [
+        (Tuple.make [ Value.Str "M1"; Value.Str "SP" ], 4);
+        (Tuple.make [ Value.Str "M2"; Value.Str "NS" ], 5);
+      ]
+  in
+  let joined =
+    NR.join (Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Col 3)) works assign
+  in
+  let result =
+    NR.project [ Expr.Col 2 ]
+      (Schema.make [ Schema.attr "mach" Value.TStr ])
+      joined
+  in
+  (* M1 with multiplicity 1*4 + 1*4 = 8, M2 with 5*1 = 5 *)
+  Alcotest.(check int) "M1 = 8" 8 (NR.annot result (Tuple.make [ Value.Str "M1" ]));
+  Alcotest.(check int) "M2 = 5" 5 (NR.annot result (Tuple.make [ Value.Str "M2" ]));
+  (* homomorphism h : N -> B maps the result to set semantics *)
+  let module BR = Krel.Make (B) in
+  let set_result =
+    NR.fold
+      (fun t k acc -> BR.add acc t (k > 0))
+      result
+      (BR.empty (Schema.make [ Schema.attr "mach" Value.TStr ]))
+  in
+  Alcotest.(check bool) "h(8) = true" true
+    (BR.annot set_result (Tuple.make [ Value.Str "M1" ]))
+
+let test_krel_ops () =
+  let s = Schema.make [ Schema.attr "x" Value.TInt ] in
+  let r = NR.of_list s [ (Tuple.make [ Value.Int 1 ], 2); (Tuple.make [ Value.Int 2 ], 1) ] in
+  (* selection keeps annotations *)
+  let sel = NR.select (Expr.Cmp (Expr.Gt, Expr.Col 0, Expr.Const (Value.Int 1))) r in
+  Alcotest.(check int) "selected" 1 (NR.size sel);
+  (* union adds *)
+  let u = NR.union r r in
+  Alcotest.(check int) "union doubles" 4 (NR.annot u (Tuple.make [ Value.Int 1 ]));
+  (* diff is monus *)
+  let d = NR.diff u r in
+  Alcotest.(check int) "diff" 2 (NR.annot d (Tuple.make [ Value.Int 1 ]));
+  let d2 = NR.diff r u in
+  Alcotest.(check bool) "diff to zero removes" true (NR.is_empty d2);
+  (* projection sums annotations of collapsing tuples *)
+  let p =
+    NR.project
+      [ Expr.Const (Value.Int 0) ]
+      (Schema.make [ Schema.attr "c" Value.TInt ])
+      r
+  in
+  Alcotest.(check int) "projection sums" 3 (NR.annot p (Tuple.make [ Value.Int 0 ]))
+
+let test_krel_zero_invariant () =
+  let s = Schema.make [ Schema.attr "x" Value.TInt ] in
+  let r = NR.of_list s [ (Tuple.make [ Value.Int 1 ], 0) ] in
+  Alcotest.(check bool) "zero annotations dropped" true (NR.is_empty r);
+  let r = NR.add (NR.empty s) (Tuple.make [ Value.Int 1 ]) 3 in
+  let r = NR.set r (Tuple.make [ Value.Int 1 ]) 0 in
+  Alcotest.(check bool) "set to zero removes" true (NR.is_empty r)
+
+let suite =
+  ( "relation substrate",
+    [
+      Alcotest.test_case "value comparison" `Quick test_value_compare;
+      Alcotest.test_case "value arithmetic" `Quick test_value_arith;
+      Alcotest.test_case "three-valued logic" `Quick test_expr_3vl;
+      Alcotest.test_case "LIKE patterns" `Quick test_expr_like;
+      Alcotest.test_case "CASE / IN / greatest" `Quick test_expr_case_in;
+      Alcotest.test_case "column sets and shifting" `Quick test_expr_cols_shift;
+      Alcotest.test_case "equi-key extraction" `Quick test_equi_keys;
+      Alcotest.test_case "aggregation accumulator" `Quick test_agg_acc;
+      Alcotest.test_case "empty aggregates and combine" `Quick test_agg_empty_and_combine;
+      Alcotest.test_case "aggregation with multiplicities" `Quick test_agg_multiplicity;
+      Alcotest.test_case "schema resolution" `Quick test_schema_resolution;
+      Alcotest.test_case "example 4.1 (provenance join)" `Quick test_example_41;
+      Alcotest.test_case "K-relation operators" `Quick test_krel_ops;
+      Alcotest.test_case "zero-annotation invariant" `Quick test_krel_zero_invariant;
+    ] )

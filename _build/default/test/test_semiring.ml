@@ -1,0 +1,174 @@
+open Tkr_semiring
+
+module Nat_arb = struct
+  type t = Nat.t
+
+  let gen = QCheck.Gen.int_range 0 20
+end
+
+module Bool_arb = struct
+  type t = Boolean.t
+
+  let gen = QCheck.Gen.bool
+end
+
+module Fuzzy_arb = struct
+  type t = Fuzzy.t
+
+  let gen = QCheck.Gen.(map Fuzzy.of_float (float_bound_inclusive 1.0))
+end
+
+module Trop_arb = struct
+  type t = Tropical.t
+
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [ (1, return Tropical.Inf); (5, map (fun c -> Tropical.Fin c) (int_range 0 20)) ])
+end
+
+module Sec_arb = struct
+  type t = Security.t
+
+  let gen =
+    QCheck.Gen.oneofl
+      Security.[ Public; Confidential; Secret; Top ]
+end
+
+module Lin_arb = struct
+  type t = Lineage.t
+
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (1, return Lineage.Bot);
+          ( 5,
+            map
+              (fun ids -> Lineage.of_ids ids)
+              (list_size (int_range 0 4) (oneofl [ "a"; "b"; "c"; "d" ])) );
+        ])
+end
+
+module Why_arb = struct
+  type t = Why_prov.t
+
+  let gen =
+    QCheck.Gen.(
+      map Why_prov.of_witnesses
+        (list_size (int_range 0 3)
+           (list_size (int_range 0 3) (oneofl [ "x"; "y"; "z" ]))))
+end
+
+module Poly_arb = struct
+  type t = Natpoly.t
+
+  let gen =
+    let open QCheck.Gen in
+    let mono = list_size (int_range 0 2) (oneofl [ "x"; "y"; "z" ]) in
+    let term = map (fun vars -> List.fold_left (fun p v -> Natpoly.mul p (Natpoly.var v)) Natpoly.one vars) mono in
+    let scaled = map2 (fun c t -> Natpoly.mul (Natpoly.const c) t) (int_range 0 3) term in
+    map
+      (fun terms -> List.fold_left Natpoly.add Natpoly.zero terms)
+      (list_size (int_range 0 3) scaled)
+end
+
+module NL = Laws.Semiring_laws (Nat) (Nat_arb)
+module NM = Laws.Monus_laws (Nat) (Nat_arb)
+module BL = Laws.Semiring_laws (Boolean) (Bool_arb)
+module BM = Laws.Monus_laws (Boolean) (Bool_arb)
+module FL = Laws.Semiring_laws (Fuzzy) (Fuzzy_arb)
+module FM = Laws.Monus_laws (Fuzzy) (Fuzzy_arb)
+module TL = Laws.Semiring_laws (Tropical) (Trop_arb)
+module SL = Laws.Semiring_laws (Security) (Sec_arb)
+module SM = Laws.Monus_laws (Security) (Sec_arb)
+module LL = Laws.Semiring_laws (Lineage) (Lin_arb)
+module WL = Laws.Semiring_laws (Why_prov) (Why_arb)
+module PL = Laws.Semiring_laws (Natpoly) (Poly_arb)
+
+let test_nat_monus () =
+  Alcotest.(check int) "5-3" 2 (Nat.monus 5 3);
+  Alcotest.(check int) "3-5" 0 (Nat.monus 3 5);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Nat.of_int: negative value -1")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_poly_example () =
+  (* Example 4.1 of the paper: (M1) is annotated 1*4 + 1*4 = 8 under N.
+     Check it symbolically: x*z + y*z evaluated with x=y=1, z=4. *)
+  let open Natpoly in
+  let p = add (mul (var "x") (var "z")) (mul (var "y") (var "z")) in
+  let v = function "z" -> 4 | _ -> 1 in
+  Alcotest.(check int) "eval to N" 8 (eval (module Nat) v p);
+  (* homomorphism to B: any nonzero count maps to true *)
+  let vb = function _ -> true in
+  Alcotest.(check bool) "eval to B" true (eval (module Boolean) vb p)
+
+let test_poly_canonical () =
+  let open Natpoly in
+  let a = add (var "x") (var "y") and b = add (var "y") (var "x") in
+  Alcotest.(check bool) "x+y = y+x structurally" true (equal a b);
+  let sq = mul (add (var "x") (var "y")) (add (var "x") (var "y")) in
+  let expanded =
+    add
+      (add (mul (var "x") (var "x")) (mul (const 2) (mul (var "x") (var "y"))))
+      (mul (var "y") (var "y"))
+  in
+  Alcotest.(check bool) "(x+y)^2 expands" true (equal sq expanded)
+
+let test_security_order () =
+  let open Security in
+  Alcotest.(check bool) "P + S = P" true (equal (add Public Secret) Public);
+  Alcotest.(check bool) "P * S = S" true (equal (mul Public Secret) Secret);
+  Alcotest.(check bool) "zero = T0" true (equal zero Top)
+
+let test_ops_helpers () =
+  let module O = Semiring_intf.Ops (Nat) in
+  Alcotest.(check bool) "is_zero" true (O.is_zero 0);
+  Alcotest.(check bool) "is_one" true (O.is_one 1);
+  Alcotest.(check int) "sum" 10 (O.sum [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "product" 24 (O.product [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "empty sum is zero" 0 (O.sum []);
+  Alcotest.(check int) "empty product is one" 1 (O.product [])
+
+let test_prng_determinism () =
+  (* splitmix64 reference behaviour: deterministic and well-spread *)
+  let module P = Tkr_workload.Prng in
+  let a = P.create 42 and b = P.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (P.int a 1000) (P.int b 1000)
+  done;
+  let g = P.create 7 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = P.int g 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    buckets;
+  let g = P.create 3 in
+  for _ = 1 to 100 do
+    let f = P.float g in
+    Alcotest.(check bool) "float in range" true (0. <= f && f < 1.)
+  done
+
+let test_tropical () =
+  let open Tropical in
+  Alcotest.(check bool) "min" true (equal (add (Fin 3) (Fin 5)) (Fin 3));
+  Alcotest.(check bool) "plus" true (equal (mul (Fin 3) (Fin 5)) (Fin 8));
+  Alcotest.(check bool) "inf annihilates" true (equal (mul (Fin 3) Inf) Inf)
+
+let suite =
+  ( "semiring",
+    NL.tests @ NM.tests @ BL.tests @ BM.tests @ FL.tests @ FM.tests @ TL.tests
+    @ SL.tests @ SM.tests @ LL.tests @ WL.tests @ PL.tests
+    @ [
+        Alcotest.test_case "nat monus" `Quick test_nat_monus;
+        Alcotest.test_case "provenance polynomial example 4.1" `Quick test_poly_example;
+        Alcotest.test_case "polynomial canonical form" `Quick test_poly_canonical;
+        Alcotest.test_case "security order" `Quick test_security_order;
+        Alcotest.test_case "tropical" `Quick test_tropical;
+        Alcotest.test_case "ops helpers" `Quick test_ops_helpers;
+        Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+      ] )

@@ -1,0 +1,192 @@
+(* SEQ VT SET: the set-semantics (B) instance of the framework through the
+   middleware, cross-checked against the B^T logical model. *)
+
+open Fixtures
+module M = Tkr_middleware.Middleware
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module Schema = Tkr_relation.Schema
+module Value = Tkr_relation.Value
+module Tuple = Tkr_relation.Tuple
+module Expr = Tkr_relation.Expr
+module Algebra = Tkr_relation.Algebra
+module Interval = Tkr_timeline.Interval
+module BPeriod = Tkr_core.Period_rel.Make (Tkr_semiring.Boolean) (D24)
+module PE = Tkr_sqlenc.Period_enc.Make (D24)
+
+let table_bag = Alcotest.testable Table.pp Table.equal_bag
+
+let fresh () =
+  let m = M.create () in
+  Database.set_time_bounds (M.database m) ~tmin:0 ~tmax:24;
+  ignore
+    (M.execute_script m
+       {|
+       CREATE TABLE works (name text, skill text, b int, e int) PERIOD (b, e);
+       INSERT INTO works VALUES
+         ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16),
+         ('Sam', 'SP', 8, 16), ('Ann', 'SP', 18, 20);
+       CREATE TABLE assign (mach text, skill text, b int, e int) PERIOD (b, e);
+       INSERT INTO assign VALUES
+         ('M1', 'SP', 3, 12), ('M2', 'SP', 6, 14), ('M3', 'NS', 3, 16);
+     |});
+  m
+
+(* B^T element -> canonical period table rows (true becomes one row) *)
+let btable_of schema (r : BPeriod.t) : Table.t =
+  let buf = ref [] in
+  BPeriod.R.iter
+    (fun tuple el ->
+      List.iter
+        (fun (i, v) ->
+          if v then
+            buf :=
+              Tuple.append tuple
+                (Tuple.make [ Value.Int (Interval.b i); Value.Int (Interval.e i) ])
+              :: !buf)
+        el)
+    r;
+  Table.make schema !buf
+
+let out_schema names =
+  Schema.make
+    (List.map (fun n -> Schema.attr n Value.TStr) names
+    @ [ Schema.attr "vt_begin" Value.TInt; Schema.attr "vt_end" Value.TInt ])
+
+let bworks =
+  BPeriod.of_facts works_schema
+    (List.map (fun (t, iv, _) -> (t, iv, true)) works_facts)
+
+let bassign =
+  BPeriod.of_facts assign_schema
+    (List.map (fun (t, iv, _) -> (t, iv, true)) assign_facts)
+
+let bdb = function
+  | "works" -> bworks
+  | "assign" -> bassign
+  | n -> invalid_arg n
+
+let test_set_projection () =
+  (* under set semantics the SP multiplicity collapses: one maximal row *)
+  let m = fresh () in
+  let result = M.query m "SEQ VT SET (SELECT skill FROM works)" in
+  let logical =
+    BPeriod.eval bdb
+      (Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works"))
+  in
+  Alcotest.check table_bag "projection"
+    (btable_of (out_schema [ "skill" ]) logical)
+    result;
+  (* sanity: SP covers [3,16) as ONE row under sets *)
+  Alcotest.(check bool) "maximal SP row" true
+    (Array.exists
+       (fun r ->
+         Value.equal (Tuple.get r 0) (Value.Str "SP")
+         && Value.equal (Tuple.get r 1) (Value.Int 3)
+         && Value.equal (Tuple.get r 2) (Value.Int 16))
+       (Table.rows result))
+
+let test_set_difference () =
+  (* Qskillreq under SET semantics: the SP rows vanish (there is always
+     *some* SP worker), only the NS gap remains — TSQL2-style behaviour *)
+  let m = fresh () in
+  let result =
+    M.query m
+      "SEQ VT SET (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)"
+  in
+  let expected =
+    Table.make
+      (out_schema [ "skill" ])
+      [ Tuple.make [ Value.Str "NS"; Value.Int 3; Value.Int 8 ] ]
+  in
+  Alcotest.check table_bag "set difference" expected result;
+  let logical =
+    BPeriod.eval bdb
+      (Algebra.Diff
+         ( Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "assign"),
+           Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works") ))
+  in
+  Alcotest.check table_bag "matches B^T model"
+    (btable_of (out_schema [ "skill" ]) logical)
+    result
+
+let test_set_vs_bag_counts () =
+  (* count under SET semantics counts distinct tuples per snapshot *)
+  let m = fresh () in
+  ignore (M.execute m "INSERT INTO works VALUES ('Ann', 'SP', 3, 10)");
+  (* duplicate row: bag count at 4 includes it, set count does not *)
+  let bag =
+    M.query m "SEQ VT AS OF 4 (SELECT count(*) AS c FROM works)"
+  in
+  let set_q =
+    M.query m "SEQ VT SET (SELECT count(*) AS c FROM works)"
+  in
+  Alcotest.(check bool) "bag counts duplicate" true
+    (Value.equal (Tuple.get (Table.rows bag).(0) 0) (Value.Int 2));
+  let set_at_4 =
+    Array.to_list (Table.rows set_q)
+    |> List.find (fun r ->
+           match (Tuple.get r 1, Tuple.get r 2) with
+           | Value.Int b, Value.Int e -> b <= 4 && 4 < e
+           | _ -> false)
+  in
+  Alcotest.(check bool) "set counts distinct" true
+    (Value.equal (Tuple.get set_at_4 0) (Value.Int 1))
+
+(* random facts: SEQ VT SET projection/union/diff match the B^T model *)
+let prop_set_mode_matches_bt =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"SEQ VT SET = B^T model (random facts)"
+       (QCheck.make
+          ~print:(fun (f1, f2) ->
+            Printf.sprintf "%d/%d facts" (List.length f1) (List.length f2))
+          QCheck.Gen.(pair facts_gen facts_gen))
+       (fun (f1, f2) ->
+         let m = M.create () in
+         Database.set_time_bounds (M.database m) ~tmin:0 ~tmax:24;
+         let to_table facts =
+           Table.make
+             (Schema.make
+                [
+                  Schema.attr "x" Value.TStr;
+                  Schema.attr "vt_b" Value.TInt;
+                  Schema.attr "vt_e" Value.TInt;
+                ])
+             (List.concat_map
+                (fun (t, (b, e), k) ->
+                  List.init k (fun _ ->
+                      Tuple.append t (Tuple.make [ Value.Int b; Value.Int e ])))
+                facts)
+         in
+         Database.add_period_table (M.database m) "l" (to_table f1);
+         Database.add_period_table (M.database m) "r" (to_table f2);
+         let bl = BPeriod.of_facts one_col_schema (List.map (fun (t, iv, _) -> (t, iv, true)) f1) in
+         let br = BPeriod.of_facts one_col_schema (List.map (fun (t, iv, _) -> (t, iv, true)) f2) in
+         let bdb = function "l" -> bl | "r" -> br | n -> invalid_arg n in
+         List.for_all
+           (fun (sql, alg) ->
+             let result = M.query m sql in
+             let logical = BPeriod.eval bdb alg in
+             Table.equal_bag
+               (Table.of_array (Table.schema result)
+                  (Table.rows (btable_of (out_schema [ "x" ]) logical)))
+               result)
+           [
+             ( "SEQ VT SET (SELECT x FROM l UNION ALL SELECT x FROM r)",
+               Algebra.Union
+                 ( Algebra.Project ([ Algebra.proj (Expr.Col 0) "x" ], Algebra.Rel "l"),
+                   Algebra.Project ([ Algebra.proj (Expr.Col 0) "x" ], Algebra.Rel "r") ) );
+             ( "SEQ VT SET (SELECT x FROM l EXCEPT ALL SELECT x FROM r)",
+               Algebra.Diff
+                 ( Algebra.Project ([ Algebra.proj (Expr.Col 0) "x" ], Algebra.Rel "l"),
+                   Algebra.Project ([ Algebra.proj (Expr.Col 0) "x" ], Algebra.Rel "r") ) );
+           ]))
+
+let suite =
+  ( "set semantics (SEQ VT SET)",
+    [
+      Alcotest.test_case "projection collapses duplicates" `Quick test_set_projection;
+      Alcotest.test_case "set difference (TSQL2 behaviour)" `Quick test_set_difference;
+      Alcotest.test_case "set vs bag counts" `Quick test_set_vs_bag_counts;
+      prop_set_mode_matches_bt;
+    ] )

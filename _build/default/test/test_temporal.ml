@@ -1,0 +1,208 @@
+open Fixtures
+module Interval = Tkr_timeline.Interval
+module TE = Tkr_temporal.Temporal_element.MakeMonus (Tkr_semiring.Nat)
+module TEB = Tkr_temporal.Temporal_element.Make (Tkr_semiring.Boolean)
+
+let nt_testable = Alcotest.testable NT.pp NT.equal
+
+let of_assoc = TE.of_assoc
+
+(* --- Examples from the paper --- *)
+
+let test_example_52 () =
+  (* T1 ~ T2 ~ T3 from Examples 5.1/5.2 share the same coalesced form. *)
+  let t1 = of_assoc [ ((3, 9), 3); ((18, 20), 2) ] in
+  let t2 = of_assoc [ ((3, 9), 1); ((3, 6), 2); ((6, 9), 2); ((18, 20), 2) ] in
+  let t3 = of_assoc [ ((3, 5), 3); ((5, 9), 3); ((18, 20), 2) ] in
+  Alcotest.check nt_testable "coalesce T1" (TE.coalesce t1) (TE.coalesce t2);
+  Alcotest.check nt_testable "coalesce T3" (TE.coalesce t1) (TE.coalesce t3);
+  Alcotest.check nt_testable "T1 already coalesced" t1 (TE.coalesce t1)
+
+let test_example_53 () =
+  (* N-coalesce of the salary relation history (Figure 3 / Example 5.3). *)
+  let t30k = of_assoc [ ((3, 13), 1); ((3, 10), 1) ] in
+  Alcotest.check nt_testable "CN(T30k)"
+    (of_assoc [ ((3, 10), 2); ((10, 13), 1) ])
+    (TE.coalesce t30k);
+  (* B-coalesce merges into a single maximal interval. *)
+  let t30k_b = TEB.of_assoc [ ((3, 10), true); ((3, 13), true) ] in
+  let expected_b = TEB.of_assoc [ ((3, 13), true) ] in
+  Alcotest.(check bool) "CB(T30k')" true
+    (TEB.equal_coalesced expected_b (TEB.coalesce t30k_b))
+
+let test_timeslice_overlap () =
+  (* Section 5.1: overlapping intervals add up. *)
+  let t = of_assoc [ ((0, 5), 2); ((4, 5), 1) ] in
+  Alcotest.(check int) "τ4" 3 (TE.timeslice t 4);
+  Alcotest.(check int) "τ3" 2 (TE.timeslice t 3);
+  Alcotest.(check int) "τ5" 0 (TE.timeslice t 5)
+
+let test_example_61 () =
+  (* Addition in NT: Example 6.1. *)
+  let t1 = of_assoc [ ((3, 10), 1); ((18, 20), 1) ] in
+  let t2 = of_assoc [ ((8, 16), 1) ] in
+  Alcotest.check nt_testable "T1 + T2"
+    (of_assoc [ ((3, 8), 1); ((8, 10), 2); ((10, 16), 1); ((18, 20), 1) ])
+    (NT.add t1 t2)
+
+let test_section_71_difference () =
+  (* The worked bag-difference example at the end of Section 7.1. *)
+  let a = NT.add (of_assoc [ ((3, 12), 1) ]) (of_assoc [ ((6, 14), 1) ]) in
+  Alcotest.check nt_testable "assign side"
+    (of_assoc [ ((3, 6), 1); ((6, 12), 2); ((12, 14), 1) ])
+    a;
+  let b =
+    NT.add
+      (NT.add (of_assoc [ ((3, 10), 1) ]) (of_assoc [ ((8, 16), 1) ]))
+      (of_assoc [ ((18, 20), 1) ])
+  in
+  Alcotest.check nt_testable "works side"
+    (of_assoc [ ((3, 8), 1); ((8, 10), 2); ((10, 16), 1); ((18, 20), 1) ])
+    b;
+  Alcotest.check nt_testable "monus"
+    (of_assoc [ ((6, 8), 1); ((10, 12), 1) ])
+    (NT.monus a b)
+
+let test_changepoints () =
+  (* Example 5.3: the coalesced salary history changes at 3, 10 and at its
+     end, 13 (the paper's "14" counts the first point after the last
+     covered one in its 1-closed reading; our half-open encoding uses 13) *)
+  let t30k = of_assoc [ ((3, 13), 1); ((3, 10), 1) ] in
+  Alcotest.(check (list int)) "changepoints" [ 3; 10; 13 ] (TE.changepoints t30k);
+  Alcotest.(check (list int)) "empty element" [] (TE.changepoints TE.zero);
+  Alcotest.(check int) "covered duration" 10
+    (TE.covered_duration (TE.coalesce t30k))
+
+let test_zero_one () =
+  Alcotest.(check int) "τ of one" 1 (NT.timeslice NT.one 12);
+  Alcotest.(check int) "τ of zero" 0 (NT.timeslice NT.zero 12);
+  Alcotest.check nt_testable "one is [0,24)" (of_assoc [ ((0, 24), 1) ]) NT.one
+
+let test_mul_example () =
+  (* Multiplication restricts to intersections (join semantics). *)
+  let a = of_assoc [ ((0, 10), 2) ] and b = of_assoc [ ((5, 15), 3) ] in
+  Alcotest.check nt_testable "product" (of_assoc [ ((5, 10), 6) ]) (NT.mul a b);
+  let c = of_assoc [ ((0, 4), 1) ] in
+  Alcotest.check nt_testable "disjoint product is zero" NT.zero (NT.mul b c)
+
+(* --- Property-based checks of Lemma 5.1, Lemma 6.1, Thm 6.3/7.2 --- *)
+
+let raw_arb =
+  QCheck.make
+    ~print:(fun l -> Format.asprintf "%a" TE.pp l)
+    raw_nt_gen
+
+let qt name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb prop)
+
+let prop_idempotent =
+  qt "coalesce idempotent (Lemma 5.1)" raw_arb (fun el ->
+      let c = TE.coalesce el in
+      TE.equal_coalesced c (TE.coalesce c))
+
+let prop_equivalence_preserving =
+  qt "coalesce preserves snapshots (Lemma 5.1)" raw_arb (fun el ->
+      let c = TE.coalesce el in
+      List.for_all (fun t -> TE.timeslice el t = TE.timeslice c t)
+        (List.init 24 Fun.id))
+
+let prop_is_coalesced =
+  qt "coalesce output is in normal form" raw_arb (fun el ->
+      TE.is_coalesced (TE.coalesce el))
+
+let prop_uniqueness =
+  qt "snapshot-equivalent iff equal coalesced (Lemma 5.1)"
+    (QCheck.pair raw_arb raw_arb) (fun (a, b) ->
+      let se =
+        List.for_all (fun t -> TE.timeslice a t = TE.timeslice b t)
+          (List.init 24 Fun.id)
+      in
+      se = TE.equal_coalesced (TE.coalesce a) (TE.coalesce b))
+
+let prop_lemma_61_add =
+  qt "coalesce pushes into +KP (Lemma 6.1)" (QCheck.pair raw_arb raw_arb)
+    (fun (a, b) ->
+      TE.equal_coalesced
+        (TE.coalesce (TE.add_pointwise a b))
+        (TE.coalesce (TE.add_pointwise (TE.coalesce a) b)))
+
+let prop_lemma_61_mul =
+  qt "coalesce pushes into ·KP (Lemma 6.1)" (QCheck.pair raw_arb raw_arb)
+    (fun (a, b) ->
+      TE.equal_coalesced
+        (TE.coalesce (TE.mul_pointwise a b))
+        (TE.coalesce (TE.mul_pointwise (TE.coalesce a) b)))
+
+let prop_lemma_61_monus =
+  qt "coalesce pushes into -KP (extended Lemma 6.1)"
+    (QCheck.pair raw_arb raw_arb) (fun (a, b) ->
+      TE.equal_coalesced
+        (TE.coalesce (TE.monus_pointwise a b))
+        (TE.coalesce (TE.monus_pointwise (TE.coalesce a) (TE.coalesce b))))
+
+let nt_arb =
+  QCheck.make ~print:(fun k -> Format.asprintf "%a" NT.pp k) nt_gen
+
+let prop_timeslice_hom_add =
+  qt "τ is additive (Thm 6.3)" (QCheck.pair nt_arb nt_arb) (fun (a, b) ->
+      List.for_all
+        (fun t -> NT.timeslice (NT.add a b) t = NT.timeslice a t + NT.timeslice b t)
+        (List.init 24 Fun.id))
+
+let prop_timeslice_hom_mul =
+  qt "τ is multiplicative (Thm 6.3)" (QCheck.pair nt_arb nt_arb) (fun (a, b) ->
+      List.for_all
+        (fun t -> NT.timeslice (NT.mul a b) t = NT.timeslice a t * NT.timeslice b t)
+        (List.init 24 Fun.id))
+
+let prop_timeslice_hom_monus =
+  qt "τ commutes with monus (Thm 7.2)" (QCheck.pair nt_arb nt_arb)
+    (fun (a, b) ->
+      List.for_all
+        (fun t ->
+          NT.timeslice (NT.monus a b) t
+          = max 0 (NT.timeslice a t - NT.timeslice b t))
+        (List.init 24 Fun.id))
+
+(* --- Period semirings are semirings (Thm 6.2) --- *)
+
+module NT_arb = struct
+  type t = NT.t
+
+  let gen = nt_gen
+end
+
+module BT_arb = struct
+  type t = BT.t
+
+  let gen = bt_gen
+end
+
+module NTL = Laws.Semiring_laws (NT) (NT_arb)
+module NTM = Laws.Monus_laws (NT) (NT_arb)
+module BTL = Laws.Semiring_laws (BT) (BT_arb)
+module BTM = Laws.Monus_laws (BT) (BT_arb)
+
+let suite =
+  ( "temporal",
+    [
+      Alcotest.test_case "examples 5.1/5.2" `Quick test_example_52;
+      Alcotest.test_case "example 5.3 (fig 3)" `Quick test_example_53;
+      Alcotest.test_case "overlap sums" `Quick test_timeslice_overlap;
+      Alcotest.test_case "example 6.1 (addition)" `Quick test_example_61;
+      Alcotest.test_case "section 7.1 difference" `Quick test_section_71_difference;
+      Alcotest.test_case "changepoints and duration" `Quick test_changepoints;
+      Alcotest.test_case "zero and one of NT" `Quick test_zero_one;
+      Alcotest.test_case "multiplication" `Quick test_mul_example;
+      prop_idempotent;
+      prop_equivalence_preserving;
+      prop_is_coalesced;
+      prop_uniqueness;
+      prop_lemma_61_add;
+      prop_lemma_61_mul;
+      prop_lemma_61_monus;
+      prop_timeslice_hom_add;
+      prop_timeslice_hom_mul;
+      prop_timeslice_hom_monus;
+    ]
+    @ NTL.tests @ NTM.tests @ BTL.tests @ BTM.tests )

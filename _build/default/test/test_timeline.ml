@@ -1,0 +1,126 @@
+open Tkr_timeline
+
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+let test_make_valid () =
+  let i = Interval.make 3 10 in
+  Alcotest.(check int) "b" 3 (Interval.b i);
+  Alcotest.(check int) "e" 10 (Interval.e i);
+  Alcotest.(check int) "duration" 7 (Interval.duration i)
+
+let test_make_invalid () =
+  Alcotest.check_raises "empty interval" (Invalid_argument
+                                            "Interval.make: need b < e, got [5, 5)")
+    (fun () -> ignore (Interval.make 5 5));
+  Alcotest.(check (option interval)) "make_opt empty" None (Interval.make_opt 7 3)
+
+let test_mem () =
+  let i = Interval.make 3 10 in
+  Alcotest.(check bool) "start in" true (Interval.mem 3 i);
+  Alcotest.(check bool) "end out" false (Interval.mem 10 i);
+  Alcotest.(check bool) "before out" false (Interval.mem 2 i)
+
+let test_overlap_adjacent () =
+  let i = Interval.make 3 10 and j = Interval.make 8 16 and k = Interval.make 10 12 in
+  Alcotest.(check bool) "overlap" true (Interval.overlaps i j);
+  Alcotest.(check bool) "no overlap adjacent" false (Interval.overlaps i k);
+  Alcotest.(check bool) "adjacent" true (Interval.adjacent i k);
+  Alcotest.(check bool) "not adjacent" false (Interval.adjacent i j)
+
+let test_intersect_union () =
+  let i = Interval.make 3 10 and j = Interval.make 8 16 in
+  Alcotest.(check (option interval)) "intersect" (Some (Interval.make 8 10))
+    (Interval.intersect i j);
+  Alcotest.(check (option interval)) "union overlap" (Some (Interval.make 3 16))
+    (Interval.union i j);
+  Alcotest.(check (option interval)) "union disjoint" None
+    (Interval.union (Interval.make 0 2) (Interval.make 5 7));
+  Alcotest.(check (option interval)) "union adjacent" (Some (Interval.make 0 7))
+    (Interval.union (Interval.make 0 5) (Interval.make 5 7))
+
+let test_subset () =
+  Alcotest.(check bool) "subset" true
+    (Interval.subset (Interval.make 4 6) (Interval.make 3 10));
+  Alcotest.(check bool) "not subset" false
+    (Interval.subset (Interval.make 4 11) (Interval.make 3 10))
+
+let test_domain () =
+  let d = Domain.make ~tmin:0 ~tmax:24 in
+  Alcotest.(check int) "size" 24 (Domain.size d);
+  Alcotest.(check bool) "contains 0" true (Domain.contains d 0);
+  Alcotest.(check bool) "contains 23" true (Domain.contains d 23);
+  Alcotest.(check bool) "not contains 24" false (Domain.contains d 24);
+  Alcotest.(check (list int)) "points" [ 0; 1; 2 ]
+    (Domain.points (Domain.make ~tmin:0 ~tmax:3));
+  Alcotest.check_raises "invalid domain"
+    (Invalid_argument "Domain.make: need tmin < tmax, got [5, 5)") (fun () ->
+      ignore (Domain.make ~tmin:5 ~tmax:5))
+
+let test_endpoints_elementary () =
+  let ep = Endpoints.of_list [ 10; 3; 8; 3; 16 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 3; 8; 10; 16 ] (Endpoints.to_list ep);
+  Alcotest.(check (list interval)) "elementary"
+    [ Interval.make 3 8; Interval.make 8 10; Interval.make 10 16 ]
+    (Endpoints.elementary ep);
+  Alcotest.(check (list interval)) "elementary empty" [] (Endpoints.elementary (Endpoints.of_list []));
+  Alcotest.(check (list interval)) "elementary singleton" []
+    (Endpoints.elementary (Endpoints.of_list [ 5 ]))
+
+let test_endpoints_closed () =
+  let ep = Endpoints.of_list [ 3; 8 ] in
+  Alcotest.(check (list interval)) "closed at tmax"
+    [ Interval.make 3 8; Interval.make 8 24 ]
+    (Endpoints.elementary_closed ~tmax:24 ep);
+  Alcotest.(check (list interval)) "already at tmax"
+    [ Interval.make 3 24 ]
+    (Endpoints.elementary_closed ~tmax:24 (Endpoints.of_list [ 3; 24 ]))
+
+let test_endpoints_of_intervals () =
+  let ep = Endpoints.of_intervals [ Interval.make 3 10; Interval.make 8 16 ] in
+  Alcotest.(check (list int)) "endpoints" [ 3; 8; 10; 16 ] (Endpoints.to_list ep)
+
+let qcheck_union_covers =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"interval union covers both inputs"
+       QCheck.(quad (int_range 0 50) (int_range 1 20) (int_range 0 50) (int_range 1 20))
+       (fun (b1, d1, b2, d2) ->
+         let i = Interval.make b1 (b1 + d1) and j = Interval.make b2 (b2 + d2) in
+         match Interval.union i j with
+         | None -> not (Interval.overlaps i j) && not (Interval.adjacent i j)
+         | Some u ->
+             Interval.subset i u && Interval.subset j u
+             && Interval.duration u <= Interval.duration i + Interval.duration j))
+
+let qcheck_elementary_partition =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"elementary intervals partition the span"
+       QCheck.(list_of_size Gen.(int_range 2 10) (int_range 0 100))
+       (fun points ->
+         QCheck.assume (List.length (List.sort_uniq Int.compare points) >= 2);
+         let ep = Endpoints.of_list points in
+         let segs = Endpoints.elementary ep in
+         let sorted = List.sort_uniq Int.compare points in
+         let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+         (* contiguity and coverage *)
+         let rec contiguous prev = function
+           | [] -> prev = hi
+           | s :: rest -> Interval.b s = prev && contiguous (Interval.e s) rest
+         in
+         contiguous lo segs))
+
+let suite =
+  ( "timeline",
+    [
+      Alcotest.test_case "interval make" `Quick test_make_valid;
+      Alcotest.test_case "interval invalid" `Quick test_make_invalid;
+      Alcotest.test_case "interval mem" `Quick test_mem;
+      Alcotest.test_case "overlap/adjacent" `Quick test_overlap_adjacent;
+      Alcotest.test_case "intersect/union" `Quick test_intersect_union;
+      Alcotest.test_case "subset" `Quick test_subset;
+      Alcotest.test_case "domain" `Quick test_domain;
+      Alcotest.test_case "endpoints elementary" `Quick test_endpoints_elementary;
+      Alcotest.test_case "endpoints closed" `Quick test_endpoints_closed;
+      Alcotest.test_case "endpoints of intervals" `Quick test_endpoints_of_intervals;
+      qcheck_union_covers;
+      qcheck_elementary_partition;
+    ] )
