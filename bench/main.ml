@@ -130,6 +130,9 @@ let benchmark tests =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* collected (test name, ns/run) pairs for the JSON dump *)
+let collected : (string * float) list ref = ref []
+
 let print_results results =
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
@@ -137,11 +140,63 @@ let print_results results =
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some (est :: _) ->
+          collected := (name, est) :: !collected;
           Printf.printf "%-48s %12.3f us/run\n%!" name (est /. 1000.)
       | _ -> Printf.printf "%-48s %12s\n%!" name "n/a")
     rows
 
+(* ---- JSON metrics dump (BENCH_PR1.json) ---- *)
+
+module Trace = Tkr_obs.Trace
+module Json = Tkr_obs.Json
+
+(* one traced execution per employee query: per-operator counters
+   (rows in/out, join strategy, coalesce groups/segments, ...) *)
+let operator_traces () : Json.t =
+  Json.List
+    (List.map
+       (fun (name, sql) ->
+         let p = M.prepare emp_m sql in
+         let obs = Trace.create () in
+         ignore (M.run_prepared ~obs emp_m p);
+         Json.Obj
+           [
+             ("query", Json.Str name);
+             ("trace", Json.List (List.map Trace.to_json_value (Trace.roots obs)));
+           ])
+       Q.employee)
+
+let write_json path =
+  let results =
+    List.rev_map
+      (fun (name, ns) ->
+        Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
+      !collected
+  in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.Str "bench/main.ml");
+        ("results", Json.List results);
+        ("operator_traces", operator_traces ());
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
+  let json_path =
+    (* [--json PATH] overrides the default dump location *)
+    let rec find = function
+      | "--json" :: path :: _ -> path
+      | _ :: rest -> find rest
+      | [] -> "BENCH_PR1.json"
+    in
+    find (Array.to_list Sys.argv)
+  in
   List.iter
     (fun (label, tests) ->
       Printf.printf "== %s ==\n%!" label;
@@ -152,4 +207,5 @@ let () =
       ("Table 3 (top): employee workload", table3_emp_tests);
       ("Table 3 (bottom): TPC-BiH workload", table3_tpc_tests);
       ("Ablations (Section 9)", ablation_tests);
-    ]
+    ];
+  write_json json_path

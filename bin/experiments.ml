@@ -41,6 +41,13 @@ let time_once f =
   let r = f () in
   (Unix.gettimeofday () -. t0, r)
 
+(* measurements collected for the --json dump (BENCH_PR1.json) *)
+let collected : (string * float) list ref = ref []
+
+let record name secs =
+  collected := (name, secs) :: !collected;
+  secs
+
 (* ------------------------------------------------------------------ *)
 
 let fig1 () =
@@ -222,7 +229,11 @@ let fig5 () =
   List.iter
     (fun n ->
       let t = W.coalesce_input ~n ~seed:11 ~tmax:4000 in
-      let secs = time_run (fun () -> Ops.coalesce t) in
+      let secs =
+        record
+          (Printf.sprintf "fig5/coalesce-%d" n)
+          (time_run (fun () -> Ops.coalesce t))
+      in
       printf "%10d %12.5f %14.3f\n%!" n secs (1e6 *. secs /. float_of_int n))
     [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000 ]
 
@@ -246,11 +257,20 @@ let table3emp () =
   List.iter
     (fun (name, sql) ->
       let p = M.prepare m sql in
-      let seq = time_run (fun () -> M.run_prepared m p) in
+      let seq =
+        record ("table3emp/" ^ name ^ "/seq")
+          (time_run (fun () -> M.run_prepared m p))
+      in
       let p_lit = M.prepare m_lit sql in
-      let lit = time_run (fun () -> M.run_prepared m_lit p_lit) in
+      let lit =
+        record ("table3emp/" ^ name ^ "/lit")
+          (time_run (fun () -> M.run_prepared m_lit p_lit))
+      in
       let algebra, _ = M.snapshot_algebra m sql in
-      let nat = time_run (fun () -> B.eval_coalesced B.Alignment db algebra) in
+      let nat =
+        record ("table3emp/" ^ name ^ "/nat")
+          (time_run (fun () -> B.eval_coalesced B.Alignment db algebra))
+      in
       printf "%-10s %10.4f %10.4f %10.4f   %-4s\n%!" name seq lit nat
         (bug_of_query name))
     Q.employee
@@ -267,9 +287,14 @@ let table3tpc () =
         (fun name ->
           let sql = Q.lookup name Q.tpch in
           let p = M.prepare m sql in
-          let seq = time_run (fun () -> M.run_prepared m p) in
+          let seq =
+            record
+              (Printf.sprintf "table3tpc/%s/%s/seq" label name)
+              (time_run (fun () -> M.run_prepared m p))
+          in
           let algebra, _ = M.snapshot_algebra m sql in
           let nat, _ = time_once (fun () -> B.eval_coalesced B.Alignment db algebra) in
+          let nat = record (Printf.sprintf "table3tpc/%s/%s/nat" label name) nat in
           printf "  %-6s %10.4f %10.4f   %-4s\n%!" name seq nat (bug_of_query name))
         Q.tpch_perf_names;
       printf "\n")
@@ -296,7 +321,9 @@ let ablation () =
       let m = M.create ~options ~db () in
       let t q =
         let p = M.prepare m (Q.lookup q Q.employee) in
-        time_run (fun () -> M.run_prepared m p)
+        record
+          (Printf.sprintf "ablation/%s/%s" label q)
+          (time_run (fun () -> M.run_prepared m p))
       in
       printf "%-34s %10.4f %10.4f %10.4f\n%!" label (t "join-1") (t "agg-1")
         (t "agg-2"))
@@ -307,17 +334,22 @@ let ablation () =
   let m_int = M.create ~backend:M.Interpreted ~db () in
   let m_cmp = M.create ~backend:M.Compiled ~db () in
   let m_noopt = M.create ~optimize:false ~db () in
-  let t m q =
+  let t tag m q =
     let p = M.prepare m (Q.lookup q Q.employee) in
-    time_run (fun () -> M.run_prepared m p)
+    record
+      (Printf.sprintf "ablation/%s/%s" tag q)
+      (time_run (fun () -> M.run_prepared m p))
   in
   printf "  %-34s %10s %10s\n" "" "join-4" "agg-1";
   printf "  %-34s %10.4f %10.4f\n" "interpreted, join reordering"
-    (t m_int "join-4") (t m_int "agg-1");
-  printf "  %-34s %10.4f %10.4f\n" "compiled closures" (t m_cmp "join-4")
-    (t m_cmp "agg-1");
-  printf "  %-34s %10.4f %10.4f\n%!" "no join reordering" (t m_noopt "join-4")
-    (t m_noopt "agg-1");
+    (t "interpreted" m_int "join-4")
+    (t "interpreted" m_int "agg-1");
+  printf "  %-34s %10.4f %10.4f\n" "compiled closures"
+    (t "compiled" m_cmp "join-4")
+    (t "compiled" m_cmp "agg-1");
+  printf "  %-34s %10.4f %10.4f\n%!" "no join reordering"
+    (t "no-reorder" m_noopt "join-4")
+    (t "no-reorder" m_noopt "agg-1");
   printf "\nOverlap join strategies (salaries x titles on emp_no):\n";
   let salaries = Database.find db "salaries" in
   let titles = Database.find db "titles" in
@@ -328,11 +360,15 @@ let ablation () =
         ( Cmp (Eq, Col 0, Col 4),
           And (Cmp (Lt, Col 2, Col 7), Cmp (Lt, Col 6, Col 3)) ))
   in
-  let hash = time_run (fun () -> Tkr_engine.Exec.join pred salaries titles) in
+  let hash =
+    record "ablation/overlap-join/hash"
+      (time_run (fun () -> Tkr_engine.Exec.join pred salaries titles))
+  in
   let sweep =
-    time_run (fun () ->
-        Tkr_engine.Interval_join.overlap_join ~left_keys:[ 0 ] ~right_keys:[ 0 ]
-          salaries titles)
+    record "ablation/overlap-join/sweep"
+      (time_run (fun () ->
+           Tkr_engine.Interval_join.overlap_join ~left_keys:[ 0 ]
+             ~right_keys:[ 0 ] salaries titles))
   in
   printf "  hash join + overlap residual: %.4f s\n" hash;
   printf "  sort-based interval join:     %.4f s\n" sweep
@@ -349,7 +385,9 @@ let tourism () =
   List.iter
     (fun (name, sql) ->
       let p = M.prepare m sql in
-      let secs = time_run (fun () -> M.run_prepared m p) in
+      let secs =
+        record ("tourism/" ^ name) (time_run (fun () -> M.run_prepared m p))
+      in
       let rows = Table.cardinality (M.run_prepared m p) in
       printf "  %-24s %8d rows   %8.4f s\n%!" name rows secs)
     Tkr_workload.Tourism.queries;
@@ -359,8 +397,65 @@ let tourism () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+
+module Trace = Tkr_obs.Trace
+module Json = Tkr_obs.Json
+
+(* one traced execution per employee query at a small scale: the JSON dump
+   carries per-operator counters, not just end-to-end wall times *)
+let operator_traces () : Json.t =
+  let m = M.create ~db:(W.generate { (W.scaled 200) with W.tmax = 2000 }) () in
+  Json.List
+    (List.map
+       (fun (name, sql) ->
+         let p = M.prepare m sql in
+         let obs = Trace.create () in
+         ignore (M.run_prepared ~obs m p);
+         Json.Obj
+           [
+             ("query", Json.Str name);
+             ("trace", Json.List (List.map Trace.to_json_value (Trace.roots obs)));
+             ("phases", M.phase_stats_json (M.prepared_stats p));
+           ])
+       Q.employee)
+
+let write_json path =
+  let results =
+    List.rev_map
+      (fun (name, secs) ->
+        Json.Obj [ ("name", Json.Str name); ("seconds", Json.Float secs) ])
+      !collected
+  in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.Str "bin/experiments.ml");
+        ("results", Json.List results);
+        ("operator_traces", operator_traces ());
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  printf "wrote %s\n%!" path
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* [--json [PATH]] dumps every measurement plus per-operator traces *)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args =
+    let rec go acc = function
+      | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-'
+        ->
+          (Some path, List.rev_append acc rest)
+      | "--json" :: rest -> (Some "BENCH_PR1.json", List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let which = match args with w :: _ -> w | [] -> "all" in
   let run = function
     | "fig1" -> fig1 ()
     | "table1" -> table1 ()
@@ -372,11 +467,12 @@ let () =
     | "tourism" -> tourism ()
     | other -> failwith ("unknown experiment " ^ other)
   in
-  match which with
+  (match which with
   | "all" ->
       List.iter run
         [
           "fig1"; "table1"; "table2"; "fig5"; "table3emp"; "table3tpc";
           "tourism"; "ablation";
         ]
-  | w -> run w
+  | w -> run w);
+  match json_path with None -> () | Some path -> write_json path

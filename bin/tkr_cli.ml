@@ -9,12 +9,13 @@
 
 open Cmdliner
 module M = Tkr_middleware.Middleware
+module Ast = Tkr_sql.Ast
 module Database = Tkr_engine.Database
 module Table = Tkr_engine.Table
 module Csv_io = Tkr_engine.Csv_io
 
-let print_result = function
-  | M.Rows t -> print_string (Table.to_text ~max_rows:100 t)
+let print_result ?(max_rows = 100) = function
+  | M.Rows t -> print_string (Table.to_text ~max_rows t)
   | M.Done msg -> Printf.printf "%s\n" msg
 
 (* --- demo --- *)
@@ -108,7 +109,7 @@ let load_dir m dir =
           (if is_period then ", period table" else "")))
     (Sys.readdir dir)
 
-let run data sql file =
+let run data sql file explain stats max_rows =
   let m = M.create () in
   (match data with Some dir -> load_dir m dir | None -> ());
   let script =
@@ -122,7 +123,17 @@ let run data sql file =
         s
     | _ -> failwith "provide exactly one of -e SQL or -f FILE"
   in
-  List.iter print_result (M.execute_script m script)
+  List.iter
+    (fun stmt ->
+      (* --explain: run queries as EXPLAIN ANALYZE, leave DDL/DML alone *)
+      let stmt =
+        match stmt with
+        | Ast.Query _ when explain -> Ast.Explain { analyze = true; target = stmt }
+        | stmt -> stmt
+      in
+      print_result ~max_rows (M.execute_statement m stmt))
+    (Tkr_sql.Parser.script script);
+  if stats then Printf.printf "stats: %s\n" (M.totals_report m)
 
 let run_cmd =
   let data =
@@ -143,17 +154,36 @@ let run_cmd =
       & opt (some string) None
       & info [ "f" ] ~docv:"FILE" ~doc:"SQL script file to execute")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"run every query as EXPLAIN ANALYZE: print the annotated \
+                operator tree instead of the rows")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"after the script, print cumulative phase timings \
+                (parse/analyze/rewrite/optimize/execute)")
+  in
+  let max_rows =
+    Arg.(
+      value & opt int 100
+      & info [ "max-rows" ] ~docv:"N" ~doc:"print at most $(docv) result rows")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
-    Term.(const run $ data $ sql $ file)
+    Term.(const run $ data $ sql $ file $ explain $ stats $ max_rows)
 
 (* --- explain --- *)
 
-let explain data sql =
+let explain data analyze sql =
   let m = M.create () in
   (match data with Some dir -> load_dir m dir | None -> ());
-  print_endline (M.explain m sql)
+  print_endline (if analyze then M.explain_analyze m sql else M.explain m sql)
 
 let explain_cmd =
   let data =
@@ -162,12 +192,19 @@ let explain_cmd =
       & opt (some string) None
       & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"execute the query and annotate every operator with rows \
+                in/out, internals and elapsed time")
+  in
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
-    Term.(const explain $ data $ sql)
+    Term.(const explain $ data $ analyze $ sql)
 
 let () =
   let doc = "snapshot-semantics temporal query middleware" in

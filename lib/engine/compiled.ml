@@ -3,9 +3,15 @@
 
     Produces exactly the same multisets as {!Exec} (differentially tested
     on random queries); on expression-heavy plans it avoids the AST
-    dispatch per row-evaluation, which is the interpreter's hot path. *)
+    dispatch per row-evaluation, which is the interpreter's hot path.
+
+    Compiled closures carry the same {!Tkr_obs.Trace} instrumentation as
+    the interpreter — same span labels, same counters — so the two
+    backends produce directly comparable traces (tested for equality on
+    the deterministic fields). *)
 
 open Tkr_relation
+module Trace = Tkr_obs.Trace
 
 (* ---- expression compilation ---- *)
 
@@ -115,20 +121,50 @@ let compile_pred (e : Expr.t) : Tuple.t -> bool =
 
 (* ---- operator compilation ---- *)
 
-type plan = Database.t -> Table.t
+type plan = Tkr_obs.Trace.t -> Database.t -> Table.t
+
+(* Wrap a compiled operator body in a span named like the interpreter's
+   ([Exec.op_label]); the body receives the span to record its inputs and
+   internals, the wrapper records [rows_out].  Attribute order matches
+   [Exec.eval] so the backends' traces compare equal on the deterministic
+   fields. *)
+let traced name (body : Trace.span option -> Trace.t -> Database.t -> Table.t) :
+    plan =
+ fun obs db ->
+  Trace.with_span obs name @@ fun sp ->
+  let result = body sp obs db in
+  (match sp with
+  | None -> ()
+  | Some _ -> Trace.set_int sp "rows_out" (Table.cardinality result));
+  result
+
+let rows_in sp tables =
+  match sp with
+  | None -> ()
+  | Some _ ->
+      Trace.set_int sp "rows_in"
+        (List.fold_left (fun acc t -> acc + Table.cardinality t) 0 tables)
 
 let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
+  let name = Exec.op_label q in
   match q with
-  | Rel n -> fun db -> Database.find db n
+  | Rel n ->
+      traced name (fun sp _ db ->
+          let t = Database.find db n in
+          rows_in sp [ t ];
+          t)
   | ConstRel (schema, tuples) ->
       let t = Table.make schema tuples in
-      fun _ -> t
+      traced name (fun sp _ _ ->
+          rows_in sp [ t ];
+          t)
   | Select (p, q0) ->
       let cp = compile_pred p and cq = compile ~lookup q0 in
-      fun db ->
-        let t = cq db in
-        Table.of_array (Table.schema t)
-          (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t))))
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          Table.of_array (Table.schema t)
+            (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t)))))
   | Project (projs, q0) ->
       let cq = compile ~lookup q0 in
       let child_schema = Algebra.schema_of ~lookup q0 in
@@ -142,72 +178,98 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
       let cexprs =
         Array.of_list (List.map (fun (p : Algebra.proj) -> compile_expr p.expr) projs)
       in
-      fun db ->
-        let t = cq db in
-        Table.of_array out_schema
-          (Array.map
-             (fun row -> Tuple.of_array (Array.map (fun c -> c row) cexprs))
-             (Table.rows t))
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          Table.of_array out_schema
+            (Array.map
+               (fun row -> Tuple.of_array (Array.map (fun c -> c row) cexprs))
+               (Table.rows t)))
   | Join (p, l, r) -> (
       let cl = compile ~lookup l and cr = compile ~lookup r in
       let nl = Schema.arity (Algebra.schema_of ~lookup l) in
       match Expr.equi_keys ~left_arity:nl p with
       | [], _ ->
           let cp = compile_pred p in
-          fun db ->
-            let lt = cl db and rt = cr db in
-            let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
-            let buf = ref [] in
-            Array.iter
-              (fun lrow ->
-                Array.iter
-                  (fun rrow ->
-                    let row = Tuple.append lrow rrow in
-                    if cp row then buf := row :: !buf)
-                  (Table.rows rt))
-              (Table.rows lt);
-            Table.make out_schema (List.rev !buf)
+          traced name (fun sp obs db ->
+              let lt = cl obs db in
+              let rt = cr obs db in
+              rows_in sp [ lt; rt ];
+              Trace.set_str sp "strategy" "nested_loop";
+              Trace.set_int sp "pairs"
+                (Table.cardinality lt * Table.cardinality rt);
+              let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
+              let buf = ref [] in
+              Array.iter
+                (fun lrow ->
+                  Array.iter
+                    (fun rrow ->
+                      let row = Tuple.append lrow rrow in
+                      if cp row then buf := row :: !buf)
+                    (Table.rows rt))
+                (Table.rows lt);
+              Table.make out_schema (List.rev !buf))
       | keys, residual ->
           let lkeys = List.map fst keys and rkeys = List.map snd keys in
+          let has_residual = residual <> None in
           let cres =
             match residual with
             | None -> fun _ -> true
             | Some r -> compile_pred r
           in
-          fun db ->
-            let lt = cl db and rt = cr db in
-            let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
-            let index : (Tuple.t, Tuple.t list ref) Hashtbl.t =
-              Hashtbl.create (max 16 (Table.cardinality rt))
-            in
-            Array.iter
-              (fun rrow ->
-                let key = Tuple.project rkeys rrow in
-                match Hashtbl.find_opt index key with
-                | Some cell -> cell := rrow :: !cell
-                | None -> Hashtbl.add index key (ref [ rrow ]))
-              (Table.rows rt);
-            let buf = ref [] in
-            Array.iter
-              (fun lrow ->
-                let key = Tuple.project lkeys lrow in
-                if not (Array.exists Value.is_null key) then
+          traced name (fun sp obs db ->
+              let lt = cl obs db in
+              let rt = cr obs db in
+              rows_in sp [ lt; rt ];
+              Trace.set_str sp "strategy" "hash";
+              Trace.set_int sp "equi_keys" (List.length keys);
+              let out_schema = Schema.concat (Table.schema lt) (Table.schema rt) in
+              let index : (Tuple.t, Tuple.t list ref) Hashtbl.t =
+                Hashtbl.create (max 16 (Table.cardinality rt))
+              in
+              Array.iter
+                (fun rrow ->
+                  let key = Tuple.project rkeys rrow in
                   match Hashtbl.find_opt index key with
-                  | Some matches ->
-                      List.iter
-                        (fun rrow ->
-                          let row = Tuple.append lrow rrow in
-                          if cres row then buf := row :: !buf)
-                        (List.rev !matches)
-                  | None -> ())
-              (Table.rows lt);
-            Table.make out_schema (List.rev !buf))
+                  | Some cell -> cell := rrow :: !cell
+                  | None -> Hashtbl.add index key (ref [ rrow ]))
+                (Table.rows rt);
+              let candidates = ref 0 and passed = ref 0 in
+              let buf = ref [] in
+              Array.iter
+                (fun lrow ->
+                  let key = Tuple.project lkeys lrow in
+                  if not (Array.exists Value.is_null key) then
+                    match Hashtbl.find_opt index key with
+                    | Some matches ->
+                        List.iter
+                          (fun rrow ->
+                            incr candidates;
+                            let row = Tuple.append lrow rrow in
+                            if cres row then (
+                              incr passed;
+                              buf := row :: !buf))
+                          (List.rev !matches)
+                    | None -> ())
+                (Table.rows lt);
+              Trace.set_int sp "candidates" !candidates;
+              Trace.set_bool sp "residual" has_residual;
+              Trace.set_int sp "residual_passed" !passed;
+              Table.make out_schema (List.rev !buf)))
   | Union (l, r) ->
       let cl = compile ~lookup l and cr = compile ~lookup r in
-      fun db -> Exec.union (cl db) (cr db)
+      traced name (fun sp obs db ->
+          let lt = cl obs db in
+          let rt = cr obs db in
+          rows_in sp [ lt; rt ];
+          Exec.union lt rt)
   | Diff (l, r) ->
       let cl = compile ~lookup l and cr = compile ~lookup r in
-      fun db -> Exec.except_all (cl db) (cr db)
+      traced name (fun sp obs db ->
+          let lt = cl obs db in
+          let rt = cr obs db in
+          rows_in sp [ lt; rt ];
+          Exec.except_all lt rt)
   | Agg (group, aggs, q0) ->
       let cq = compile ~lookup q0 in
       let child_schema = Algebra.schema_of ~lookup q0 in
@@ -226,61 +288,75 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
              aggs)
       in
       let funcs = Array.of_list (List.map (fun (s : Algebra.agg_spec) -> s.func) aggs) in
-      fun db ->
-        let t = cq db in
-        let table : (Tuple.t, Agg.acc array) Hashtbl.t = Hashtbl.create 64 in
-        let order = ref [] in
-        Array.iter
-          (fun row ->
-            let key = Tuple.of_array (Array.map (fun c -> c row) cgroup) in
-            let accs =
-              match Hashtbl.find_opt table key with
-              | Some a -> a
-              | None ->
-                  let a = Array.make (Array.length funcs) Agg.empty in
-                  Hashtbl.add table key a;
-                  order := key :: !order;
-                  a
-            in
-            Array.iteri
-              (fun i c -> accs.(i) <- Agg.step accs.(i) (c row))
-              cinputs)
-          (Table.rows t);
-        if group = [] && Hashtbl.length table = 0 then (
-          Hashtbl.add table (Tuple.make []) (Array.make (Array.length funcs) Agg.empty);
-          order := [ Tuple.make [] ]);
-        let buf = ref [] in
-        List.iter
-          (fun key ->
-            let accs = Hashtbl.find table key in
-            let finals =
-              Array.to_list (Array.mapi (fun i f -> Agg.final f accs.(i)) funcs)
-            in
-            buf := Tuple.append key (Tuple.make finals) :: !buf)
-          (List.rev !order);
-        Table.make out_schema (List.rev !buf)
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          let table : (Tuple.t, Agg.acc array) Hashtbl.t = Hashtbl.create 64 in
+          let order = ref [] in
+          Array.iter
+            (fun row ->
+              let key = Tuple.of_array (Array.map (fun c -> c row) cgroup) in
+              let accs =
+                match Hashtbl.find_opt table key with
+                | Some a -> a
+                | None ->
+                    let a = Array.make (Array.length funcs) Agg.empty in
+                    Hashtbl.add table key a;
+                    order := key :: !order;
+                    a
+              in
+              Array.iteri
+                (fun i c -> accs.(i) <- Agg.step accs.(i) (c row))
+                cinputs)
+            (Table.rows t);
+          if group = [] && Hashtbl.length table = 0 then (
+            Hashtbl.add table (Tuple.make []) (Array.make (Array.length funcs) Agg.empty);
+            order := [ Tuple.make [] ]);
+          let buf = ref [] in
+          List.iter
+            (fun key ->
+              let accs = Hashtbl.find table key in
+              let finals =
+                Array.to_list (Array.mapi (fun i f -> Agg.final f accs.(i)) funcs)
+              in
+              buf := Tuple.append key (Tuple.make finals) :: !buf)
+            (List.rev !order);
+          Table.make out_schema (List.rev !buf))
   | Distinct q0 ->
       let cq = compile ~lookup q0 in
-      fun db -> Exec.distinct (cq db)
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          Exec.distinct t)
   | Coalesce q0 ->
       let cq = compile ~lookup q0 in
-      fun db -> Ops.coalesce (cq db)
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          Ops.coalesce ?sp t)
   | Split (g, l, r) ->
       if l == r then
         let cl = compile ~lookup l in
-        fun db ->
-          let t = cl db in
-          Ops.split g t t
+        traced name (fun sp obs db ->
+            let t = cl obs db in
+            rows_in sp [ t ];
+            Ops.split ?sp g t t)
       else
         let cl = compile ~lookup l and cr = compile ~lookup r in
-        fun db -> Ops.split g (cl db) (cr db)
+        traced name (fun sp obs db ->
+            let lt = cl obs db in
+            let rt = cr obs db in
+            rows_in sp [ lt; rt ];
+            Ops.split ?sp g lt rt)
   | Split_agg sa ->
       let cq = compile ~lookup sa.sa_child in
-      fun db ->
-        Ops.split_agg ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap (cq db)
+      traced name (fun sp obs db ->
+          let t = cq obs db in
+          rows_in sp [ t ];
+          Ops.split_agg ?sp ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap t)
 
 (** Compile and immediately run (convenience; reuse the compiled plan for
     repeated execution). *)
-let eval (db : Database.t) (q : Algebra.t) : Table.t =
+let eval ?(obs = Trace.disabled) (db : Database.t) (q : Algebra.t) : Table.t =
   let lookup n = Database.schema_of db n in
-  (compile ~lookup q) db
+  (compile ~lookup q) obs db

@@ -1,18 +1,24 @@
 (** A closure-compiling executor: expressions and operators are compiled
     once into closures instead of being re-interpreted per row.  Produces
     exactly {!Exec}'s multisets (differentially tested); useful for
-    prepared statements executed repeatedly. *)
+    prepared statements executed repeatedly.
+
+    Compiled plans carry the same trace instrumentation as the
+    interpreter (same span labels and counters), so traces from the two
+    backends are directly comparable. *)
 
 open Tkr_relation
 
 val compile_expr : Expr.t -> Tuple.t -> Value.t
 val compile_pred : Expr.t -> Tuple.t -> bool
 
-type plan = Database.t -> Table.t
+type plan = Tkr_obs.Trace.t -> Database.t -> Table.t
+(** A compiled plan, run against a trace collector (pass
+    {!Tkr_obs.Trace.disabled} for no instrumentation) and a database. *)
 
 val compile : lookup:(string -> Schema.t) -> Algebra.t -> plan
 (** [lookup] must give the schema of every base relation referenced;
     the compiled plan may be run against any database with compatible
     schemas. *)
 
-val eval : Database.t -> Algebra.t -> Table.t
+val eval : ?obs:Tkr_obs.Trace.t -> Database.t -> Algebra.t -> Table.t

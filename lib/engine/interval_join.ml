@@ -9,6 +9,7 @@
     compared against it in the ablation benchmarks. *)
 
 open Tkr_relation
+module Trace = Tkr_obs.Trace
 
 let period_of_row = Ops.period_of_row
 
@@ -39,7 +40,7 @@ let sweep_bucket emit (l : Tuple.t array) (r : Tuple.t array) =
 (** [overlap_join ~left_keys ~right_keys l r] joins encoded tables on
     equality of the given key columns and interval overlap, returning the
     concatenation of the matching rows. *)
-let overlap_join ~(left_keys : int list) ~(right_keys : int list)
+let overlap_join ?sp ~(left_keys : int list) ~(right_keys : int list)
     (l : Table.t) (r : Table.t) : Table.t =
   let out_schema = Schema.concat (Table.schema l) (Table.schema r) in
   let bucketize keys t =
@@ -55,12 +56,14 @@ let overlap_join ~(left_keys : int list) ~(right_keys : int list)
     h
   in
   let lh = bucketize left_keys l and rh = bucketize right_keys r in
+  let matched_buckets = ref 0 in
   let buf = ref [] in
   Hashtbl.iter
     (fun key lrows ->
       match Hashtbl.find_opt rh key with
       | None -> ()
       | Some rrows ->
+          incr matched_buckets;
           let sort rows =
             let a = Array.of_list !rows in
             Array.sort
@@ -73,4 +76,12 @@ let overlap_join ~(left_keys : int list) ~(right_keys : int list)
             (fun lr rr -> buf := Tuple.append lr rr :: !buf)
             (sort lrows) (sort rrows))
     lh;
+  (match sp with
+  | None -> ()
+  | Some _ ->
+      Trace.set_str sp "strategy" "interval_sweep";
+      Trace.set_int sp "buckets_left" (Hashtbl.length lh);
+      Trace.set_int sp "buckets_right" (Hashtbl.length rh);
+      Trace.set_int sp "buckets_matched" !matched_buckets;
+      Trace.set_int sp "pairs_emitted" (List.length !buf));
   Table.make out_schema !buf

@@ -6,6 +6,7 @@
 
 
 val overlap_join :
+  ?sp:Tkr_obs.Trace.span ->
   left_keys:int list ->
   right_keys:int list ->
   Table.t ->

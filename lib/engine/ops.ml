@@ -13,6 +13,7 @@
       paper's optimized rewriting (Section 9). *)
 
 open Tkr_relation
+module Trace = Tkr_obs.Trace
 
 let period_of_row row =
   let n = Tuple.arity row in
@@ -27,7 +28,7 @@ let data_of_row row =
 (** Multiset coalescing: for every distinct data prefix, compute the
     maximal intervals of constant multiplicity (counting open intervals)
     and emit that many duplicate rows per interval. *)
-let coalesce (t : Table.t) : Table.t =
+let coalesce ?sp (t : Table.t) : Table.t =
   let groups : (Tuple.t, (int * int) list ref) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [] in
   Array.iter
@@ -40,15 +41,17 @@ let coalesce (t : Table.t) : Table.t =
           Hashtbl.add groups data (ref [ p ]);
           order := data :: !order)
     (Table.rows t);
+  let segments = ref 0 in
   let buf = ref [] in
   let emit data b e count =
-    if count > 0 then
+    if count > 0 then (
+      incr segments;
       let row =
         Tuple.append data (Tuple.make [ Value.Int b; Value.Int e ])
       in
       for _ = 1 to count do
         buf := row :: !buf
-      done
+      done)
   in
   List.iter
     (fun data ->
@@ -78,6 +81,9 @@ let coalesce (t : Table.t) : Table.t =
       (match events with [] -> () | (t0, _) :: _ -> sweep t0 0 events);
       ())
     (List.rev !order);
+  Trace.set_int sp "groups" (Hashtbl.length groups);
+  Trace.set_int sp "endpoints" (2 * Table.cardinality t);
+  Trace.set_int sp "segments" !segments;
   Table.make (Table.schema t) (List.rev !buf)
 
 module IS = Set.Make (Int)
@@ -146,8 +152,9 @@ let split_with eps key_cols (t : Table.t) : Table.t =
 
 (** N_G(R1, R2) of Def. 8.3: split every R1 row at the endpoints of all
     rows of R1 ∪ R2 that agree with it on the group columns. *)
-let split group_cols (left : Table.t) (right : Table.t) : Table.t =
+let split ?sp group_cols (left : Table.t) (right : Table.t) : Table.t =
   let eps = endpoint_sets group_cols [ left; right ] in
+  let fragments = ref 0 in
   let buf = ref [] in
   Array.iter
     (fun row ->
@@ -159,9 +166,17 @@ let split group_cols (left : Table.t) (right : Table.t) : Table.t =
       let data = data_of_row row in
       List.iter
         (fun (sb, se) ->
+          incr fragments;
           buf := Tuple.append data (Tuple.make [ Value.Int sb; Value.Int se ]) :: !buf)
         (cut_interval points b e))
     (Table.rows left);
+  (match sp with
+  | None -> ()
+  | Some _ ->
+      Trace.set_int sp "endpoint_keys" (Hashtbl.length eps);
+      Trace.set_int sp "endpoints"
+        (Hashtbl.fold (fun _ s acc -> acc + IS.cardinal !s) eps 0);
+      Trace.set_int sp "fragments" !fragments);
   Table.make (Table.schema left) (List.rev !buf)
 
 (** Fused pre-aggregated split+aggregate (Section 9).
@@ -173,7 +188,7 @@ let split group_cols (left : Table.t) (right : Table.t) : Table.t =
     whole time domain produces a row, using the aggregate's value over the
     empty input when nothing covers the segment — the fix for the
     aggregation-gap bug. *)
-let split_agg ~(group : int list) ~(aggs : Algebra.agg_spec list)
+let split_agg ?sp ~(group : int list) ~(aggs : Algebra.agg_spec list)
     ~(gap : (int * int) option) (child : Table.t) : Table.t =
   let child_schema = Table.schema child in
   let n_aggs = List.length aggs in
@@ -283,6 +298,13 @@ let split_agg ~(group : int list) ~(aggs : Algebra.agg_spec list)
               :: !buf)
         segs)
     (List.rev !group_order);
+  (match sp with
+  | None -> ()
+  | Some _ ->
+      Trace.set_int sp "groups" (Hashtbl.length group_eps);
+      Trace.set_int sp "pre_aggregates" (Hashtbl.length pre);
+      Trace.set_int sp "endpoints"
+        (Hashtbl.fold (fun _ s acc -> acc + IS.cardinal !s) group_eps 0));
   let out_schema =
     let gattrs = List.map (fun i -> Schema.get child_schema i) group in
     let aattrs =

@@ -20,12 +20,68 @@ module Ast = Tkr_sql.Ast
 module Parser = Tkr_sql.Parser
 module Analyzer = Tkr_sql.Analyzer
 module Rewriter = Tkr_sqlenc.Rewriter
+module Trace = Tkr_obs.Trace
+module Clock = Tkr_obs.Clock
+module Json = Tkr_obs.Json
 
 exception Error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type backend = Interpreted | Compiled
+
+(* ---- observability: per-statement phase timings ---- *)
+
+(** Cumulative phase timings of one prepared statement: the preparation
+    pipeline (parse → analyze → rewrite → optimize) is timed once, the
+    execute phase accumulates over every {!run_prepared}. *)
+type phase_stats = {
+  mutable parse_ns : int64;
+  mutable analyze_ns : int64;
+  mutable rewrite_ns : int64;
+  mutable optimize_ns : int64;
+  mutable runs : int;
+  mutable execute_ns : int64;  (** cumulative over [runs] executions *)
+  mutable last_rows : int;  (** output cardinality of the last run *)
+}
+
+let fresh_stats () =
+  {
+    parse_ns = 0L;
+    analyze_ns = 0L;
+    rewrite_ns = 0L;
+    optimize_ns = 0L;
+    runs = 0;
+    execute_ns = 0L;
+    last_rows = 0;
+  }
+
+let add_stats ~into:(a : phase_stats) (b : phase_stats) =
+  a.parse_ns <- Int64.add a.parse_ns b.parse_ns;
+  a.analyze_ns <- Int64.add a.analyze_ns b.analyze_ns;
+  a.rewrite_ns <- Int64.add a.rewrite_ns b.rewrite_ns;
+  a.optimize_ns <- Int64.add a.optimize_ns b.optimize_ns
+
+let pp_phase_stats ppf (s : phase_stats) =
+  let ms = Clock.ns_to_ms in
+  Format.fprintf ppf
+    "parse %.3f ms | analyze %.3f ms | rewrite %.3f ms | optimize %.3f ms | \
+     execute %.3f ms over %d run%s"
+    (ms s.parse_ns) (ms s.analyze_ns) (ms s.rewrite_ns) (ms s.optimize_ns)
+    (ms s.execute_ns) s.runs
+    (if s.runs = 1 then "" else "s")
+
+let phase_stats_json (s : phase_stats) : Json.t =
+  Json.Obj
+    [
+      ("parse_ns", Json.Int (Int64.to_int s.parse_ns));
+      ("analyze_ns", Json.Int (Int64.to_int s.analyze_ns));
+      ("rewrite_ns", Json.Int (Int64.to_int s.rewrite_ns));
+      ("optimize_ns", Json.Int (Int64.to_int s.optimize_ns));
+      ("runs", Json.Int s.runs);
+      ("execute_ns", Json.Int (Int64.to_int s.execute_ns));
+      ("last_rows", Json.Int s.last_rows);
+    ]
 
 type t = {
   db : Database.t;
@@ -35,11 +91,24 @@ type t = {
       (** execute plans by AST interpretation or as compiled closures *)
   insert_order : (string, int list) Hashtbl.t;
       (** CREATE TABLE column order -> stored order (period cols last) *)
+  totals : phase_stats;
+      (** phase timings accumulated over every statement this middleware
+          prepared or ran *)
 }
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
     ?(backend = Interpreted) ?(db = Database.create ()) () =
-  { db; options; optimize; backend; insert_order = Hashtbl.create 8 }
+  {
+    db;
+    options;
+    optimize;
+    backend;
+    insert_order = Hashtbl.create 8;
+    totals = fresh_stats ();
+  }
+
+let totals m = m.totals
+let totals_report m = Format.asprintf "%a" pp_phase_stats m.totals
 
 let set_optimize m b = m.optimize <- b
 let set_backend m b = m.backend <- b
@@ -68,8 +137,10 @@ let plain_catalog m : Analyzer.catalog =
 
 type prepared = {
   plan : Algebra.t;  (** ready to execute against the engine *)
-  exec : Database.t -> Table.t;
-      (** the plan, possibly compiled to closures (see {!backend}) *)
+  exec : Trace.t -> Database.t -> Table.t;
+      (** the plan, possibly compiled to closures (see {!backend});
+          applied to a trace collector ({!Trace.disabled} when not
+          observing) *)
   out_schema : Schema.t;  (** user-visible output schema *)
   snapshot : bool;
   as_of : int option;
@@ -77,13 +148,20 @@ type prepared = {
           columns (SEQ VT AS OF t) *)
   order_by : (int * bool) list;
   limit : int option;
+  stats : phase_stats;  (** phase timings; execute accumulates per run *)
 }
 
-let make_exec m plan =
+let make_exec m plan : Trace.t -> Database.t -> Table.t =
   match m.backend with
-  | Interpreted -> fun db -> Exec.eval db plan
+  | Interpreted -> fun obs db -> Exec.eval ~obs db plan
   | Compiled ->
       Tkr_engine.Compiled.compile ~lookup:(fun n -> Database.schema_of m.db n) plan
+
+(* time one preparation phase into a [phase_stats] cell *)
+let phase (set : int64 -> unit) (f : unit -> 'a) : 'a =
+  let ns, r = Clock.elapsed f in
+  set ns;
+  r
 
 let rec collect_rels acc (q : Algebra.t) =
   match q with
@@ -120,6 +198,11 @@ let rec setify (q : Algebra.t) : Algebra.t =
 let prepare_statement m (stmt : Ast.statement) : prepared =
   match stmt with
   | Ast.Query { q; order_by; limit } -> (
+      let stats = fresh_stats () in
+      let finish (p : prepared) =
+        add_stats ~into:m.totals p.stats;
+        p
+      in
       let kind =
         match q with
         | Ast.Seq_vt inner -> `Snapshot (inner, None, false)
@@ -129,21 +212,27 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
       in
       match kind with
       | `Snapshot (inner, as_of, set_mode) ->
-          let analyzed = Analyzer.analyze_query (snapshot_catalog m) inner in
           let analyzed =
-            if set_mode then { analyzed with algebra = setify analyzed.algebra }
-            else analyzed
+            phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
+            let analyzed = Analyzer.analyze_query (snapshot_catalog m) inner in
+            let analyzed =
+              if set_mode then
+                { analyzed with algebra = setify analyzed.algebra }
+              else analyzed
+            in
+            (* every base relation must be a period table *)
+            List.iter
+              (fun n ->
+                if not (Database.is_period m.db n) then
+                  err "table %s inside SEQ VT is not a period table" n)
+              (collect_rels [] analyzed.algebra);
+            analyzed
           in
-          (* every base relation must be a period table *)
-          List.iter
-            (fun n ->
-              if not (Database.is_period m.db n) then
-                err "table %s inside SEQ VT is not a period table" n)
-            (collect_rels [] analyzed.algebra);
           let tmin, tmax = Database.time_bounds m.db in
           let lookup n = Database.data_schema_of m.db n in
-          let logical = Simplify.simplify analyzed.algebra in
           let logical =
+            phase (fun ns -> stats.optimize_ns <- ns) @@ fun () ->
+            let logical = Simplify.simplify analyzed.algebra in
             if m.optimize then
               Tkr_engine.Optimizer.optimize
                 ~stats:
@@ -155,10 +244,11 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
             else logical
           in
           let plan =
-            Simplify.simplify
-              (Rewriter.rewrite ~options:m.options ~tmin ~tmax ~lookup logical)
-          in
-          let plan =
+            phase (fun ns -> stats.rewrite_ns <- ns) @@ fun () ->
+            let plan =
+              Simplify.simplify
+                (Rewriter.rewrite ~options:m.options ~tmin ~tmax ~lookup logical)
+            in
             match as_of with
             | None -> plan
             | Some t ->
@@ -207,26 +297,36 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
             | Some _ -> analyzed.schema
           in
           let order_by = List.map (Analyzer.resolve_order out_schema) order_by in
-          { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of; order_by;
-            limit }
+          finish
+            { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of;
+              order_by; limit; stats }
       | `Plain inner ->
-          let analyzed = Analyzer.analyze_query (plain_catalog m) inner in
+          let analyzed =
+            phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
+            Analyzer.analyze_query (plain_catalog m) inner
+          in
           let order_by =
             List.map (Analyzer.resolve_order analyzed.schema) order_by
           in
-          {
-            plan = analyzed.algebra;
-            exec = make_exec m analyzed.algebra;
-            out_schema = analyzed.schema;
-            snapshot = false;
-            as_of = None;
-            order_by;
-            limit;
-          })
+          finish
+            {
+              plan = analyzed.algebra;
+              exec = make_exec m analyzed.algebra;
+              out_schema = analyzed.schema;
+              snapshot = false;
+              as_of = None;
+              order_by;
+              limit;
+              stats;
+            })
   | _ -> err "not a query"
 
 let prepare m (sql : string) : prepared =
-  prepare_statement m (Parser.statement sql)
+  let ns, stmt = Clock.elapsed (fun () -> Parser.statement sql) in
+  let p = prepare_statement m stmt in
+  p.stats.parse_ns <- ns;
+  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  p
 
 (** Analyze the snapshot query inside a [SEQ VT (...)] statement and return
     its logical algebra and data schema — the input shared by the rewriter
@@ -238,8 +338,12 @@ let snapshot_algebra m (sql : string) : Algebra.t * Schema.t =
       (a.algebra, a.schema)
   | _ -> err "expected a SEQ VT query"
 
-let run_prepared m (p : prepared) : Table.t =
-  let result = p.exec m.db in
+let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
+  let ns, result = Clock.elapsed (fun () -> p.exec obs m.db) in
+  p.stats.runs <- p.stats.runs + 1;
+  p.stats.execute_ns <- Int64.add p.stats.execute_ns ns;
+  m.totals.runs <- m.totals.runs + 1;
+  m.totals.execute_ns <- Int64.add m.totals.execute_ns ns;
   let result =
     match p.as_of with
     | None -> result
@@ -281,6 +385,8 @@ let run_prepared m (p : prepared) : Table.t =
     | Some l when Array.length rows > l -> Array.sub rows 0 l
     | _ -> rows
   in
+  p.stats.last_rows <- Array.length rows;
+  m.totals.last_rows <- Array.length rows;
   Table.of_array p.out_schema rows
 
 (* ---- DDL / DML ---- *)
@@ -296,11 +402,51 @@ let const_value (e : Ast.expr) : Value.t =
   | Ast.Neg (Ast.Fnum f) -> Value.Float (-.f)
   | _ -> err "INSERT values must be literals"
 
+(* ---- EXPLAIN rendering ---- *)
+
+(** The final (optimized, rewritten) plan of a prepared query as text. *)
+let render_plan (p : prepared) : string =
+  Format.asprintf "@[<v>%s query%s@,output: %a@,plan:@,  @[%a@]@]"
+    (if p.snapshot then "snapshot" else "plain")
+    (match p.as_of with Some t -> Printf.sprintf " (AS OF %d)" t | None -> "")
+    Schema.pp p.out_schema Algebra.pp p.plan
+
+(** EXPLAIN ANALYZE output: the plan, the executed trace tree annotated
+    with per-operator counters and timings, and the phase summary. *)
+let render_analyze (p : prepared) (obs : Trace.t) (result : Table.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (render_plan p);
+  Buffer.add_string buf "\nexecution:\n";
+  List.iter
+    (fun root ->
+      String.split_on_char '\n' (Trace.to_text root)
+      |> List.iter (fun line ->
+             if line <> "" then (
+               Buffer.add_string buf "  ";
+               Buffer.add_string buf line;
+               Buffer.add_char buf '\n')))
+    (Trace.roots obs);
+  Buffer.add_string buf
+    (Printf.sprintf "result: %d rows\n" (Table.cardinality result));
+  Buffer.add_string buf (Format.asprintf "%a" pp_phase_stats p.stats);
+  Buffer.contents buf
+
 type result = Rows of Table.t | Done of string
 
-let execute_statement m (stmt : Ast.statement) : result =
+let rec execute_statement m (stmt : Ast.statement) : result =
   match stmt with
   | Ast.Query _ -> Rows (run_prepared m (prepare_statement m stmt))
+  | Ast.Explain { analyze; target } -> (
+      match target with
+      | Ast.Query _ ->
+          let p = prepare_statement m target in
+          if not analyze then Done (render_plan p)
+          else
+            let obs = Trace.create () in
+            let result = run_prepared ~obs m p in
+            Done (render_analyze p obs result)
+      | Ast.Explain _ -> execute_statement m target  (* EXPLAIN EXPLAIN ... *)
+      | _ -> err "EXPLAIN expects a query")
   | Ast.Create_table { tbl_name; cols; period } -> (
       let schema =
         Schema.make (List.map (fun (n, ty) -> Schema.attr n ty) cols)
@@ -471,11 +617,15 @@ let execute_statement m (stmt : Ast.statement) : result =
       Done (Printf.sprintf "deleted %d rows from %s" !deleted del_name)
 
 let execute m (sql : string) : result =
-  execute_statement m (Parser.statement sql)
+  let ns, stmt = Clock.elapsed (fun () -> Parser.statement sql) in
+  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  execute_statement m stmt
 
 (** Run a whole ;-separated script, returning the result of each statement. *)
 let execute_script m (sql : string) : result list =
-  List.map (execute_statement m) (Parser.script sql)
+  let ns, stmts = Clock.elapsed (fun () -> Parser.script sql) in
+  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  List.map (execute_statement m) stmts
 
 (** Convenience: run a query and return its rows. *)
 let query m (sql : string) : Table.t =
@@ -484,10 +634,15 @@ let query m (sql : string) : Table.t =
   | Done _ -> err "expected a query, got a DDL/DML statement"
 
 (** EXPLAIN: the final (optimized, rewritten) plan of a query as text. *)
-let explain m (sql : string) : string =
+let explain m (sql : string) : string = render_plan (prepare m sql)
+
+(** EXPLAIN ANALYZE as a function: prepare, execute under a fresh trace
+    collector, render the annotated operator tree plus phase timings. *)
+let explain_analyze m (sql : string) : string =
   let p = prepare m sql in
-  Format.asprintf
-    "@[<v>%s query%s@,output: %a@,plan:@,  @[%a@]@]"
-    (if p.snapshot then "snapshot" else "plain")
-    (match p.as_of with Some t -> Printf.sprintf " (AS OF %d)" t | None -> "")
-    Schema.pp p.out_schema Algebra.pp p.plan
+  let obs = Trace.create () in
+  let result = run_prepared ~obs m p in
+  render_analyze p obs result
+
+let prepared_stats (p : prepared) = p.stats
+let totals_json m : Json.t = phase_stats_json m.totals

@@ -40,20 +40,52 @@ val set_optimize : t -> bool -> unit
 val set_backend : t -> backend -> unit
 val options : t -> Rewriter.options
 
+(** Cumulative phase timings of one prepared statement (or, for
+    {!totals}, of a whole middleware): the preparation pipeline
+    (parse → analyze → rewrite → optimize) is timed once per statement,
+    [execute_ns] accumulates over every {!run_prepared}. *)
+type phase_stats = {
+  mutable parse_ns : int64;
+  mutable analyze_ns : int64;
+  mutable rewrite_ns : int64;
+  mutable optimize_ns : int64;
+  mutable runs : int;
+  mutable execute_ns : int64;
+  mutable last_rows : int;
+}
+
+val pp_phase_stats : Format.formatter -> phase_stats -> unit
+val phase_stats_json : phase_stats -> Tkr_obs.Json.t
+
 type prepared = {
   plan : Algebra.t;
-  exec : Database.t -> Table.t;
+  exec : Tkr_obs.Trace.t -> Database.t -> Table.t;
+      (** run against a trace collector ({!Tkr_obs.Trace.disabled} for no
+          instrumentation) *)
   out_schema : Schema.t;
   snapshot : bool;
   as_of : int option;
   order_by : (int * bool) list;
   limit : int option;
+  stats : phase_stats;
 }
 (** A parsed, analyzed and (for snapshot queries) rewritten statement,
     ready for repeated execution. *)
 
 val prepare : t -> string -> prepared
-val run_prepared : t -> prepared -> Table.t
+
+val run_prepared : ?obs:Tkr_obs.Trace.t -> t -> prepared -> Table.t
+(** Execute a prepared statement; [obs] (default {!Tkr_obs.Trace.disabled})
+    collects a per-operator trace of the run. *)
+
+val prepared_stats : prepared -> phase_stats
+
+val totals : t -> phase_stats
+(** Phase timings accumulated over every statement this middleware
+    prepared or ran. *)
+
+val totals_report : t -> string
+val totals_json : t -> Tkr_obs.Json.t
 
 val snapshot_algebra : t -> string -> Algebra.t * Schema.t
 (** The logical algebra inside a [SEQ VT] statement and its data schema —
@@ -73,3 +105,10 @@ val query : t -> string -> Table.t
 
 val explain : t -> string -> string
 (** EXPLAIN: render the final (optimized, rewritten) plan of a query. *)
+
+val explain_analyze : t -> string -> string
+(** EXPLAIN ANALYZE: prepare, execute under a fresh trace collector, and
+    render the plan plus the executed operator tree annotated with rows
+    in/out, operator internals (join strategy, coalesce groups/segments,
+    split fan-out, ...) and elapsed time, followed by phase timings.
+    Equivalent to executing the [EXPLAIN ANALYZE (stmt)] statement. *)

@@ -1,0 +1,18 @@
+(** Monotonic time source for observability timings. *)
+
+type t = unit -> int64
+(** A clock yields a monotonically non-decreasing timestamp in
+    nanoseconds. *)
+
+val monotonic : t
+(** The real monotonic clock (CLOCK_MONOTONIC). *)
+
+val now_ns : unit -> int64
+
+val frozen : t
+(** Always 0: measured durations are exactly zero (deterministic tests). *)
+
+val elapsed : ?clock:t -> (unit -> 'a) -> int64 * 'a
+(** Elapsed nanoseconds of a thunk, alongside its result. *)
+
+val ns_to_ms : int64 -> float

@@ -1,0 +1,13 @@
+(** A minimal JSON document builder for the observability sinks. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering with proper string escaping. *)

@@ -1,0 +1,167 @@
+(** A lightweight metrics registry: named counters, monotonic-clock
+    timers and fixed-bucket histograms.
+
+    Metrics are find-or-create by name, so instrumentation sites don't
+    need setup code; reads ([value], [snapshot], [to_json]) are cheap and
+    never disturb the instruments.  A registry is a plain value — the
+    engine, middleware and benchmarks each keep their own, and {!global}
+    is a process-wide default for ad-hoc use. *)
+
+type counter = { mutable count : int }
+
+type timer = {
+  clock : Clock.t;
+  mutable total_ns : int64;
+  mutable samples : int;
+}
+
+type histogram = {
+  bounds : int array;  (** upper bucket bounds, ascending *)
+  buckets : int array;  (** [Array.length bounds + 1] slots; last = overflow *)
+  mutable observations : int;
+  mutable sum : int;
+}
+
+type metric =
+  | Counter of counter
+  | Timer of timer
+  | Histogram of histogram
+
+type t = {
+  reg_clock : Clock.t;
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (** registration order, reversed *)
+}
+
+let create ?(clock = Clock.monotonic) () =
+  { reg_clock = clock; tbl = Hashtbl.create 32; order = [] }
+
+let global = create ()
+
+let find_or_add t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.tbl name m;
+      t.order <- name :: t.order;
+      m
+
+let counter t name : counter =
+  match find_or_add t name (fun () -> Counter { count = 0 }) with
+  | Counter c -> c
+  | _ -> invalid_arg ("metric " ^ name ^ " is not a counter")
+
+let timer t name : timer =
+  match
+    find_or_add t name (fun () ->
+        Timer { clock = t.reg_clock; total_ns = 0L; samples = 0 })
+  with
+  | Timer tm -> tm
+  | _ -> invalid_arg ("metric " ^ name ^ " is not a timer")
+
+let default_bounds = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 |]
+
+let histogram ?(bounds = default_bounds) t name : histogram =
+  match
+    find_or_add t name (fun () ->
+        Histogram
+          {
+            bounds;
+            buckets = Array.make (Array.length bounds + 1) 0;
+            observations = 0;
+            sum = 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg ("metric " ^ name ^ " is not a histogram")
+
+(* ---- instrument operations ---- *)
+
+let incr (c : counter) = c.count <- c.count + 1
+let add (c : counter) n = c.count <- c.count + n
+let value (c : counter) = c.count
+
+let record_ns (tm : timer) ns =
+  tm.total_ns <- Int64.add tm.total_ns ns;
+  tm.samples <- tm.samples + 1
+
+let time (tm : timer) (f : unit -> 'a) : 'a =
+  let t0 = tm.clock () in
+  let finish () = record_ns tm (Int64.sub (tm.clock ()) t0) in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+let timer_total_ns (tm : timer) = tm.total_ns
+let timer_samples (tm : timer) = tm.samples
+
+let observe (h : histogram) v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum + v
+
+let histogram_observations (h : histogram) = h.observations
+let histogram_sum (h : histogram) = h.sum
+let histogram_buckets (h : histogram) = Array.copy h.buckets
+
+let reset t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> c.count <- 0
+      | Timer tm ->
+          tm.total_ns <- 0L;
+          tm.samples <- 0
+      | Histogram h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.observations <- 0;
+          h.sum <- 0)
+    t.order
+
+(* ---- export ---- *)
+
+let names t = List.rev t.order
+
+let metric_json = function
+  | Counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.count) ]
+  | Timer tm ->
+      Json.Obj
+        [
+          ("type", Json.Str "timer");
+          ("total_ns", Json.Int (Int64.to_int tm.total_ns));
+          ("samples", Json.Int tm.samples);
+        ]
+  | Histogram h ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("observations", Json.Int h.observations);
+          ("sum", Json.Int h.sum);
+          ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) h.bounds)));
+          ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.buckets)));
+        ]
+
+let to_json_value t : Json.t =
+  Json.Obj (List.map (fun name -> (name, metric_json (Hashtbl.find t.tbl name))) (names t))
+
+let to_json t : string = Json.to_string (to_json_value t)
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> Format.fprintf ppf "%-40s %12d@," name c.count
+      | Timer tm ->
+          Format.fprintf ppf "%-40s %9.3f ms / %d samples@," name
+            (Clock.ns_to_ms tm.total_ns) tm.samples
+      | Histogram h ->
+          Format.fprintf ppf "%-40s %d obs, sum %d@," name h.observations h.sum)
+    (names t)

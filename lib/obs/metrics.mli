@@ -1,0 +1,46 @@
+(** A lightweight metrics registry: named counters, monotonic-clock
+    timers and fixed-bucket histograms, find-or-create by name. *)
+
+type counter
+type timer
+type histogram
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+val global : t
+(** A process-wide default registry. *)
+
+val counter : t -> string -> counter
+(** Find-or-create. @raise Invalid_argument on a kind mismatch. *)
+
+val timer : t -> string -> timer
+val histogram : ?bounds:int array -> t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val record_ns : timer -> int64 -> unit
+val time : timer -> (unit -> 'a) -> 'a
+(** Time a thunk with the registry's clock (exception-safe). *)
+
+val timer_total_ns : timer -> int64
+val timer_samples : timer -> int
+
+val observe : histogram -> int -> unit
+(** Count [v] into the first bucket whose bound is [>= v] (last bucket is
+    the overflow). *)
+
+val histogram_observations : histogram -> int
+val histogram_sum : histogram -> int
+val histogram_buckets : histogram -> int array
+
+val reset : t -> unit
+(** Zero every instrument, keeping registrations. *)
+
+val names : t -> string list
+(** Registration order. *)
+
+val to_json_value : t -> Json.t
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

@@ -93,3 +93,7 @@ type statement =
       del_portion : (int * int) option;
       del_where : expr option;
     }
+  | Explain of { analyze : bool; target : statement }
+      (** [EXPLAIN (stmt)] renders the final plan; [EXPLAIN ANALYZE (stmt)]
+          also executes it and annotates every operator with rows in/out,
+          internals and elapsed time *)

@@ -395,8 +395,22 @@ let parse_portion st =
     Some (a, b))
   else None
 
-let parse_statement st =
+let rec parse_statement st =
   match peek st with
+  | Lexer.IDENT "explain" ->
+      advance st;
+      let analyze = eat_kw st "analyze" in
+      (* optional parens around the whole target statement, so that
+         [EXPLAIN (q ORDER BY ...)] keeps the ORDER BY with the query *)
+      let target =
+        if peek st = Lexer.LPAREN then (
+          advance st;
+          let s = parse_statement st in
+          expect st Lexer.RPAREN ")";
+          s)
+        else parse_statement st
+      in
+      Explain { analyze; target }
   | Lexer.IDENT "create" ->
       advance st;
       expect_kw st "table";

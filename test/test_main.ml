@@ -20,4 +20,5 @@ let () =
       Test_compiled.suite;
       Test_set_mode.suite;
       Test_snapshot.suite;
+      Test_obs.suite;
     ]
