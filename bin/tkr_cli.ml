@@ -5,11 +5,16 @@
      gen  --dataset D --out P  generate a workload dataset as CSV files
      run  --data DIR [-e SQL | -f FILE]
                                run SQL (with SEQ VT support) against CSVs
+     lint [--workload W] [-e SQL] [-f FILE]...
+                               static analysis only: type check, validate
+                               plan invariants and lint for snapshot bugs
 *)
 
 open Cmdliner
 module M = Tkr_middleware.Middleware
 module Ast = Tkr_sql.Ast
+module Diagnostic = Tkr_check.Diagnostic
+module Lint = Tkr_check.Lint
 module Database = Tkr_engine.Database
 module Table = Tkr_engine.Table
 module Csv_io = Tkr_engine.Csv_io
@@ -45,12 +50,11 @@ let demo_cmd =
 let gen dataset out scale =
   let db =
     match dataset with
-    | "employees" ->
+    | `Employees ->
         Tkr_workload.Employees.generate
           (Tkr_workload.Employees.scaled (int_of_float (500. *. scale)))
-    | "tpcbih" ->
+    | `Tpcbih ->
         Tkr_workload.Tpcbih.generate { Tkr_workload.Tpcbih.default with scale }
-    | d -> failwith ("unknown dataset " ^ d ^ " (try employees or tpcbih)")
   in
   (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   List.iter
@@ -65,7 +69,7 @@ let gen_cmd =
   let dataset =
     Arg.(
       required
-      & opt (some string) None
+      & opt (some (enum [ ("employees", `Employees); ("tpcbih", `Tpcbih) ])) None
       & info [ "dataset"; "d" ] ~docv:"NAME" ~doc:"employees or tpcbih")
   in
   let out =
@@ -109,31 +113,49 @@ let load_dir m dir =
           (if is_period then ", period table" else "")))
     (Sys.readdir dir)
 
+let read_file f =
+  let ic = open_in f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let run data sql file explain stats max_rows =
-  let m = M.create () in
-  (match data with Some dir -> load_dir m dir | None -> ());
-  let script =
-    match (sql, file) with
-    | Some s, None -> s
-    | None, Some f ->
-        let ic = open_in f in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
-    | _ -> failwith "provide exactly one of -e SQL or -f FILE"
-  in
-  List.iter
-    (fun stmt ->
-      (* --explain: run queries as EXPLAIN ANALYZE, leave DDL/DML alone *)
-      let stmt =
-        match stmt with
-        | Ast.Query _ when explain -> Ast.Explain { analyze = true; target = stmt }
-        | stmt -> stmt
-      in
-      print_result ~max_rows (M.execute_statement m stmt))
-    (Tkr_sql.Parser.script script);
-  if stats then Printf.printf "stats: %s\n" (M.totals_report m)
+  match (sql, file) with
+  | (None, None | Some _, Some _) ->
+      Error (`Msg "provide exactly one of -e SQL or -f FILE")
+  | _ -> (
+      let m = M.create () in
+      try
+        (match data with Some dir -> load_dir m dir | None -> ());
+        let script =
+          match (sql, file) with
+          | Some s, _ -> s
+          | _, Some f -> read_file f
+          | _ -> assert false
+        in
+        List.iter
+          (fun stmt ->
+            (* --explain: run queries as EXPLAIN ANALYZE, leave DDL/DML
+               alone *)
+            let stmt =
+              match stmt with
+              | Ast.Query _ when explain ->
+                  Ast.Explain { analyze = true; target = stmt }
+              | stmt -> stmt
+            in
+            print_result ~max_rows (M.execute_statement m stmt))
+          (Tkr_sql.Parser.script script);
+        if stats then Printf.printf "stats: %s\n" (M.totals_report m);
+        Ok ()
+      with
+      | Sys_error e -> Error (`Msg e)
+      | M.Rejected ds -> Error (`Msg (Diagnostic.report_to_text ds))
+      | M.Error d
+      | Tkr_sql.Parser.Error d
+      | Tkr_sql.Lexer.Error d
+      | Tkr_sql.Analyzer.Error d ->
+          Error (`Msg (Diagnostic.to_string d)))
 
 let run_cmd =
   let data =
@@ -176,7 +198,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
-    Term.(const run $ data $ sql $ file $ explain $ stats $ max_rows)
+    Term.(term_result (const run $ data $ sql $ file $ explain $ stats $ max_rows))
 
 (* --- explain --- *)
 
@@ -206,8 +228,169 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
     Term.(const explain $ data $ analyze $ sql)
 
+(* --- lint --- *)
+
+(* Statically analyze a script: report the check-phase diagnostics of
+   every statement without running any query.  DDL/DML statements are
+   executed so that later statements in the script resolve against the
+   tables they create. *)
+let lint_script m profile name text : (string * Diagnostic.t list) list =
+  match Tkr_sql.Parser.script text with
+  | exception (Tkr_sql.Parser.Error d | Tkr_sql.Lexer.Error d) -> [ (name, [ d ]) ]
+  | stmts ->
+      let many = List.length stmts > 1 in
+      List.mapi
+        (fun i stmt ->
+          let nm = if many then Printf.sprintf "%s:%d" name (i + 1) else name in
+          let diags = M.check_statement m stmt in
+          let diags =
+            (* under a non-default profile, add what that evaluation
+               style would get wrong on this plan (the paper's Table 1) *)
+            if profile.Lint.prof_name = Lint.middleware.Lint.prof_name then diags
+            else
+              match M.lint_statement m profile stmt with
+              | extra -> Diagnostic.sort (diags @ extra)
+              | exception _ -> diags
+          in
+          (match stmt with
+          | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ | Ast.Update _
+          | Ast.Delete _ -> (
+              try ignore (M.execute_statement m stmt) with _ -> ())
+          | _ -> ());
+          (nm, diags))
+        stmts
+
+let lint data workload sql files profile werror json_out =
+  match Lint.of_name profile with
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown profile %s (try %s)" profile
+              (String.concat ", "
+                 (List.map (fun (p : Lint.profile) -> p.prof_name) Lint.profiles))))
+  | Some profile ->
+      let db =
+        match workload with
+        | Some `Employee ->
+            Some (Tkr_workload.Employees.generate (Tkr_workload.Employees.scaled 25))
+        | Some `Tpch ->
+            Some
+              (Tkr_workload.Tpcbih.generate
+                 { Tkr_workload.Tpcbih.default with scale = 0.01 })
+        | None -> None
+      in
+      let m =
+        match db with
+        | Some db -> M.create ~strict:werror ~db ()
+        | None -> M.create ~strict:werror ()
+      in
+      match
+        (match data with Some dir -> load_dir m dir | None -> ());
+        List.map (fun f -> (f, read_file f)) files
+      with
+      | exception Sys_error e -> Error (`Msg e)
+      | file_items ->
+      let items =
+        (match workload with
+        | Some `Employee -> Tkr_workload.Queries.employee
+        | Some `Tpch -> Tkr_workload.Queries.tpch
+        | None -> [])
+        @ (match sql with Some s -> [ ("<cmdline>", s) ] | None -> [])
+        @ file_items
+      in
+      if items = [] then
+        Error (`Msg "nothing to lint: give --workload, -e SQL or -f FILE")
+      else
+        let reports =
+          List.concat_map (fun (name, text) -> lint_script m profile name text) items
+        in
+        let failed (_, ds) = Diagnostic.count_errors ~werror ds > 0 in
+        (if json_out then
+           print_endline
+             (Tkr_obs.Json.to_string
+                (Tkr_obs.Json.List
+                   (List.map
+                      (fun (name, ds) ->
+                        Tkr_obs.Json.Obj
+                          [
+                            ("name", Tkr_obs.Json.Str name);
+                            ("profile", Tkr_obs.Json.Str profile.Lint.prof_name);
+                            ("report", Diagnostic.report_to_json ds);
+                          ])
+                      reports)))
+         else
+           List.iter
+             (fun ((name, ds) as r) ->
+               if ds = [] then Printf.printf "%s: OK\n" name
+               else (
+                 Printf.printf "%s:%s\n" name
+                   (if failed r then " FAIL" else "");
+                 print_endline (Diagnostic.report_to_text ds)))
+             reports);
+        let bad = List.length (List.filter failed reports) in
+        if bad = 0 then Ok ()
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "lint: %d of %d statements failed" bad
+                  (List.length reports)))
+
+let lint_cmd =
+  let data =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("employee", `Employee); ("tpch", `Tpch) ])) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"lint a built-in query workload (employee or tpch) against \
+                its generated catalog")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SQL" ~doc:"SQL script to lint")
+  in
+  let files =
+    Arg.(
+      value & opt_all string []
+      & info [ "f" ] ~docv:"FILE" ~doc:"SQL script file to lint (repeatable)")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt string "middleware"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:"capability profile to lint under: middleware, \
+                interval-preservation, alignment or teradata (Table 1)")
+  in
+  let werror =
+    Arg.(
+      value & flag
+      & info [ "Werror" ] ~doc:"treat warnings as errors (exit non-zero)")
+  in
+  let json_out =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"print diagnostics as JSON")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze SQL without executing it: type check, \
+             validate plan invariants and lint for snapshot-semantics bugs \
+             (AG/BD)")
+    Term.(
+      term_result
+        (const lint $ data $ workload $ sql $ files $ profile $ werror
+       $ json_out))
+
 let () =
   let doc = "snapshot-semantics temporal query middleware" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "tkr" ~doc) [ demo_cmd; gen_cmd; run_cmd; explain_cmd ]))
+       (Cmd.group (Cmd.info "tkr" ~doc)
+          [ demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd ]))

@@ -1,0 +1,23 @@
+-- Bag difference and aggregation under snapshot semantics: the two
+-- operations interval-based systems get wrong (Sections 3 and 6).
+--   tkr_cli lint -f examples/sql/payroll.sql --Werror
+
+CREATE TABLE salaries (emp int, amount int, b int, e int) PERIOD (b, e);
+CREATE TABLE managers (emp int, b int, e int) PERIOD (b, e);
+INSERT INTO salaries VALUES
+  (1, 5000, 0, 12), (1, 6000, 12, 24), (2, 4000, 4, 20), (3, 4500, 8, 16);
+INSERT INTO managers VALUES (1, 0, 24), (3, 10, 14);
+
+-- EXCEPT ALL must subtract multiplicities per snapshot (the BD-bug
+-- witness): non-manager salary payments at every time
+SEQ VT (SELECT emp FROM salaries
+        EXCEPT ALL
+        SELECT emp FROM managers)
+ORDER BY vt_begin;
+
+-- total payroll over time, grouped per employee
+SEQ VT (SELECT emp, sum(amount) AS total FROM salaries GROUP BY emp)
+ORDER BY vt_begin;
+
+-- ungrouped: the middleware covers gaps (count 0) per Section 6
+SEQ VT (SELECT count(*) AS paid FROM salaries);

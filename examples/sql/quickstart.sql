@@ -1,0 +1,24 @@
+-- The paper's running example (Figure 1): a project staffing table and
+-- snapshot queries over it.  Run with
+--   tkr_cli run -f examples/sql/quickstart.sql
+-- or statically analyze without executing:
+--   tkr_cli lint -f examples/sql/quickstart.sql --Werror
+
+CREATE TABLE works (name text, skill text, b int, e int) PERIOD (b, e);
+INSERT INTO works VALUES
+  ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16),
+  ('Sam', 'SP', 8, 16), ('Ann', 'SP', 18, 20);
+
+-- how many SP workers at every point in time (Figure 1b); the gap rows
+-- with count 0 are exactly what interval-based systems lose (the AG bug)
+SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')
+ORDER BY vt_begin;
+
+-- per-skill staffing, grouped
+SEQ VT (SELECT skill, count(*) AS cnt FROM works GROUP BY skill)
+ORDER BY vt_begin;
+
+-- pairs working concurrently with the same skill
+SEQ VT (SELECT w1.name, w2.name
+        FROM works w1, works w2
+        WHERE w1.skill = w2.skill AND w1.name <> w2.name);

@@ -1,0 +1,23 @@
+(** Analyzer driver: combine the passes for the two plan stages.
+
+    The middleware runs {!logical} on the analyzer's output (and again on
+    the optimizer's output — the optimizer's semantics-preservation claim
+    becomes a machine-checked postcondition) and {!physical} on the REWR
+    output, all under the obs-timed [check] phase. *)
+
+open Tkr_relation
+
+(** Type-check plus logical plan invariants. *)
+let logical ~(lookup : Typecheck.lookup) (q : Algebra.t) : Diagnostic.t list =
+  Typecheck.algebra ~lookup q @ Plan_check.logical q
+
+(** Type-check plus physical (period-encoding) plan invariants.
+    [lookup] must give the encoded base-table schemas. *)
+let physical ~(lookup : Typecheck.lookup) (q : Algebra.t) : Diagnostic.t list =
+  Typecheck.algebra ~lookup q @ Plan_check.physical ~lookup q
+
+(** [verdict ~werror ds] is [Error ds] when [ds] contains an error (or,
+    with [~werror:true], any warning), [Ok ds] otherwise. *)
+let verdict ?(werror = false) (ds : Diagnostic.t list) :
+    (Diagnostic.t list, Diagnostic.t list) result =
+  if Diagnostic.count_errors ~werror ds > 0 then Error ds else Ok ds

@@ -1,0 +1,17 @@
+(** Analyzer driver: the passes combined per plan stage. *)
+
+open Tkr_relation
+
+val logical : lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
+(** Type checking plus logical plan invariants (no physical operators). *)
+
+val physical : lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
+(** Type checking plus period-encoding plan invariants.  [lookup] must
+    give the encoded base-table schemas (data plus [__b]/[__e]). *)
+
+val verdict :
+  ?werror:bool ->
+  Diagnostic.t list ->
+  (Diagnostic.t list, Diagnostic.t list) result
+(** [Error] when the list contains an error (with [~werror:true], any
+    warning counts too). *)

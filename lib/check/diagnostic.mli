@@ -1,0 +1,59 @@
+(** Typed diagnostics with stable [TKR] error codes, severities, optional
+    source positions and text/JSON rendering. *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : pos option;
+  msg : string;
+  hint : string option;
+}
+
+exception Fail of t
+
+val v :
+  ?severity:severity ->
+  ?pos:pos ->
+  ?hint:string ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [v code fmt ...] builds a diagnostic ([Error] severity by default). *)
+
+val error :
+  ?pos:pos -> ?hint:string -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  ?pos:pos -> ?hint:string -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val fail :
+  ?pos:pos -> ?hint:string -> string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Fail} with a formatted error diagnostic. *)
+
+val is_error : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> Tkr_obs.Json.t
+
+val count_errors : ?werror:bool -> t list -> int
+(** Number of error diagnostics; with [~werror:true] warnings count too. *)
+
+val sort : t list -> t list
+(** Errors first, then warnings/infos, each group ordered by code. *)
+
+val report_to_text : t list -> string
+val report_to_json : t list -> Tkr_obs.Json.t
+
+val registry : (string * string) list
+(** Every stable code with a one-line description. *)
+
+val describe : string -> string option

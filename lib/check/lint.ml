@@ -1,0 +1,131 @@
+(** Pass 3: snapshot-semantics linter.
+
+    Given a {e logical} plan and a capability profile describing how an
+    evaluation style compiles temporal operators, statically predict the
+    paper's snapshot-semantics violations:
+
+    - TKR301 — the AG bug (Sections 1, 6): ungrouped aggregation under a
+      style with no gap coverage returns no rows over gaps instead of the
+      aggregate's neutral snapshot value;
+    - TKR302 — the BD bug (Sections 3, 7): bag difference compiled as an
+      anti-join / [NOT EXISTS], which erases multiplicities;
+    - TKR303 — difference not supported at all by the style;
+    - TKR304 — the style leaves output uncoalesced, so the produced
+      encoding is not unique (Section 8).
+
+    Pointing the four built-in profiles at plans with aggregation and
+    difference reproduces the paper's Table 1 bug matrix statically. *)
+
+open Tkr_relation
+
+type difference_style =
+  | Bag  (** faithful bag difference (monus) *)
+  | Set  (** compiled as anti-join / NOT EXISTS: the BD bug *)
+  | Unsupported  (** the style rejects difference outright *)
+
+type profile = {
+  prof_name : string;
+  gap_coverage : bool;
+      (** ungrouped aggregates produce rows over gaps (Section 6) *)
+  difference : difference_style;
+  coalesced_output : bool;  (** outputs are K-coalesced (Section 8) *)
+}
+
+(* The paper's Table 1, as capability profiles.  [middleware] is this
+   repo's REWR pipeline; the other three mirror lib/baseline. *)
+
+let middleware =
+  {
+    prof_name = "middleware";
+    gap_coverage = true;
+    difference = Bag;
+    coalesced_output = true;
+  }
+
+let interval_preservation =
+  {
+    prof_name = "interval-preservation";
+    gap_coverage = false;
+    difference = Set;
+    coalesced_output = false;
+  }
+
+let alignment =
+  {
+    prof_name = "alignment";
+    gap_coverage = false;
+    difference = Set;
+    coalesced_output = false;
+  }
+
+let teradata =
+  {
+    prof_name = "teradata";
+    gap_coverage = false;
+    difference = Unsupported;
+    coalesced_output = false;
+  }
+
+let profiles = [ middleware; interval_preservation; alignment; teradata ]
+
+let of_name n =
+  List.find_opt (fun p -> String.equal p.prof_name n) profiles
+
+(** Lint a logical plan under [profile]. *)
+let plan (profile : profile) (q : Algebra.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let rec go (q : Algebra.t) =
+    (match q with
+    | Algebra.Agg ([], _, _) when not profile.gap_coverage ->
+        add
+          (Diagnostic.error "TKR301"
+             ~hint:
+               "snapshots in gaps must see the aggregate's value over the \
+                empty bag (Section 6); rewrite with gap coverage \
+                (Split_agg with sa_gap) or use the middleware"
+             "AG bug: %s evaluates ungrouped aggregation with no rows over \
+              gaps"
+             profile.prof_name)
+    | Algebra.Diff _ -> (
+        match profile.difference with
+        | Bag -> ()
+        | Set ->
+            add
+              (Diagnostic.error "TKR302"
+                 ~hint:
+                   "EXCEPT ALL must subtract multiplicities per snapshot \
+                    (Section 3); an anti-join removes every duplicate"
+                 "BD bug: %s compiles difference as NOT EXISTS (set \
+                  semantics)"
+                 profile.prof_name)
+        | Unsupported ->
+            add
+              (Diagnostic.error "TKR303"
+                 "%s does not support snapshot difference" profile.prof_name))
+    | _ -> ());
+    match q with
+    | Algebra.Rel _ | Algebra.ConstRel _ -> ()
+    | Algebra.Select (_, q0)
+    | Algebra.Project (_, q0)
+    | Algebra.Agg (_, _, q0)
+    | Algebra.Distinct q0
+    | Algebra.Coalesce q0 ->
+        go q0
+    | Algebra.Join (_, l, r)
+    | Algebra.Union (l, r)
+    | Algebra.Diff (l, r)
+    | Algebra.Split (_, l, r) ->
+        go l;
+        go r
+    | Algebra.Split_agg sa -> go sa.sa_child
+  in
+  go q;
+  if not profile.coalesced_output then
+    add
+      (Diagnostic.warning "TKR304"
+         ~hint:
+           "coalesce the result (eval_coalesced) to obtain the unique \
+            K-coalesced encoding (Def. 8.2)"
+         "%s leaves its output encoding uncoalesced" profile.prof_name);
+  List.rev !diags

@@ -1,0 +1,34 @@
+(** Pass 3: snapshot-semantics linter (TKR301–TKR304).
+
+    Capability profiles describe how an evaluation style compiles temporal
+    operators; linting a logical plan under a profile statically predicts
+    the paper's AG and BD snapshot-semantics bugs (Table 1). *)
+
+open Tkr_relation
+
+type difference_style =
+  | Bag  (** faithful bag difference (monus) *)
+  | Set  (** compiled as anti-join / NOT EXISTS: the BD bug *)
+  | Unsupported  (** the style rejects difference outright *)
+
+type profile = {
+  prof_name : string;
+  gap_coverage : bool;
+      (** ungrouped aggregates produce rows over gaps (Section 6) *)
+  difference : difference_style;
+  coalesced_output : bool;  (** outputs are K-coalesced (Section 8) *)
+}
+
+val middleware : profile
+(** This repo's REWR pipeline: no bugs. *)
+
+val interval_preservation : profile
+val alignment : profile
+val teradata : profile
+(** The three baseline styles of [lib/baseline] (paper's Table 1). *)
+
+val profiles : profile list
+val of_name : string -> profile option
+
+val plan : profile -> Algebra.t -> Diagnostic.t list
+(** Lint a logical plan under a profile. *)

@@ -1,0 +1,16 @@
+(** Pass 2: plan-invariant validation (TKR201–TKR207).
+
+    Enforces the encoding contracts of {!Tkr_relation.Algebra} and the
+    paper's Section 8: the last-two-int-column period convention, physical
+    operators only in rewritten plans, split group indices in range,
+    aligned split pairs under difference, endpoint-split aggregation input,
+    coalesced roots and gap coverage for ungrouped aggregation. *)
+
+open Tkr_relation
+
+val logical : Algebra.t -> Diagnostic.t list
+(** Pre-rewrite plans must not contain [Coalesce]/[Split]/[Split_agg]. *)
+
+val physical : lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
+(** Validate a rewritten plan over the period encoding.  [lookup] must
+    give the {e encoded} base-table schemas (data plus [__b]/[__e]). *)

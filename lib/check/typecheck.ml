@@ -1,0 +1,389 @@
+(** Pass 1: type inference and checking over scalar expressions
+    ({!Tkr_relation.Expr}) and whole plans ({!Tkr_relation.Algebra}).
+
+    The type lattice is [Value.ty] extended with an unknown element for
+    NULL literals ([None]): NULL unifies with every type, int and float
+    unify to float under arithmetic, everything else must match exactly.
+    The checker never raises on malformed input — it accumulates
+    diagnostics and keeps inferring with the best schema it has, so a
+    single query can report several independent errors. *)
+
+open Tkr_relation
+
+type lookup = string -> Schema.t option
+(** Tolerant catalog: [None] for unknown relations (reported as TKR003). *)
+
+let is_numeric = function
+  | None | Some Value.TInt | Some Value.TFloat -> true
+  | _ -> false
+
+let is_boolish = function None | Some Value.TBool -> true | _ -> false
+
+(* SQL comparability: unknown compares with everything, numerics coerce,
+   otherwise types must match ({!Value.sql_compare} raises otherwise). *)
+let comparable a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some x, Some y when x = y -> true
+  | Some Value.TInt, Some Value.TFloat | Some Value.TFloat, Some Value.TInt ->
+      true
+  | _ -> false
+
+let pp_ty ppf = function
+  | None -> Format.pp_print_string ppf "null"
+  | Some ty -> Value.pp_ty ppf ty
+
+(* Least upper bound of two inferable types, [Error ()] if incompatible. *)
+let join a b =
+  match (a, b) with
+  | None, t | t, None -> Ok t
+  | Some x, Some y when x = y -> Ok (Some x)
+  | Some Value.TInt, Some Value.TFloat | Some Value.TFloat, Some Value.TInt ->
+      Ok (Some Value.TFloat)
+  | _ -> Error ()
+
+(** Infer the type of [e] over [schema], accumulating diagnostics.
+    Returns [None] for NULL-valued/unknown expressions. *)
+let expr ~(schema : Schema.t) (e : Expr.t) : Value.ty option * Diagnostic.t list
+    =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n = Schema.arity schema in
+  let rec infer (e : Expr.t) : Value.ty option =
+    match e with
+    | Expr.Col i ->
+        if i < 0 || i >= n then (
+          add
+            (Diagnostic.error "TKR109"
+               "column reference #%d out of range (schema has %d columns)" i n);
+          None)
+        else Some (Schema.ty schema i)
+    | Expr.Const v -> Value.type_of v
+    | Expr.Binop (op, a, b) ->
+        let ta = infer a and tb = infer b in
+        let opname =
+          match op with
+          | Expr.Add -> "+"
+          | Expr.Sub -> "-"
+          | Expr.Mul -> "*"
+          | Expr.Div -> "/"
+          | Expr.Mod -> "%"
+        in
+        List.iter
+          (fun t ->
+            if not (is_numeric t) then
+              add
+                (Diagnostic.error "TKR101"
+                   "operand of %s has type %a; expected a numeric type" opname
+                   pp_ty t))
+          [ ta; tb ];
+        if ta = Some Value.TFloat || tb = Some Value.TFloat then
+          Some Value.TFloat
+        else Some Value.TInt
+    | Expr.Neg a ->
+        let ta = infer a in
+        if not (is_numeric ta) then
+          add
+            (Diagnostic.error "TKR101"
+               "operand of unary minus has type %a; expected a numeric type"
+               pp_ty ta);
+        ta
+    | Expr.Cmp (_, a, b) ->
+        let ta = infer a and tb = infer b in
+        if not (comparable ta tb) then
+          add
+            (Diagnostic.error "TKR102"
+               "cannot compare %a with %a" pp_ty ta pp_ty tb);
+        if a = Expr.Const Value.Null || b = Expr.Const Value.Null then
+          add
+            (Diagnostic.warning "TKR110"
+               ~hint:"use IS NULL / IS NOT NULL"
+               "comparison with NULL is always UNKNOWN");
+        Some Value.TBool
+    | Expr.And (a, b) | Expr.Or (a, b) ->
+        require_bool a;
+        require_bool b;
+        Some Value.TBool
+    | Expr.Not a ->
+        require_bool a;
+        Some Value.TBool
+    | Expr.Is_null a ->
+        ignore (infer a);
+        Some Value.TBool
+    | Expr.Like (a, _) ->
+        let ta = infer a in
+        (match ta with
+        | None | Some Value.TStr -> ()
+        | t ->
+            add
+              (Diagnostic.error "TKR104"
+                 "LIKE applied to %a; expected text" pp_ty t));
+        Some Value.TBool
+    | Expr.In_list (a, vs) ->
+        let ta = infer a in
+        List.iter
+          (fun v ->
+            let tv = Value.type_of v in
+            if not (comparable ta tv) then
+              add
+                (Diagnostic.error "TKR105"
+                   "IN list element %a has type %a, incompatible with %a"
+                   Value.pp v pp_ty tv pp_ty ta))
+          vs;
+        Some Value.TBool
+    | Expr.Case (branches, default) ->
+        List.iter (fun (c, _) -> require_bool c) branches;
+        let results =
+          List.map (fun (_, r) -> infer r) branches
+          @ match default with Some d -> [ infer d ] | None -> []
+        in
+        List.fold_left
+          (fun acc t ->
+            match join acc t with
+            | Ok u -> u
+            | Error () ->
+                add
+                  (Diagnostic.error "TKR106"
+                     "CASE branches have incompatible types %a and %a" pp_ty
+                     acc pp_ty t);
+                acc)
+          None results
+    | Expr.Greatest (a, b) | Expr.Least (a, b) -> (
+        let ta = infer a and tb = infer b in
+        if not (comparable ta tb) then
+          add
+            (Diagnostic.error "TKR102"
+               "cannot compare %a with %a" pp_ty ta pp_ty tb);
+        match join ta tb with Ok t -> t | Error () -> ta)
+  and require_bool e =
+    let t = infer e in
+    if not (is_boolish t) then
+      add
+        (Diagnostic.error "TKR103"
+           "condition has type %a; expected bool" pp_ty t)
+  in
+  let ty = infer e in
+  (ty, List.rev !diags)
+
+(** Check a predicate: well-typed and boolean.  [what] names the context
+    ("WHERE clause", "join condition", ...) in the diagnostic. *)
+let predicate ~(schema : Schema.t) ~(what : string) (e : Expr.t) :
+    Diagnostic.t list =
+  let ty, ds = expr ~schema e in
+  if is_boolish ty then ds
+  else
+    ds
+    @ [
+        Diagnostic.error "TKR103" "%s has type %a; expected bool" what pp_ty ty;
+      ]
+
+(* Output type of a projection item, defaulting unknown to int (mirrors
+   {!Expr.infer_ty}). *)
+let proj_ty ty = Option.value ty ~default:Value.TInt
+
+let agg_output_ty (input : Value.ty option) (f : Agg.func) : Value.ty =
+  match f with
+  | Agg.Count_star | Agg.Count _ -> Value.TInt
+  | Agg.Avg _ -> Value.TFloat
+  | Agg.Sum _ | Agg.Min _ | Agg.Max _ -> proj_ty input
+
+(* Check one aggregate spec over a child schema; returns its output type. *)
+let check_agg ~schema ~add (spec : Algebra.agg_spec) : Value.ty =
+  let input =
+    match Agg.input_expr spec.func with
+    | None -> None
+    | Some e ->
+        let ty, ds = expr ~schema e in
+        List.iter add ds;
+        (match spec.func with
+        | Agg.Sum _ | Agg.Avg _ ->
+            if not (is_numeric ty) then
+              add
+                (Diagnostic.error "TKR107"
+                   "%s over input of type %a; expected a numeric type"
+                   (Agg.default_name spec.func)
+                   pp_ty ty)
+        | _ -> ());
+        ty
+  in
+  agg_output_ty input spec.func
+
+(** Tolerant schema inference over a plan: [None] as soon as a subtree's
+    schema cannot be determined (unknown relation, out-of-range group
+    index).  Never raises. *)
+let schema_of ~(lookup : lookup) (q : Algebra.t) : Schema.t option =
+  let open Algebra in
+  let rec schema_of ~lookup q =
+    match q with
+  | Rel n -> lookup n
+  | ConstRel (s, _) -> Some s
+  | Select (_, q) | Distinct q | Coalesce q -> schema_of ~lookup q
+  | Project (projs, q) ->
+      Option.map
+        (fun s ->
+          Schema.make
+            (List.map
+               (fun (p : proj) ->
+                 let ty, _ = expr ~schema:s p.expr in
+                 Schema.attr p.name (proj_ty ty))
+               projs))
+        (schema_of ~lookup q)
+  | Join (_, l, r) -> (
+      match (schema_of ~lookup l, schema_of ~lookup r) with
+      | Some a, Some b -> Some (Schema.concat a b)
+      | _ -> None)
+  | Union (l, _) | Diff (l, _) | Split (_, l, _) -> schema_of ~lookup l
+  | Agg (group, aggs, q) ->
+      Option.map
+        (fun s ->
+          let gattrs =
+            List.map
+              (fun (p : proj) ->
+                let ty, _ = expr ~schema:s p.expr in
+                Schema.attr p.name (proj_ty ty))
+              group
+          in
+          let aattrs =
+            List.map
+              (fun (a : agg_spec) ->
+                let input =
+                  match Agg.input_expr a.func with
+                  | None -> None
+                  | Some e -> fst (expr ~schema:s e)
+                in
+                Schema.attr a.agg_name (agg_output_ty input a.func))
+              aggs
+          in
+          Schema.make (gattrs @ aattrs))
+        (schema_of ~lookup q)
+  | Split_agg sa ->
+      Option.bind (schema_of ~lookup sa.sa_child) (fun s ->
+          let n = Schema.arity s in
+          if List.exists (fun i -> i < 0 || i >= n) sa.sa_group then None
+          else
+            let gattrs = List.map (fun i -> Schema.get s i) sa.sa_group in
+            let aattrs =
+              List.map
+                (fun (a : Algebra.agg_spec) ->
+                  let input =
+                    match Agg.input_expr a.func with
+                    | None -> None
+                    | Some e -> fst (expr ~schema:s e)
+                  in
+                  Schema.attr a.agg_name (agg_output_ty input a.func))
+                sa.sa_aggs
+            in
+            Some
+              (Schema.make
+                 (gattrs @ aattrs
+                 @ [
+                     Schema.attr "__b" Value.TInt; Schema.attr "__e" Value.TInt;
+                   ])))
+  in
+  schema_of ~lookup q
+
+(** Type-check a whole plan: every expression at every operator, aggregate
+    signatures, and union/difference schema compatibility (TKR108). *)
+let algebra ~(lookup : lookup) (q : Algebra.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let seen_unknown = Hashtbl.create 4 in
+  let rec go (q : Algebra.t) : Schema.t option =
+    let open Algebra in
+    match q with
+    | Rel n -> (
+        match lookup n with
+        | Some s -> Some s
+        | None ->
+            if not (Hashtbl.mem seen_unknown n) then (
+              Hashtbl.add seen_unknown n ();
+              add (Diagnostic.error "TKR003" "unknown table %s" n));
+            None)
+    | ConstRel (s, _) -> Some s
+    | Select (p, q0) ->
+        let s = go q0 in
+        Option.iter
+          (fun s ->
+            List.iter add (predicate ~schema:s ~what:"selection predicate" p))
+          s;
+        s
+    | Project (projs, q0) ->
+        Option.map
+          (fun s ->
+            Schema.make
+              (List.map
+                 (fun (pj : proj) ->
+                   let ty, ds = expr ~schema:s pj.expr in
+                   List.iter add ds;
+                   Schema.attr pj.name (proj_ty ty))
+                 projs))
+          (go q0)
+    | Join (p, l, r) ->
+        let sl = go l and sr = go r in
+        let s =
+          match (sl, sr) with
+          | Some a, Some b -> Some (Schema.concat a b)
+          | _ -> None
+        in
+        Option.iter
+          (fun s ->
+            List.iter add (predicate ~schema:s ~what:"join condition" p))
+          s;
+        s
+    | Union (l, r) | Diff (l, r) ->
+        let opname = match q with Union _ -> "union" | _ -> "difference" in
+        let sl = go l and sr = go r in
+        (match (sl, sr) with
+        | Some a, Some b when not (Schema.union_compatible a b) ->
+            add
+              (Diagnostic.error "TKR108"
+                 "%s operands have incompatible schemas %a vs %a" opname
+                 Schema.pp a Schema.pp b)
+        | _ -> ());
+        sl
+    | Agg (group, aggs, q0) ->
+        Option.map
+          (fun s ->
+            let gattrs =
+              List.map
+                (fun (pj : proj) ->
+                  let ty, ds = expr ~schema:s pj.expr in
+                  List.iter add ds;
+                  Schema.attr pj.name (proj_ty ty))
+                group
+            in
+            let aattrs =
+              List.map
+                (fun (a : agg_spec) ->
+                  Schema.attr a.agg_name (check_agg ~schema:s ~add a))
+                aggs
+            in
+            Schema.make (gattrs @ aattrs))
+          (go q0)
+    | Distinct q0 | Coalesce q0 -> go q0
+    | Split (_, l, r) ->
+        let sl = go l in
+        ignore (go r);
+        sl
+    | Split_agg sa ->
+        Option.bind (go sa.sa_child) (fun s ->
+            let aattrs =
+              List.map
+                (fun (a : Algebra.agg_spec) ->
+                  Schema.attr a.agg_name (check_agg ~schema:s ~add a))
+                sa.sa_aggs
+            in
+            let n = Schema.arity s in
+            if List.exists (fun i -> i < 0 || i >= n) sa.sa_group then None
+            else
+              let gattrs = List.map (fun i -> Schema.get s i) sa.sa_group in
+              Some
+                (Schema.make
+                   (gattrs @ aattrs
+                   @ [
+                       Schema.attr "__b" Value.TInt;
+                       Schema.attr "__e" Value.TInt;
+                     ])))
+  in
+  ignore (go q);
+  List.rev !diags

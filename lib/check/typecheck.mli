@@ -1,0 +1,28 @@
+(** Pass 1: type inference and checking over expressions and plans.
+
+    Never raises: accumulates diagnostics (TKR101–TKR110 plus TKR003 for
+    unknown relations) and keeps inferring with the best schema it has. *)
+
+open Tkr_relation
+
+type lookup = string -> Schema.t option
+(** Tolerant catalog: [None] for unknown relations. *)
+
+val comparable : Value.ty option -> Value.ty option -> bool
+(** SQL comparability over the type lattice; [None] (NULL/unknown)
+    compares with everything, int and float coerce. *)
+
+val expr : schema:Schema.t -> Expr.t -> Value.ty option * Diagnostic.t list
+(** Infer the type of an expression; [None] for NULL-valued ones. *)
+
+val predicate : schema:Schema.t -> what:string -> Expr.t -> Diagnostic.t list
+(** Check that an expression is well-typed and boolean ([what] names the
+    context in the diagnostic). *)
+
+val schema_of : lookup:lookup -> Algebra.t -> Schema.t option
+(** Tolerant schema inference: [None] as soon as a subtree's schema cannot
+    be determined.  Never raises, unlike {!Algebra.schema_of}. *)
+
+val algebra : lookup:lookup -> Algebra.t -> Diagnostic.t list
+(** Type-check a whole plan: every expression at every operator, aggregate
+    signatures, union/difference schema compatibility. *)

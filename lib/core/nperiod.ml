@@ -136,5 +136,4 @@ module Make (D : Tkr_temporal.Period_semiring.DOMAIN) = struct
     | Union (l, r) -> R.union (eval db l) (eval db r)
     | Diff (l, r) -> R.diff (eval db l) (eval db r)
     | Rel _ | ConstRel _ | Coalesce _ | Split _ | Split_agg _ -> P.E.eval db q
-  [@@warning "-27"]
 end

@@ -23,10 +23,20 @@ module Rewriter = Tkr_sqlenc.Rewriter
 module Trace = Tkr_obs.Trace
 module Clock = Tkr_obs.Clock
 module Json = Tkr_obs.Json
+module Diagnostic = Tkr_check.Diagnostic
+module Check = Tkr_check.Check
+module Lint = Tkr_check.Lint
 
-exception Error of string
+exception Error of Diagnostic.t
 
-let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+exception Rejected of Diagnostic.t list
+(** The static [check] phase found errors (or, in strict mode, warnings);
+    the statement was not executed. *)
+
+let err ?pos code fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Diagnostic.v ?pos code "%s" s)))
+    fmt
 
 type backend = Interpreted | Compiled
 
@@ -38,6 +48,7 @@ type backend = Interpreted | Compiled
 type phase_stats = {
   mutable parse_ns : int64;
   mutable analyze_ns : int64;
+  mutable check_ns : int64;  (** static analysis (Tkr_check), all stages *)
   mutable rewrite_ns : int64;
   mutable optimize_ns : int64;
   mutable runs : int;
@@ -49,6 +60,7 @@ let fresh_stats () =
   {
     parse_ns = 0L;
     analyze_ns = 0L;
+    check_ns = 0L;
     rewrite_ns = 0L;
     optimize_ns = 0L;
     runs = 0;
@@ -59,16 +71,17 @@ let fresh_stats () =
 let add_stats ~into:(a : phase_stats) (b : phase_stats) =
   a.parse_ns <- Int64.add a.parse_ns b.parse_ns;
   a.analyze_ns <- Int64.add a.analyze_ns b.analyze_ns;
+  a.check_ns <- Int64.add a.check_ns b.check_ns;
   a.rewrite_ns <- Int64.add a.rewrite_ns b.rewrite_ns;
   a.optimize_ns <- Int64.add a.optimize_ns b.optimize_ns
 
 let pp_phase_stats ppf (s : phase_stats) =
   let ms = Clock.ns_to_ms in
   Format.fprintf ppf
-    "parse %.3f ms | analyze %.3f ms | rewrite %.3f ms | optimize %.3f ms | \
-     execute %.3f ms over %d run%s"
-    (ms s.parse_ns) (ms s.analyze_ns) (ms s.rewrite_ns) (ms s.optimize_ns)
-    (ms s.execute_ns) s.runs
+    "parse %.3f ms | analyze %.3f ms | check %.3f ms | rewrite %.3f ms | \
+     optimize %.3f ms | execute %.3f ms over %d run%s"
+    (ms s.parse_ns) (ms s.analyze_ns) (ms s.check_ns) (ms s.rewrite_ns)
+    (ms s.optimize_ns) (ms s.execute_ns) s.runs
     (if s.runs = 1 then "" else "s")
 
 let phase_stats_json (s : phase_stats) : Json.t =
@@ -76,6 +89,7 @@ let phase_stats_json (s : phase_stats) : Json.t =
     [
       ("parse_ns", Json.Int (Int64.to_int s.parse_ns));
       ("analyze_ns", Json.Int (Int64.to_int s.analyze_ns));
+      ("check_ns", Json.Int (Int64.to_int s.check_ns));
       ("rewrite_ns", Json.Int (Int64.to_int s.rewrite_ns));
       ("optimize_ns", Json.Int (Int64.to_int s.optimize_ns));
       ("runs", Json.Int s.runs);
@@ -89,6 +103,8 @@ type t = {
   mutable optimize : bool;  (** run the cost-based join-order optimizer *)
   mutable backend : backend;
       (** execute plans by AST interpretation or as compiled closures *)
+  mutable strict : bool;
+      (** --Werror: the check phase rejects on warnings too *)
   insert_order : (string, int list) Hashtbl.t;
       (** CREATE TABLE column order -> stored order (period cols last) *)
   totals : phase_stats;
@@ -97,12 +113,13 @@ type t = {
 }
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
-    ?(backend = Interpreted) ?(db = Database.create ()) () =
+    ?(backend = Interpreted) ?(strict = false) ?(db = Database.create ()) () =
   {
     db;
     options;
     optimize;
     backend;
+    strict;
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
   }
@@ -112,6 +129,8 @@ let totals_report m = Format.asprintf "%a" pp_phase_stats m.totals
 
 let set_optimize m b = m.optimize <- b
 let set_backend m b = m.backend <- b
+let set_strict m b = m.strict <- b
+let strict m = m.strict
 
 let database m = m.db
 let set_options m options = m.options <- options
@@ -125,7 +144,8 @@ let snapshot_catalog m : Analyzer.catalog =
       (fun name ->
         if not (Database.mem m.db name) then raise (Schema.Unknown name);
         if not (Database.is_period m.db name) then
-          err "table %s is not a period table; it cannot appear inside SEQ VT"
+          err "TKR020"
+            "table %s is not a period table; it cannot appear inside SEQ VT"
             name;
         Database.data_schema_of m.db name);
   }
@@ -149,6 +169,9 @@ type prepared = {
   order_by : (int * bool) list;
   limit : int option;
   stats : phase_stats;  (** phase timings; execute accumulates per run *)
+  diags : Diagnostic.t list;
+      (** diagnostics of the static [check] phase (warnings only: a
+          statement with errors raises {!Rejected} instead) *)
 }
 
 let make_exec m plan : Trace.t -> Database.t -> Table.t =
@@ -193,7 +216,7 @@ let rec setify (q : Algebra.t) : Algebra.t =
   | Agg (g, a, q0) -> Agg (g, a, setify q0)
   | Distinct q0 -> Distinct (setify q0)
   | Coalesce _ | Split _ | Split_agg _ ->
-      invalid_arg "setify: physical operator in logical query"
+      err "TKR201" "setify: physical operator in logical query"
 
 let prepare_statement m (stmt : Ast.statement) : prepared =
   match stmt with
@@ -202,6 +225,16 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
       let finish (p : prepared) =
         add_stats ~into:m.totals p.stats;
         p
+      in
+      (* one stage of the obs-timed static [check] phase: accumulate
+         elapsed time, reject right away on errors (or warnings when
+         strict) so later phases never see an invalid plan *)
+      let checked (f : unit -> Diagnostic.t list) : Diagnostic.t list =
+        let ns, ds = Clock.elapsed f in
+        stats.check_ns <- Int64.add stats.check_ns ns;
+        match Check.verdict ~werror:m.strict ds with
+        | Ok ds -> ds
+        | Error ds -> raise (Rejected (Diagnostic.sort ds))
       in
       let kind =
         match q with
@@ -224,12 +257,22 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
             List.iter
               (fun n ->
                 if not (Database.is_period m.db n) then
-                  err "table %s inside SEQ VT is not a period table" n)
+                  err "TKR020" "table %s inside SEQ VT is not a period table" n)
               (collect_rels [] analyzed.algebra);
             analyzed
           in
           let tmin, tmax = Database.time_bounds m.db in
           let lookup n = Database.data_schema_of m.db n in
+          let data_lookup n =
+            if Database.mem m.db n then Some (Database.data_schema_of m.db n)
+            else None
+          in
+          (* check: types + logical invariants on the analyzed plan *)
+          let diags_analyzed =
+            checked @@ fun () ->
+            Check.logical ~lookup:data_lookup analyzed.algebra
+            @ Lint.plan Lint.middleware analyzed.algebra
+          in
           let logical =
             phase (fun ns -> stats.optimize_ns <- ns) @@ fun () ->
             let logical = Simplify.simplify analyzed.algebra in
@@ -242,6 +285,11 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
                   }
                 ~lookup logical
             else logical
+          in
+          (* check: the optimizer's semantics-preservation claim as a
+             machine-checked postcondition *)
+          let diags_optimized =
+            checked @@ fun () -> Check.logical ~lookup:data_lookup logical
           in
           let plan =
             phase (fun ns -> stats.rewrite_ns <- ns) @@ fun () ->
@@ -285,6 +333,19 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
                 in
                 push plan
           in
+          (* check: period-encoding invariants on the rewritten plan *)
+          let diags_physical =
+            checked @@ fun () ->
+            let enc_lookup n =
+              if Database.mem m.db n then Some (Database.schema_of m.db n)
+              else None
+            in
+            Check.physical ~lookup:enc_lookup plan
+          in
+          let diags =
+            List.sort_uniq compare
+              (diags_analyzed @ diags_optimized @ diags_physical)
+          in
           let out_schema =
             match as_of with
             | None ->
@@ -299,11 +360,19 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
           let order_by = List.map (Analyzer.resolve_order out_schema) order_by in
           finish
             { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of;
-              order_by; limit; stats }
+              order_by; limit; stats; diags }
       | `Plain inner ->
           let analyzed =
             phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
             Analyzer.analyze_query (plain_catalog m) inner
+          in
+          let diags =
+            checked @@ fun () ->
+            Check.logical
+              ~lookup:(fun n ->
+                if Database.mem m.db n then Some (Database.schema_of m.db n)
+                else None)
+              analyzed.algebra
           in
           let order_by =
             List.map (Analyzer.resolve_order analyzed.schema) order_by
@@ -318,8 +387,9 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
               order_by;
               limit;
               stats;
+              diags;
             })
-  | _ -> err "not a query"
+  | _ -> err "TKR021" "not a query"
 
 let prepare m (sql : string) : prepared =
   let ns, stmt = Clock.elapsed (fun () -> Parser.statement sql) in
@@ -336,7 +406,7 @@ let snapshot_algebra m (sql : string) : Algebra.t * Schema.t =
   | Ast.Query { q = Ast.Seq_vt inner; _ } ->
       let a = Analyzer.analyze_query (snapshot_catalog m) inner in
       (a.algebra, a.schema)
-  | _ -> err "expected a SEQ VT query"
+  | _ -> err "TKR021" "expected a SEQ VT query"
 
 let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
   let ns, result = Clock.elapsed (fun () -> p.exec obs m.db) in
@@ -400,7 +470,7 @@ let const_value (e : Ast.expr) : Value.t =
   | Ast.Null -> Value.Null
   | Ast.Neg (Ast.Num i) -> Value.Int (-i)
   | Ast.Neg (Ast.Fnum f) -> Value.Float (-.f)
-  | _ -> err "INSERT values must be literals"
+  | _ -> err "TKR023" "INSERT values must be literals"
 
 (* ---- EXPLAIN rendering ---- *)
 
@@ -431,11 +501,61 @@ let render_analyze (p : prepared) (obs : Trace.t) (result : Table.t) : string =
   Buffer.add_string buf (Format.asprintf "%a" pp_phase_stats p.stats);
   Buffer.contents buf
 
+(* ---- CHECK / lint: run the static analyzer without executing ---- *)
+
+(** The full static analysis of one statement, never raising: front-end
+    and check-phase errors come back as diagnostics.  DDL/DML statements
+    have nothing to check statically. *)
+let rec check_statement m (stmt : Ast.statement) : Diagnostic.t list =
+  match stmt with
+  | Ast.Query _ -> (
+      match prepare_statement m stmt with
+      | p -> p.diags
+      | exception Rejected ds -> ds
+      | exception Error d -> [ d ]
+      | exception Analyzer.Error d -> [ d ])
+  | Ast.Explain { target; _ } | Ast.Check { target } -> check_statement m target
+  | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ | Ast.Update _
+  | Ast.Delete _ ->
+      []
+
+(** Lint one statement's logical plan under an explicit capability
+    profile: what would that evaluation style get wrong on this query
+    (Table 1)?  DDL/DML have no plan to lint. *)
+let rec lint_statement m (profile : Lint.profile) (stmt : Ast.statement) :
+    Diagnostic.t list =
+  match stmt with
+  | Ast.Query { q; _ } ->
+      let algebra =
+        match q with
+        | Ast.Seq_vt inner | Ast.Seq_vt_as_of (_, inner) ->
+            (Analyzer.analyze_query (snapshot_catalog m) inner).algebra
+        | Ast.Seq_vt_set inner ->
+            setify (Analyzer.analyze_query (snapshot_catalog m) inner).algebra
+        | q -> (Analyzer.analyze_query (plain_catalog m) q).algebra
+      in
+      Lint.plan profile algebra
+  | Ast.Explain { target; _ } | Ast.Check { target } ->
+      lint_statement m profile target
+  | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ | Ast.Update _
+  | Ast.Delete _ ->
+      []
+
+(** Statically analyze one SQL statement; parse and lexical errors are
+    returned as diagnostics too. *)
+let check m (sql : string) : Diagnostic.t list =
+  match Tkr_sql.Parser.statement sql with
+  | stmt -> check_statement m stmt
+  | exception Tkr_sql.Parser.Error d -> [ d ]
+  | exception Tkr_sql.Lexer.Error d -> [ d ]
+
 type result = Rows of Table.t | Done of string
 
 let rec execute_statement m (stmt : Ast.statement) : result =
   match stmt with
   | Ast.Query _ -> Rows (run_prepared m (prepare_statement m stmt))
+  | Ast.Check { target } ->
+      Done (Diagnostic.report_to_text (check_statement m target))
   | Ast.Explain { analyze; target } -> (
       match target with
       | Ast.Query _ ->
@@ -446,7 +566,7 @@ let rec execute_statement m (stmt : Ast.statement) : result =
             let result = run_prepared ~obs m p in
             Done (render_analyze p obs result)
       | Ast.Explain _ -> execute_statement m target  (* EXPLAIN EXPLAIN ... *)
-      | _ -> err "EXPLAIN expects a query")
+      | _ -> err "TKR021" "EXPLAIN expects a query")
   | Ast.Create_table { tbl_name; cols; period } -> (
       let schema =
         Schema.make (List.map (fun (n, ty) -> Schema.attr n ty) cols)
@@ -461,14 +581,14 @@ let rec execute_statement m (stmt : Ast.statement) : result =
           let find c =
             match List.find_index (fun (n, _) -> String.equal n c) cols with
             | Some i -> i
-            | None -> err "period column %s is not declared" c
+            | None -> err "TKR024" "period column %s is not declared" c
           in
           let bi = find b and ei = find e in
           List.iter
             (fun i ->
               match List.nth cols i with
               | _, Value.TInt -> ()
-              | n, _ -> err "period column %s must have type int" n)
+              | n, _ -> err "TKR024" "period column %s must have type int" n)
             [ bi; ei ];
           Database.add_period_table m.db tbl_name ~begin_col:bi ~end_col:ei
             empty;
@@ -493,7 +613,7 @@ let rec execute_statement m (stmt : Ast.statement) : result =
         List.map
           (fun row ->
             if List.length row <> Schema.arity schema then
-              err "INSERT arity mismatch for %s" ins_name;
+              err "TKR022" "INSERT arity mismatch for %s" ins_name;
             let vals = Array.of_list (List.map const_value row) in
             Tuple.of_array
               (Array.of_list (List.map (fun i -> vals.(i)) order)))
@@ -509,14 +629,14 @@ let rec execute_statement m (stmt : Ast.statement) : result =
       let n = Schema.arity schema in
       let is_period = Database.is_period m.db upd_name in
       if portion <> None && not is_period then
-        err "FOR PORTION OF requires a period table";
+        err "TKR025" "FOR PORTION OF requires a period table";
       let resolve_col c =
         match Schema.find_opt schema c with
         | Some i ->
             if is_period && portion <> None && i >= n - 2 then
-              err "cannot SET the period columns under FOR PORTION OF";
+              err "TKR025" "cannot SET the period columns under FOR PORTION OF";
             i
-        | None -> err "unknown column %s in UPDATE %s" c upd_name
+        | None -> err "TKR001" "unknown column %s in UPDATE %s" c upd_name
       in
       let sets =
         List.map
@@ -575,7 +695,7 @@ let rec execute_statement m (stmt : Ast.statement) : result =
       let n = Schema.arity schema in
       let is_period = Database.is_period m.db del_name in
       if del_portion <> None && not is_period then
-        err "FOR PORTION OF requires a period table";
+        err "TKR025" "FOR PORTION OF requires a period table";
       let pred =
         Option.map
           (Tkr_sql.Analyzer.resolve ~schema ~on_agg:Tkr_sql.Analyzer.no_agg)
@@ -631,7 +751,7 @@ let execute_script m (sql : string) : result list =
 let query m (sql : string) : Table.t =
   match execute m sql with
   | Rows t -> t
-  | Done _ -> err "expected a query, got a DDL/DML statement"
+  | Done _ -> err "TKR021" "expected a query, got a DDL/DML statement"
 
 (** EXPLAIN: the final (optimized, rewritten) plan of a query as text. *)
 let explain m (sql : string) : string = render_plan (prepare m sql)

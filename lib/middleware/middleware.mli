@@ -16,7 +16,14 @@ module Table = Tkr_engine.Table
 module Database = Tkr_engine.Database
 module Rewriter = Tkr_sqlenc.Rewriter
 
-exception Error of string
+module Diagnostic = Tkr_check.Diagnostic
+
+exception Error of Diagnostic.t
+(** Semantic errors, as coded diagnostics. *)
+
+exception Rejected of Diagnostic.t list
+(** The static [check] phase found errors (or, in strict mode, warnings);
+    the statement was not executed. *)
 
 type t
 
@@ -28,16 +35,22 @@ val create :
   ?options:Rewriter.options ->
   ?optimize:bool ->
   ?backend:backend ->
+  ?strict:bool ->
   ?db:Database.t ->
   unit ->
   t
 (** A middleware over a (possibly pre-populated) engine database.  Default
-    options: {!Rewriter.optimized}. *)
+    options: {!Rewriter.optimized}.  [strict] (--Werror, default false)
+    makes the check phase reject statements on warnings too. *)
 
 val database : t -> Database.t
 val set_options : t -> Rewriter.options -> unit
 val set_optimize : t -> bool -> unit
 val set_backend : t -> backend -> unit
+val set_strict : t -> bool -> unit
+(** --Werror: reject statements whose check phase reports warnings. *)
+
+val strict : t -> bool
 val options : t -> Rewriter.options
 
 (** Cumulative phase timings of one prepared statement (or, for
@@ -47,6 +60,7 @@ val options : t -> Rewriter.options
 type phase_stats = {
   mutable parse_ns : int64;
   mutable analyze_ns : int64;
+  mutable check_ns : int64;  (** static analysis (Tkr_check), all stages *)
   mutable rewrite_ns : int64;
   mutable optimize_ns : int64;
   mutable runs : int;
@@ -68,11 +82,16 @@ type prepared = {
   order_by : (int * bool) list;
   limit : int option;
   stats : phase_stats;
+  diags : Diagnostic.t list;
+      (** diagnostics of the static [check] phase (warnings only: a
+          statement with errors raises {!Rejected} instead) *)
 }
-(** A parsed, analyzed and (for snapshot queries) rewritten statement,
-    ready for repeated execution. *)
+(** A parsed, analyzed, statically checked and (for snapshot queries)
+    rewritten statement, ready for repeated execution. *)
 
 val prepare : t -> string -> prepared
+(** @raise Rejected when the static check phase reports errors (or
+    warnings under [strict]). *)
 
 val run_prepared : ?obs:Tkr_obs.Trace.t -> t -> prepared -> Table.t
 (** Execute a prepared statement; [obs] (default {!Tkr_obs.Trace.disabled})
@@ -90,6 +109,19 @@ val totals_json : t -> Tkr_obs.Json.t
 val snapshot_algebra : t -> string -> Algebra.t * Schema.t
 (** The logical algebra inside a [SEQ VT] statement and its data schema —
     the common input of the rewriter and the native baseline evaluators. *)
+
+val check : t -> string -> Diagnostic.t list
+(** [CHECK <query>] as a function: run the whole static analysis (type
+    checking, plan invariants, lint) without executing.  Never raises —
+    lexical, syntax and semantic errors come back as diagnostics. *)
+
+val check_statement : t -> Tkr_sql.Ast.statement -> Diagnostic.t list
+
+val lint_statement :
+  t -> Tkr_check.Lint.profile -> Tkr_sql.Ast.statement -> Diagnostic.t list
+(** Lint one statement's logical plan under an explicit capability
+    profile (the paper's Table 1 evaluation styles); [[]] for DDL/DML.
+    @raise Tkr_sql.Analyzer.Error when the statement does not analyze. *)
 
 type result = Rows of Table.t | Done of string
 

@@ -12,18 +12,24 @@
 open Tkr_relation
 module A = Ast
 
-exception Error of string
+exception Error of Tkr_check.Diagnostic.t
+(** Semantic errors, as [TKR0xx] diagnostics carrying the source position
+    of the offending node when the AST provides one. *)
 
-let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let err ?pos code fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Tkr_check.Diagnostic.v ?pos code "%s" s)))
+    fmt
 
 type catalog = { cat_schema : string -> Schema.t }
 
-let resolve_name (schema : Schema.t) (path : string list) : int =
+let resolve_name ?pos (schema : Schema.t) (path : string list) : int =
   let name = String.concat "." path in
   match Schema.find_opt schema name with
   | Some i -> i
-  | None -> err "unknown column %s" name
-  | exception Schema.Ambiguous n -> err "ambiguous column reference %s" n
+  | None -> err ?pos "TKR001" "unknown column %s" name
+  | exception Schema.Ambiguous n ->
+      err ?pos "TKR002" "ambiguous column reference %s" n
 
 let cmp_of : A.cmpop -> Expr.cmp = function
   | A.Eq -> Expr.Eq
@@ -50,7 +56,7 @@ let rec resolve ~(schema : Schema.t) ~on_agg (e : A.expr) : Expr.t =
   | A.Str s -> Expr.Const (Value.Str s)
   | A.Bool b -> Expr.Const (Value.Bool b)
   | A.Null -> Expr.Const Value.Null
-  | A.Ref path -> Expr.Col (resolve_name schema path)
+  | A.Ref (path, pos) -> Expr.Col (resolve_name ~pos schema path)
   | A.Bin (op, a, b) -> Expr.Binop (bin_of op, r a, r b)
   | A.Neg a -> Expr.Neg (r a)
   | A.Cmp (op, a, b) -> Expr.Cmp (cmp_of op, r a, r b)
@@ -66,7 +72,7 @@ let rec resolve ~(schema : Schema.t) ~on_agg (e : A.expr) : Expr.t =
           (fun v ->
             match r v with
             | Expr.Const c -> c
-            | _ -> err "IN list elements must be literals")
+            | _ -> err "TKR012" "IN list elements must be literals")
           vs
       in
       Expr.In_list (r a, consts)
@@ -76,14 +82,15 @@ let rec resolve ~(schema : Schema.t) ~on_agg (e : A.expr) : Expr.t =
   | A.Case (branches, default) ->
       Expr.Case
         (List.map (fun (c, v) -> (r c, r v)) branches, Option.map r default)
-  | A.Agg_call (f, arg) -> on_agg f arg
+  | A.Agg_call (f, arg, pos) -> on_agg f arg pos
 
-let no_agg _ _ = err "aggregate calls are not allowed in this context"
+let no_agg _ _ pos =
+  err ~pos "TKR013" "aggregate calls are not allowed in this context"
 
-let agg_func ~schema (f : string) (arg : A.agg_arg) : Agg.func =
+let agg_func ~schema ?pos (f : string) (arg : A.agg_arg) : Agg.func =
   let input () =
     match arg with
-    | A.Star -> err "%s(*) is not supported; only count(*)" f
+    | A.Star -> err ?pos "TKR014" "%s(*) is not supported; only count(*)" f
     | A.Arg e -> resolve ~schema ~on_agg:no_agg e
   in
   match (f, arg) with
@@ -93,7 +100,7 @@ let agg_func ~schema (f : string) (arg : A.agg_arg) : Agg.func =
   | "avg", _ -> Agg.Avg (input ())
   | "min", _ -> Agg.Min (input ())
   | "max", _ -> Agg.Max (input ())
-  | _ -> err "unknown aggregate function %s" f
+  | _ -> err ?pos "TKR015" "unknown aggregate function %s" f
 
 let conjuncts_of (e : Expr.t) : Expr.t list =
   let rec go acc = function Expr.And (a, b) -> go (go acc a) b | e -> e :: acc in
@@ -105,8 +112,8 @@ let conj = function
 
 let derived_name i (e : A.expr) =
   match e with
-  | A.Ref path -> Schema.local_name (String.concat "." path)
-  | A.Agg_call (f, _) -> f
+  | A.Ref (path, _) -> Schema.local_name (String.concat "." path)
+  | A.Agg_call (f, _, _) -> f
   | _ -> Printf.sprintf "col%d" i
 
 (** The result of analyzing a query: a logical algebra term and its output
@@ -116,7 +123,7 @@ type analyzed = { algebra : Algebra.t; schema : Schema.t }
 let rec analyze_query (cat : catalog) (q : A.query) : analyzed =
   match q with
   | A.Seq_vt _ | A.Seq_vt_as_of _ | A.Seq_vt_set _ ->
-      err "SEQ VT must enclose the whole query"
+      err "TKR010" "SEQ VT must enclose the whole query"
   | A.Select_q s -> analyze_select cat s
   | A.Union_q (all, l, r) ->
       let la = analyze_query cat l and ra = analyze_query cat r in
@@ -152,8 +159,8 @@ let rec analyze_query (cat : catalog) (q : A.query) : analyzed =
 
 and check_compat la ra op =
   if not (Schema.union_compatible la.schema ra.schema) then
-    err "%s branches have incompatible schemas %a vs %a" op Schema.pp la.schema
-      Schema.pp ra.schema
+    err "TKR011" "%s branches have incompatible schemas %a vs %a" op Schema.pp
+      la.schema Schema.pp ra.schema
 
 and analyze_from_item (cat : catalog) (item : A.from_item) :
     Algebra.t * Schema.t =
@@ -161,7 +168,7 @@ and analyze_from_item (cat : catalog) (item : A.from_item) :
   | A.Table { name; alias } ->
       let schema =
         try cat.cat_schema name
-        with Schema.Unknown n -> err "unknown table %s" n
+        with Schema.Unknown n -> err "TKR003" "unknown table %s" n
       in
       let prefix = Option.value alias ~default:name in
       (Algebra.Rel name, Schema.qualify prefix schema)
@@ -224,7 +231,7 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
   in
   let planned =
     match items_planned with
-    | [] -> err "empty FROM"
+    | [] -> err "TKR004" "empty FROM"
     | (alg0, _, _, n0) :: rest ->
         let acc, _ =
           List.fold_left
@@ -287,7 +294,7 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
           s.items
       in
       (match s.having with
-      | Some _ -> err "HAVING without GROUP BY or aggregates"
+      | Some _ -> err "TKR016" "HAVING without GROUP BY or aggregates"
       | None -> ());
       let algebra = Algebra.Project (projs, planned) in
       let schema =
@@ -310,8 +317,8 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
       in
       let k = List.length group_projs in
       let aggs : Algebra.agg_spec list ref = ref [] in
-      let agg_col f arg =
-        let func = agg_func ~schema:full_schema f arg in
+      let agg_col f arg pos =
+        let func = agg_func ~schema:full_schema ~pos f arg in
         (* reuse identical aggregate calls *)
         let rec find i = function
           | [] -> None
@@ -336,8 +343,8 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
         | Some i -> Expr.Col i
         | None -> (
             match e with
-            | A.Agg_call (f, arg) -> agg_col f arg
-            | A.Ref _ -> (
+            | A.Agg_call (f, arg, pos) -> agg_col f arg pos
+            | A.Ref (path, pos) -> (
                 (* a bare column must be one of the grouping columns *)
                 let r = resolve ~schema:full_schema ~on_agg:no_agg e in
                 match
@@ -345,10 +352,9 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
                 with
                 | Some i -> Expr.Col i
                 | None ->
-                    err
+                    err ~pos "TKR017"
                       "column %s must appear in GROUP BY or an aggregate"
-                      (String.concat "."
-                         (match e with A.Ref p -> p | _ -> [])))
+                      (String.concat "." path))
             | A.Num i -> Expr.Const (Value.Int i)
             | A.Fnum f -> Expr.Const (Value.Float f)
             | A.Str s -> Expr.Const (Value.Str s)
@@ -369,7 +375,7 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
                     (fun v ->
                       match resolve_out v with
                       | Expr.Const c -> c
-                      | _ -> err "IN list elements must be literals")
+                      | _ -> err "TKR012" "IN list elements must be literals")
                     vs
                 in
                 Expr.In_list (resolve_out a, consts)
@@ -386,7 +392,8 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
       let out_items =
         List.concat_map
           (function
-            | A.Star_item -> err "SELECT * cannot be combined with GROUP BY"
+            | A.Star_item ->
+                err "TKR018" "SELECT * cannot be combined with GROUP BY"
             | A.Item it ->
                 let e = resolve_out it.item_expr in
                 let name =
@@ -429,5 +436,5 @@ and analyze_select (cat : catalog) (s : A.select) : analyzed =
 let resolve_order (schema : Schema.t) (o : A.order_item) : int * bool =
   match o.A.ord_expr with
   | A.Num i when i >= 1 && i <= Schema.arity schema -> (i - 1, o.A.ord_desc)
-  | A.Ref path -> (resolve_name schema path, o.A.ord_desc)
-  | _ -> err "ORDER BY supports output columns or positions only"
+  | A.Ref (path, pos) -> (resolve_name ~pos schema path, o.A.ord_desc)
+  | _ -> err "TKR019" "ORDER BY supports output columns or positions only"

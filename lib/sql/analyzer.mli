@@ -9,7 +9,9 @@
 
 open Tkr_relation
 
-exception Error of string
+exception Error of Tkr_check.Diagnostic.t
+(** Semantic errors, as [TKR0xx] diagnostics carrying the source position
+    of the offending node when the AST provides one. *)
 
 type catalog = { cat_schema : string -> Schema.t }
 (** [cat_schema] returns the (data) schema of a base table or raises
@@ -22,10 +24,14 @@ val analyze_query : catalog -> Ast.query -> analyzed
     non-grouped columns, incompatible set operations, or nested [SEQ VT]. *)
 
 val resolve :
-  schema:Schema.t -> on_agg:(string -> Ast.agg_arg -> Expr.t) -> Ast.expr -> Expr.t
-(** Resolve a scalar expression; [on_agg] handles aggregate calls. *)
+  schema:Schema.t ->
+  on_agg:(string -> Ast.agg_arg -> Ast.pos -> Expr.t) ->
+  Ast.expr ->
+  Expr.t
+(** Resolve a scalar expression; [on_agg] handles aggregate calls (it
+    receives the call's source position). *)
 
-val no_agg : string -> Ast.agg_arg -> Expr.t
+val no_agg : string -> Ast.agg_arg -> Ast.pos -> Expr.t
 (** An [on_agg] that rejects aggregate calls. *)
 
 val resolve_order : Schema.t -> Ast.order_item -> int * bool

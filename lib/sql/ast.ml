@@ -11,13 +11,17 @@
 type binop = Add | Sub | Mul | Div | Mod
 type cmpop = Eq | Ne | Lt | Le | Gt | Ge
 
+type pos = Tkr_check.Diagnostic.pos = { line : int; col : int }
+(** Source position ([line:col], 1-based) of the node in the SQL text;
+    carried on the nodes semantic errors anchor to. *)
+
 type expr =
   | Num of int
   | Fnum of float
   | Str of string
   | Bool of bool
   | Null
-  | Ref of string list  (** [a] or [t; a] for [t.a] *)
+  | Ref of string list * pos  (** [a] or [t; a] for [t.a] *)
   | Bin of binop * expr * expr
   | Neg of expr
   | Cmp of cmpop * expr * expr
@@ -30,7 +34,7 @@ type expr =
   | In_list of expr * expr list
   | Between of expr * expr * expr
   | Case of (expr * expr) list * expr option
-  | Agg_call of string * agg_arg
+  | Agg_call of string * agg_arg * pos
 
 and agg_arg = Star | Arg of expr
 
@@ -97,3 +101,6 @@ type statement =
       (** [EXPLAIN (stmt)] renders the final plan; [EXPLAIN ANALYZE (stmt)]
           also executes it and annotates every operator with rows in/out,
           internals and elapsed time *)
+  | Check of { target : statement }
+      (** [CHECK (stmt)] (alias [LINT]) runs the static analyzer over the
+          statement without executing it and renders its diagnostics *)

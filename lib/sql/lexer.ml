@@ -24,7 +24,10 @@ type token =
   | GE
   | EOF
 
-exception Error of string
+type pos = Tkr_check.Diagnostic.pos = { line : int; col : int }
+
+exception Error of Tkr_check.Diagnostic.t
+(** Lexical errors, as [TKR005] diagnostics with a source position. *)
 
 let keywords =
   [
@@ -44,39 +47,63 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-(** Tokenize a full SQL string.  Line comments ([-- ...]) are skipped. *)
-let tokenize (s : string) : token list =
+(* Map a byte offset to a 1-based line:col position. *)
+let positioner (s : string) : int -> pos =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) s;
+  let arr = Array.of_list (List.rev !starts) in
+  fun i ->
+    let lo = ref 0 and hi = ref (Array.length arr - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if arr.(mid) <= i then lo := mid else hi := mid - 1
+    done;
+    { line = !lo + 1; col = i - arr.(!lo) + 1 }
+
+(** Tokenize a full SQL string, attaching each token's source position.
+    Line comments ([-- ...]) are skipped. *)
+let tokenize_pos (s : string) : (token * pos) list =
   let n = String.length s in
+  let pos_of = positioner s in
+  let lex_error i fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (Error
+             (Tkr_check.Diagnostic.v ~pos:(pos_of i) "TKR005" "%s" msg)))
+      fmt
+  in
   let rec go i acc =
-    if i >= n then List.rev (EOF :: acc)
+    let emit j tok = go j ((tok, pos_of i) :: acc) in
+    if i >= n then List.rev ((EOF, pos_of n) :: acc)
     else
       match s.[i] with
       | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
       | '-' when i + 1 < n && s.[i + 1] = '-' ->
           let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
           go (skip i) acc
-      | '(' -> go (i + 1) (LPAREN :: acc)
-      | ')' -> go (i + 1) (RPAREN :: acc)
-      | ',' -> go (i + 1) (COMMA :: acc)
+      | '(' -> emit (i + 1) LPAREN
+      | ')' -> emit (i + 1) RPAREN
+      | ',' -> emit (i + 1) COMMA
       | '.' when not (i + 1 < n && is_digit s.[i + 1] && acc_is_numeric acc) ->
-          go (i + 1) (DOT :: acc)
-      | ';' -> go (i + 1) (SEMI :: acc)
-      | '*' -> go (i + 1) (STAR :: acc)
-      | '+' -> go (i + 1) (PLUS :: acc)
-      | '-' -> go (i + 1) (MINUS :: acc)
-      | '/' -> go (i + 1) (SLASH :: acc)
-      | '%' -> go (i + 1) (PERCENT :: acc)
-      | '=' -> go (i + 1) (EQ :: acc)
-      | '!' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (NE :: acc)
-      | '<' when i + 1 < n && s.[i + 1] = '>' -> go (i + 2) (NE :: acc)
-      | '<' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (LE :: acc)
-      | '<' -> go (i + 1) (LT :: acc)
-      | '>' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (GE :: acc)
-      | '>' -> go (i + 1) (GT :: acc)
+          emit (i + 1) DOT
+      | ';' -> emit (i + 1) SEMI
+      | '*' -> emit (i + 1) STAR
+      | '+' -> emit (i + 1) PLUS
+      | '-' -> emit (i + 1) MINUS
+      | '/' -> emit (i + 1) SLASH
+      | '%' -> emit (i + 1) PERCENT
+      | '=' -> emit (i + 1) EQ
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> emit (i + 2) NE
+      | '<' when i + 1 < n && s.[i + 1] = '>' -> emit (i + 2) NE
+      | '<' when i + 1 < n && s.[i + 1] = '=' -> emit (i + 2) LE
+      | '<' -> emit (i + 1) LT
+      | '>' when i + 1 < n && s.[i + 1] = '=' -> emit (i + 2) GE
+      | '>' -> emit (i + 1) GT
       | '\'' ->
           let buf = Buffer.create 16 in
           let rec str j =
-            if j >= n then raise (Error "unterminated string literal")
+            if j >= n then lex_error i "unterminated string literal"
             else if s.[j] = '\'' then
               if j + 1 < n && s.[j + 1] = '\'' then (
                 Buffer.add_char buf '\'';
@@ -87,23 +114,26 @@ let tokenize (s : string) : token list =
               str (j + 1))
           in
           let i' = str (i + 1) in
-          go i' (STRING (Buffer.contents buf) :: acc)
+          emit i' (STRING (Buffer.contents buf))
       | c when is_digit c ->
           let rec num j = if j < n && is_digit s.[j] then num (j + 1) else j in
           let j = num i in
           if j < n && s.[j] = '.' && j + 1 < n && is_digit s.[j + 1] then (
             let j' = num (j + 1) in
             let f = float_of_string (String.sub s i (j' - i)) in
-            go j' (FLOAT f :: acc))
-          else go j (INT (int_of_string (String.sub s i (j - i))) :: acc)
+            emit j' (FLOAT f))
+          else emit j (INT (int_of_string (String.sub s i (j - i))))
       | c when is_ident_start c ->
           let rec ident j = if j < n && is_ident_char s.[j] then ident (j + 1) else j in
           let j = ident i in
           let word = String.lowercase_ascii (String.sub s i (j - i)) in
-          go j (IDENT word :: acc)
-      | c -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c i))
-  and acc_is_numeric = function INT _ :: _ -> true | _ -> false in
+          emit j (IDENT word)
+      | c -> lex_error i "unexpected character %C" c
+  and acc_is_numeric = function (INT _, _) :: _ -> true | _ -> false in
   go 0 []
+
+(** Tokenize, positions dropped. *)
+let tokenize (s : string) : token list = List.map fst (tokenize_pos s)
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "%s" s

@@ -25,11 +25,18 @@ type token =
   | GE
   | EOF
 
-exception Error of string
+type pos = Tkr_check.Diagnostic.pos = { line : int; col : int }
+
+exception Error of Tkr_check.Diagnostic.t
+(** Lexical errors, as [TKR005] diagnostics with a source position. *)
 
 val is_keyword : string -> bool
 
+val tokenize_pos : string -> (token * pos) list
+(** Tokenize, attaching each token's 1-based [line:col] position.
+    @raise Error on malformed input. *)
+
 val tokenize : string -> token list
-(** @raise Error on malformed input. *)
+(** Like {!tokenize_pos}, positions dropped. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -2,20 +2,27 @@
 
 open Ast
 
-exception Error of string
+exception Error of Tkr_check.Diagnostic.t
+(** Syntax errors, as [TKR004] diagnostics with a source position. *)
 
-type state = { mutable toks : Lexer.token list }
+type state = { mutable toks : (Lexer.token * pos) list }
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
 
 let peek2 st =
-  match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+  match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+(* Position of the next token (the last seen position at end of input). *)
+let cur_pos st =
+  match st.toks with [] -> { line = 1; col = 1 } | (_, p) :: _ -> p
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
 let fail st msg =
   raise
-    (Error (Format.asprintf "%s (next token: %a)" msg Lexer.pp_token (peek st)))
+    (Error
+       (Tkr_check.Diagnostic.v ~pos:(cur_pos st) "TKR004"
+          "%s (next token: %a)" msg Lexer.pp_token (peek st)))
 
 let expect st tok msg =
   if peek st = tok then advance st else fail st ("expected " ^ msg)
@@ -180,6 +187,7 @@ and parse_primary st =
       expect_kw st "end";
       Case (bs, default)
   | Lexer.IDENT f when List.mem f agg_names && peek2 st = Lexer.LPAREN ->
+      let pos = cur_pos st in
       advance st;
       advance st;
       let arg =
@@ -189,14 +197,15 @@ and parse_primary st =
         else Arg (parse_expr st)
       in
       expect st Lexer.RPAREN ")";
-      Agg_call (f, arg)
+      Agg_call (f, arg, pos)
   | Lexer.IDENT w when not (Lexer.is_keyword w) ->
+      let pos = cur_pos st in
       advance st;
       if peek st = Lexer.DOT then (
         advance st;
         let col = ident st in
-        Ref [ w; col ])
-      else Ref [ w ]
+        Ref ([ w; col ], pos))
+      else Ref ([ w ], pos)
   | _ -> fail st "expected expression"
 
 (* --- queries --- *)
@@ -411,6 +420,17 @@ let rec parse_statement st =
         else parse_statement st
       in
       Explain { analyze; target }
+  | Lexer.IDENT ("check" | "lint") ->
+      advance st;
+      let target =
+        if peek st = Lexer.LPAREN then (
+          advance st;
+          let s = parse_statement st in
+          expect st Lexer.RPAREN ")";
+          s)
+        else parse_statement st
+      in
+      Check { target }
   | Lexer.IDENT "create" ->
       advance st;
       expect_kw st "table";
@@ -522,7 +542,7 @@ let rec parse_statement st =
 
 (** Parse a single statement (a trailing semicolon is allowed). *)
 let statement (sql : string) : statement =
-  let st = { toks = Lexer.tokenize sql } in
+  let st = { toks = Lexer.tokenize_pos sql } in
   let s = parse_statement st in
   ignore (if peek st = Lexer.SEMI then (advance st; true) else false);
   if peek st <> Lexer.EOF then fail st "trailing input after statement";
@@ -530,7 +550,7 @@ let statement (sql : string) : statement =
 
 (** Parse a ;-separated script. *)
 let script (sql : string) : statement list =
-  let st = { toks = Lexer.tokenize sql } in
+  let st = { toks = Lexer.tokenize_pos sql } in
   let rec go acc =
     if peek st = Lexer.EOF then List.rev acc
     else

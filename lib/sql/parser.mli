@@ -2,7 +2,8 @@
     [SEQ VT (...)] / [SEQ VT AS OF t (...)] snapshot blocks and the
     SQL:2011 [FOR PORTION OF] update/delete forms. *)
 
-exception Error of string
+exception Error of Tkr_check.Diagnostic.t
+(** Syntax errors, as [TKR004] diagnostics with a source position. *)
 
 val statement : string -> Ast.statement
 (** Parse a single statement (a trailing semicolon is allowed).

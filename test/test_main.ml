@@ -21,4 +21,5 @@ let () =
       Test_set_mode.suite;
       Test_snapshot.suite;
       Test_obs.suite;
+      Test_check.suite;
     ]

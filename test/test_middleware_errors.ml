@@ -24,8 +24,9 @@ let expect_error name f =
         ignore (f (fresh ()));
         Alcotest.failf "%s: expected an error" name
       with
-      | M.Error _ | Tkr_sql.Parser.Error _ | Tkr_sql.Analyzer.Error _
-      | Tkr_sql.Lexer.Error _ | Tkr_relation.Schema.Unknown _ ->
+      | M.Error _ | M.Rejected _ | Tkr_sql.Parser.Error _
+      | Tkr_sql.Analyzer.Error _ | Tkr_sql.Lexer.Error _
+      | Tkr_relation.Schema.Unknown _ ->
         ())
 
 let errors =

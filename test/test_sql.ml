@@ -23,12 +23,17 @@ let test_lexer_comments () =
   Alcotest.(check int) "tokens" 5 (List.length toks)
 
 let test_lexer_errors () =
-  Alcotest.check_raises "unterminated string" (L.Error "unterminated string literal")
-    (fun () -> ignore (L.tokenize "SELECT 'oops"));
+  (* lexical errors are TKR005 diagnostics carrying the source position *)
+  (try
+     ignore (L.tokenize "SELECT 'oops");
+     Alcotest.fail "expected failure"
+   with L.Error d ->
+     Alcotest.(check string) "code" "TKR005" d.code;
+     Alcotest.(check bool) "position" true (d.pos <> None));
   (try
      ignore (L.tokenize "SELECT #");
      Alcotest.fail "expected failure"
-   with L.Error _ -> ())
+   with L.Error d -> Alcotest.(check string) "code" "TKR005" d.code)
 
 let parse_q s =
   match P.statement s with
