@@ -145,19 +145,21 @@ let print_results results =
       | _ -> Printf.printf "%-48s %12s\n%!" name "n/a")
     rows
 
-(* ---- JSON metrics dump (BENCH_PR1.json) ---- *)
+(* ---- canonical JSON dump (Tkr_perf schema, BENCH_PR<n>.json) ---- *)
 
 module Trace = Tkr_obs.Trace
 module Json = Tkr_obs.Json
+module Bench_result = Tkr_perf.Bench_result
 
 (* one traced execution per employee query: per-operator counters
-   (rows in/out, join strategy, coalesce groups/segments, ...) *)
+   (rows in/out, join strategy, coalesce groups/segments, ...), now with
+   per-span GC/allocation deltas *)
 let operator_traces () : Json.t =
   Json.List
     (List.map
        (fun (name, sql) ->
          let p = M.prepare emp_m sql in
-         let obs = Trace.create () in
+         let obs = Trace.create ~gc:true () in
          ignore (M.run_prepared ~obs emp_m p);
          Json.Obj
            [
@@ -166,34 +168,37 @@ let operator_traces () : Json.t =
            ])
        Q.employee)
 
+(* bechamel names tests "group/test"; the canonical schema keys on the
+   same two components *)
+let split_bechamel_name full =
+  match String.index_opt full '/' with
+  | Some i ->
+      ( String.sub full 0 i,
+        String.sub full (i + 1) (String.length full - i - 1) )
+  | None -> ("bench", full)
+
 let write_json path =
   let results =
     List.rev_map
       (fun (name, ns) ->
-        Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
+        let suite, test = split_bechamel_name name in
+        Bench_result.result ~suite ~name:test ~runs:1 ns)
       !collected
   in
-  let j =
-    Json.Obj
-      [
-        ("bench", Json.Str "bench/main.ml");
-        ("results", Json.List results);
-        ("operator_traces", operator_traces ());
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string j);
-  output_char oc '\n';
-  close_out oc;
+  Bench_result.write path
+    (Bench_result.make ~source:"bench/main.ml"
+       ~extra:[ ("operator_traces", operator_traces ()) ]
+       results);
   Printf.printf "wrote %s\n%!" path
 
 let () =
   let json_path =
-    (* [--json PATH] overrides the default dump location *)
+    (* [--json PATH] overrides; the default derives the next trajectory
+       name (BENCH_PR<n>.json) from the files already present *)
     let rec find = function
       | "--json" :: path :: _ -> path
       | _ :: rest -> find rest
-      | [] -> "BENCH_PR1.json"
+      | [] -> Bench_result.default_filename ()
     in
     find (Array.to_list Sys.argv)
   in

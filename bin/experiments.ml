@@ -41,11 +41,12 @@ let time_once f =
   let r = f () in
   (Unix.gettimeofday () -. t0, r)
 
-(* measurements collected for the --json dump (BENCH_PR1.json) *)
-let collected : (string * float) list ref = ref []
+(* measurements collected for the --json dump (canonical Tkr_perf
+   schema); [runs] is the sample count behind the figure *)
+let collected : (string * float * int) list ref = ref []
 
-let record name secs =
-  collected := (name, secs) :: !collected;
+let record ?(runs = 3) name secs =
+  collected := (name, secs, runs) :: !collected;
   secs
 
 (* ------------------------------------------------------------------ *)
@@ -294,7 +295,9 @@ let table3tpc () =
           in
           let algebra, _ = M.snapshot_algebra m sql in
           let nat, _ = time_once (fun () -> B.eval_coalesced B.Alignment db algebra) in
-          let nat = record (Printf.sprintf "table3tpc/%s/%s/nat" label name) nat in
+          let nat =
+            record ~runs:1 (Printf.sprintf "table3tpc/%s/%s/nat" label name) nat
+          in
           printf "  %-6s %10.4f %10.4f   %-4s\n%!" name seq nat (bug_of_query name))
         Q.tpch_perf_names;
       printf "\n")
@@ -401,16 +404,18 @@ let tourism () =
 
 module Trace = Tkr_obs.Trace
 module Json = Tkr_obs.Json
+module Bench_result = Tkr_perf.Bench_result
 
 (* one traced execution per employee query at a small scale: the JSON dump
-   carries per-operator counters, not just end-to-end wall times *)
+   carries per-operator counters (with GC/allocation deltas), not just
+   end-to-end wall times *)
 let operator_traces () : Json.t =
   let m = M.create ~db:(W.generate { (W.scaled 200) with W.tmax = 2000 }) () in
   Json.List
     (List.map
        (fun (name, sql) ->
          let p = M.prepare m sql in
-         let obs = Trace.create () in
+         let obs = Trace.create ~gc:true () in
          ignore (M.run_prepared ~obs m p);
          Json.Obj
            [
@@ -420,25 +425,27 @@ let operator_traces () : Json.t =
            ])
        Q.employee)
 
+(* collected names are "suite/rest..."; key the canonical schema on the
+   same split *)
+let split_name full =
+  match String.index_opt full '/' with
+  | Some i ->
+      ( String.sub full 0 i,
+        String.sub full (i + 1) (String.length full - i - 1) )
+  | None -> ("experiments", full)
+
 let write_json path =
   let results =
     List.rev_map
-      (fun (name, secs) ->
-        Json.Obj [ ("name", Json.Str name); ("seconds", Json.Float secs) ])
+      (fun (name, secs, runs) ->
+        let suite, test = split_name name in
+        Bench_result.result ~suite ~name:test ~runs (secs *. 1e9))
       !collected
   in
-  let j =
-    Json.Obj
-      [
-        ("bench", Json.Str "bin/experiments.ml");
-        ("results", Json.List results);
-        ("operator_traces", operator_traces ());
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string j);
-  output_char oc '\n';
-  close_out oc;
+  Bench_result.write path
+    (Bench_result.make ~source:"bin/experiments.ml"
+       ~extra:[ ("operator_traces", operator_traces ()) ]
+       results);
   printf "wrote %s\n%!" path
 
 let () =
@@ -449,7 +456,8 @@ let () =
       | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-'
         ->
           (Some path, List.rev_append acc rest)
-      | "--json" :: rest -> (Some "BENCH_PR1.json", List.rev_append acc rest)
+      | "--json" :: rest ->
+          (Some (Bench_result.default_filename ()), List.rev_append acc rest)
       | a :: rest -> go (a :: acc) rest
       | [] -> (None, List.rev acc)
     in

@@ -8,6 +8,9 @@
      lint [--workload W] [-e SQL] [-f FILE]...
                                static analysis only: type check, validate
                                plan invariants and lint for snapshot bugs
+     bench run|compare|export  perf trajectory: run the quick suite,
+                               detect regressions between two BENCH
+                               files, export to OpenMetrics/flamegraphs
 *)
 
 open Cmdliner
@@ -18,6 +21,10 @@ module Lint = Tkr_check.Lint
 module Database = Tkr_engine.Database
 module Table = Tkr_engine.Table
 module Csv_io = Tkr_engine.Csv_io
+module Bench_result = Tkr_perf.Bench_result
+module Perf_compare = Tkr_perf.Compare
+module Perf_export = Tkr_perf.Export
+module Perf_runner = Tkr_perf.Runner
 
 let print_result ?(max_rows = 100) = function
   | M.Rows t -> print_string (Table.to_text ~max_rows t)
@@ -388,9 +395,186 @@ let lint_cmd =
         (const lint $ data $ workload $ sql $ files $ profile $ werror
        $ json_out))
 
+(* --- bench --- *)
+
+(* The quick, deterministic bench suite behind [bench run]: the employee
+   snapshot workload through the middleware plus the multiset-coalescing
+   microbenchmark, measured with the shared Tkr_perf harness (median of
+   --runs, GC counters included).  It is intentionally much smaller than
+   bench/main.exe — small enough for CI smoke jobs — but written in the
+   same canonical schema, so [bench compare] works across any pair. *)
+let bench_suite ~scale ~runs : Bench_result.result list =
+  let module W = Tkr_workload.Employees in
+  let module Q = Tkr_workload.Queries in
+  let module Ops = Tkr_engine.Ops in
+  let employees = max 20 (int_of_float (150. *. scale)) in
+  let db = W.generate { (W.scaled employees) with W.tmax = 2000 } in
+  let m = M.create ~db () in
+  let employee =
+    List.map
+      (fun (name, sql) ->
+        let p = M.prepare m sql in
+        let s = Perf_runner.measure ~runs (fun () -> M.run_prepared m p) in
+        let rows = Table.cardinality (M.run_prepared m p) in
+        Printf.printf "  %-24s %12.1f us/run  %8d rows\n%!" name
+          (s.Perf_runner.wall_ns /. 1e3) rows;
+        Bench_result.result ~suite:"employee" ~name ~runs
+          ~counters:(("rows_out", float_of_int rows) :: Perf_runner.gc_counters s)
+          s.Perf_runner.wall_ns)
+      Q.employee
+  in
+  let coalesce =
+    List.map
+      (fun n ->
+        let n = max 100 (int_of_float (float_of_int n *. scale)) in
+        let t = W.coalesce_input ~n ~seed:11 ~tmax:2000 in
+        let s = Perf_runner.measure ~runs (fun () -> Ops.coalesce t) in
+        let name = Printf.sprintf "coalesce-%d" n in
+        Printf.printf "  %-24s %12.1f us/run\n%!" name
+          (s.Perf_runner.wall_ns /. 1e3);
+        Bench_result.result ~suite:"coalesce" ~name ~runs
+          ~counters:(Perf_runner.gc_counters s)
+          s.Perf_runner.wall_ns)
+      [ 1_000; 10_000 ]
+  in
+  employee @ coalesce
+
+let bench_run out scale runs =
+  let path = match out with Some p -> p | None -> Bench_result.default_filename () in
+  Printf.printf "quick bench suite (scale %.2f, %d runs):\n%!" scale runs;
+  let results = bench_suite ~scale ~runs in
+  let report = Bench_result.make ~source:"tkr_cli bench run" results in
+  Bench_result.write path report;
+  Printf.printf "wrote %s (%d results)\n" path (List.length results);
+  Ok ()
+
+let bench_compare base fresh threshold =
+  match (Bench_result.read base, Bench_result.read fresh) with
+  | exception Sys_error e -> Error (`Msg e)
+  | exception Bench_result.Invalid e -> Error (`Msg ("invalid bench file: " ^ e))
+  | exception Tkr_obs.Json.Parse_error e ->
+      Error (`Msg ("malformed bench file: " ^ e))
+  | b, f ->
+      if b.Bench_result.env.Tkr_perf.Env.hostname
+         <> f.Bench_result.env.Tkr_perf.Env.hostname
+      then
+        Printf.eprintf
+          "warning: comparing runs from different hosts (%s vs %s)\n%!"
+          b.Bench_result.env.Tkr_perf.Env.hostname
+          f.Bench_result.env.Tkr_perf.Env.hostname;
+      let outcome = Perf_compare.compare_reports ~threshold b f in
+      print_string (Perf_compare.render outcome);
+      if Perf_compare.has_regression outcome then
+        Error
+          (`Msg
+             (Printf.sprintf "%d test(s) regressed beyond %.2fx"
+                (List.length (Perf_compare.regressions outcome))
+                threshold))
+      else Ok ()
+
+let bench_export file openmetrics folded =
+  match Bench_result.read file with
+  | exception Sys_error e -> Error (`Msg e)
+  | exception Bench_result.Invalid e -> Error (`Msg ("invalid bench file: " ^ e))
+  | exception Tkr_obs.Json.Parse_error e ->
+      Error (`Msg ("malformed bench file: " ^ e))
+  | rep -> (
+      match (openmetrics, folded) with
+      | true, false ->
+          print_string (Perf_export.to_openmetrics rep);
+          Ok ()
+      | false, true ->
+          let out = Perf_export.to_folded rep in
+          if out = "" then
+            Error
+              (`Msg
+                 "no operator_traces in this file (produced by bench \
+                  run? use bench/main.exe or experiments --json)")
+          else (
+            print_string out;
+            Ok ())
+      | _ -> Error (`Msg "choose exactly one of --openmetrics or --folded"))
+
+let bench_run_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:
+            "output file; defaults to the next trajectory name \
+             (BENCH_PR<n>.json past the highest one present, or \
+             \\$TKR_BENCH_PR)")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale"; "s" ] ~docv:"F" ~doc:"workload scale factor")
+  in
+  let runs =
+    Arg.(
+      value & opt int 3
+      & info [ "runs"; "r" ] ~docv:"N" ~doc:"timed samples per test (median)")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the quick bench suite and write the canonical JSON report")
+    Term.(term_result (const bench_run $ out $ scale $ runs))
+
+let bench_compare_cmd =
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE")
+  in
+  let fresh = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW") in
+  let threshold =
+    Arg.(
+      value
+      & opt float Perf_compare.default_threshold
+      & info [ "threshold"; "t" ] ~docv:"F"
+          ~doc:
+            "regression ratio: NEW/BASE above $(docv) fails, its inverse \
+             reports an improvement, anything between is noise")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two bench reports test-by-test; exit non-zero when any \
+          test regressed beyond the threshold")
+    Term.(term_result (const bench_compare $ base $ fresh $ threshold))
+
+let bench_export_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"print the report as an OpenMetrics/Prometheus text document")
+  in
+  let folded =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:
+            "print the stored operator traces as flamegraph-compatible \
+             folded stacks (query;operator;... self-ns)")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a bench report for Prometheus or flamegraph tooling")
+    Term.(term_result (const bench_export $ file $ openmetrics $ folded))
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Performance trajectory: run the quick suite, detect regressions, \
+          export to external tooling")
+    [ bench_run_cmd; bench_compare_cmd; bench_export_cmd ]
+
 let () =
   let doc = "snapshot-semantics temporal query middleware" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tkr" ~doc)
-          [ demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd ]))
+          [ demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd; bench_cmd ]))

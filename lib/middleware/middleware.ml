@@ -23,6 +23,7 @@ module Rewriter = Tkr_sqlenc.Rewriter
 module Trace = Tkr_obs.Trace
 module Clock = Tkr_obs.Clock
 module Json = Tkr_obs.Json
+module Metrics = Tkr_obs.Metrics
 module Diagnostic = Tkr_check.Diagnostic
 module Check = Tkr_check.Check
 module Lint = Tkr_check.Lint
@@ -110,6 +111,11 @@ type t = {
   totals : phase_stats;
       (** phase timings accumulated over every statement this middleware
           prepared or ran *)
+  metrics : Metrics.t;
+      (** per-middleware registry: execute-latency histogram
+          ([execute_us]), output-cardinality histogram ([rows_out]) and a
+          statement counter, feeding the EXPLAIN ANALYZE quantile line
+          and the OpenMetrics exporter *)
 }
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
@@ -122,10 +128,12 @@ let create ?(options = Rewriter.optimized) ?(optimize = true)
     strict;
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
+    metrics = Metrics.create ();
   }
 
 let totals m = m.totals
 let totals_report m = Format.asprintf "%a" pp_phase_stats m.totals
+let metrics m = m.metrics
 
 let set_optimize m b = m.optimize <- b
 let set_backend m b = m.backend <- b
@@ -414,6 +422,10 @@ let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
   p.stats.execute_ns <- Int64.add p.stats.execute_ns ns;
   m.totals.runs <- m.totals.runs + 1;
   m.totals.execute_ns <- Int64.add m.totals.execute_ns ns;
+  Metrics.incr (Metrics.counter m.metrics "statements_run");
+  Metrics.observe
+    (Metrics.histogram m.metrics "execute_us")
+    (Int64.to_int (Int64.div ns 1000L));
   let result =
     match p.as_of with
     | None -> result
@@ -457,6 +469,7 @@ let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
   in
   p.stats.last_rows <- Array.length rows;
   m.totals.last_rows <- Array.length rows;
+  Metrics.observe (Metrics.histogram m.metrics "rows_out") (Array.length rows);
   Table.of_array p.out_schema rows
 
 (* ---- DDL / DML ---- *)
@@ -482,8 +495,10 @@ let render_plan (p : prepared) : string =
     Schema.pp p.out_schema Algebra.pp p.plan
 
 (** EXPLAIN ANALYZE output: the plan, the executed trace tree annotated
-    with per-operator counters and timings, and the phase summary. *)
-let render_analyze (p : prepared) (obs : Trace.t) (result : Table.t) : string =
+    with per-operator counters, timings and (the collector being GC-
+    profiled) allocation deltas, the phase summary, and the middleware's
+    execute-latency quantiles. *)
+let render_analyze m (p : prepared) (obs : Trace.t) (result : Table.t) : string =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (render_plan p);
   Buffer.add_string buf "\nexecution:\n";
@@ -498,7 +513,34 @@ let render_analyze (p : prepared) (obs : Trace.t) (result : Table.t) : string =
     (Trace.roots obs);
   Buffer.add_string buf
     (Printf.sprintf "result: %d rows\n" (Table.cardinality result));
+  (* whole-query GC/allocation summary off the root spans *)
+  (let words key =
+     List.fold_left
+       (fun acc root ->
+         match Trace.find_attr root key with
+         | Some (Trace.Float w) -> acc +. w
+         | Some (Trace.Int w) -> acc +. float_of_int w
+         | _ -> acc)
+       0. (Trace.roots obs)
+   in
+   let minor = words Trace.gc_minor_words
+   and major = words Trace.gc_major_words in
+   if minor > 0. || major > 0. then
+     Buffer.add_string buf
+       (Printf.sprintf "gc: %.0f minor words, %.0f major words\n" minor major));
   Buffer.add_string buf (Format.asprintf "%a" pp_phase_stats p.stats);
+  (let h = Metrics.histogram m.metrics "execute_us" in
+   let n = Metrics.histogram_observations h in
+   if n > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf
+          "\nexecute latency over %d statement%s: p50=%d us p95=%d us p99=%d \
+           us"
+          n
+          (if n = 1 then "" else "s")
+          (Metrics.histogram_quantile h 0.50)
+          (Metrics.histogram_quantile h 0.95)
+          (Metrics.histogram_quantile h 0.99)));
   Buffer.contents buf
 
 (* ---- CHECK / lint: run the static analyzer without executing ---- *)
@@ -562,9 +604,9 @@ let rec execute_statement m (stmt : Ast.statement) : result =
           let p = prepare_statement m target in
           if not analyze then Done (render_plan p)
           else
-            let obs = Trace.create () in
+            let obs = Trace.create ~gc:true () in
             let result = run_prepared ~obs m p in
-            Done (render_analyze p obs result)
+            Done (render_analyze m p obs result)
       | Ast.Explain _ -> execute_statement m target  (* EXPLAIN EXPLAIN ... *)
       | _ -> err "TKR021" "EXPLAIN expects a query")
   | Ast.Create_table { tbl_name; cols; period } -> (
@@ -760,9 +802,9 @@ let explain m (sql : string) : string = render_plan (prepare m sql)
     collector, render the annotated operator tree plus phase timings. *)
 let explain_analyze m (sql : string) : string =
   let p = prepare m sql in
-  let obs = Trace.create () in
+  let obs = Trace.create ~gc:true () in
   let result = run_prepared ~obs m p in
-  render_analyze p obs result
+  render_analyze m p obs result
 
 let prepared_stats (p : prepared) = p.stats
 let totals_json m : Json.t = phase_stats_json m.totals

@@ -106,6 +106,12 @@ val totals : t -> phase_stats
 val totals_report : t -> string
 val totals_json : t -> Tkr_obs.Json.t
 
+val metrics : t -> Tkr_obs.Metrics.t
+(** The middleware's metrics registry: [statements_run] counter,
+    [execute_us] latency histogram and [rows_out] cardinality histogram,
+    updated by every {!run_prepared}.  Export it with
+    {!Tkr_obs.Openmetrics.of_metrics}. *)
+
 val snapshot_algebra : t -> string -> Algebra.t * Schema.t
 (** The logical algebra inside a [SEQ VT] statement and its data schema —
     the common input of the rewriter and the native baseline evaluators. *)
@@ -142,5 +148,7 @@ val explain_analyze : t -> string -> string
 (** EXPLAIN ANALYZE: prepare, execute under a fresh trace collector, and
     render the plan plus the executed operator tree annotated with rows
     in/out, operator internals (join strategy, coalesce groups/segments,
-    split fan-out, ...) and elapsed time, followed by phase timings.
+    split fan-out, ...), elapsed time and per-span GC/allocation deltas,
+    followed by phase timings and the middleware's execute-latency
+    quantiles (p50/p95/p99).
     Equivalent to executing the [EXPLAIN ANALYZE (stmt)] statement. *)

@@ -11,3 +11,23 @@ type t =
 
 val to_string : t -> string
 (** Compact rendering with proper string escaping. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document (inverse of {!to_string}; accepts ordinary JSON).
+    Numbers without a fraction or exponent parse as [Int].
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list
+(** Items of a [List]; [[]] on other constructors. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** [Int] directly, [Float] truncated. *)
+
+val to_float_opt : t -> float option
+(** [Float] directly, [Int] widened. *)

@@ -111,6 +111,35 @@ let observe (h : histogram) v =
 let histogram_observations (h : histogram) = h.observations
 let histogram_sum (h : histogram) = h.sum
 let histogram_buckets (h : histogram) = Array.copy h.buckets
+let histogram_bounds (h : histogram) = Array.copy h.bounds
+
+(** The [q]-quantile (q in [0,1]) estimated from the bucket counts by
+    linear interpolation inside the covering bucket, the standard
+    Prometheus [histogram_quantile] estimator.  The overflow bucket has
+    no upper bound, so ranks landing there report the largest finite
+    bound; an empty histogram reports 0. *)
+let histogram_quantile (h : histogram) (q : float) : int =
+  if h.observations = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int h.observations in
+    let nb = Array.length h.bounds in
+    let rec go i cumulative =
+      if i > nb then h.bounds.(nb - 1)
+      else
+        let cumulative' = cumulative +. float_of_int h.buckets.(i) in
+        if cumulative' >= rank && h.buckets.(i) > 0 then
+          if i >= nb then (* overflow bucket: no upper bound to interpolate to *)
+            h.bounds.(nb - 1)
+          else
+            let lo = if i = 0 then 0. else float_of_int h.bounds.(i - 1) in
+            let hi = float_of_int h.bounds.(i) in
+            let inside = (rank -. cumulative) /. float_of_int h.buckets.(i) in
+            int_of_float (lo +. ((hi -. lo) *. inside))
+        else go (i + 1) cumulative'
+    in
+    if nb = 0 then 0 else go 0 0.
+  end
 
 let reset t =
   List.iter
@@ -129,6 +158,20 @@ let reset t =
 (* ---- export ---- *)
 
 let names t = List.rev t.order
+
+(** A read-only snapshot of one instrument, for exporters that must
+    dispatch on the metric kind without find-or-create side effects. *)
+type view =
+  | V_counter of int
+  | V_timer of int64 * int  (** total ns, samples *)
+  | V_histogram of histogram
+
+let view t name : view option =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> Some (V_counter c.count)
+  | Some (Timer tm) -> Some (V_timer (tm.total_ns, tm.samples))
+  | Some (Histogram h) -> Some (V_histogram h)
+  | None -> None
 
 let metric_json = function
   | Counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.count) ]

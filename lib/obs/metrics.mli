@@ -34,12 +34,28 @@ val observe : histogram -> int -> unit
 val histogram_observations : histogram -> int
 val histogram_sum : histogram -> int
 val histogram_buckets : histogram -> int array
+val histogram_bounds : histogram -> int array
+
+val histogram_quantile : histogram -> float -> int
+(** The [q]-quantile (q in [0,1]) estimated by linear interpolation
+    inside the covering bucket (the Prometheus [histogram_quantile]
+    estimator).  Ranks in the overflow bucket report the largest finite
+    bound; an empty histogram reports 0. *)
 
 val reset : t -> unit
 (** Zero every instrument, keeping registrations. *)
 
 val names : t -> string list
 (** Registration order. *)
+
+(** A read-only snapshot of one instrument, for exporters that must
+    dispatch on the metric kind without find-or-create side effects. *)
+type view =
+  | V_counter of int
+  | V_timer of int64 * int  (** total ns, samples *)
+  | V_histogram of histogram
+
+val view : t -> string -> view option
 
 val to_json_value : t -> Json.t
 val to_json : t -> string

@@ -16,9 +16,18 @@ type t
 val disabled : t
 (** The no-op collector: spans are never created. *)
 
-val create : ?clock:Clock.t -> unit -> t
+val create : ?clock:Clock.t -> ?gc:bool -> unit -> t
 (** An enabled collector.  [clock] defaults to the monotonic clock; tests
-    pass {!Clock.frozen} for zero, deterministic durations. *)
+    pass {!Clock.frozen} for zero, deterministic durations.  With
+    [~gc:true] every span is annotated on finish with the GC/allocation
+    delta of its body: {!gc_minor_words}/{!gc_major_words} (floats, in
+    words) and {!gc_minor_collections}/{!gc_major_collections} (ints). *)
+
+val gc_minor_words : string
+val gc_major_words : string
+val gc_minor_collections : string
+val gc_major_collections : string
+(** Attribute names used by [~gc:true] profiling. *)
 
 val enabled : t -> bool
 
@@ -37,6 +46,7 @@ val set : span option -> string -> value -> unit
 (** No-op on [None], so instrumentation sites need no match. *)
 
 val set_int : span option -> string -> int -> unit
+val set_float : span option -> string -> float -> unit
 val set_str : span option -> string -> string -> unit
 val set_bool : span option -> string -> bool -> unit
 
@@ -55,6 +65,15 @@ val to_text : ?show_time:bool -> span -> string
 
 val to_json_value : span -> Json.t
 val to_json : span -> string
+
+val of_json_value : Json.t -> span
+(** Rebuild a span tree from the {!to_json_value} dump format (missing
+    fields default sensibly), so stored traces can be re-rendered. *)
+
+val to_folded : span -> string
+(** Folded-stack (flamegraph-collapse) rendering: one
+    [root;child;leaf <self-ns>] line per span, self time clamped at zero.
+    Compatible with [flamegraph.pl] and speedscope. *)
 
 type sink = Noop | Text of out_channel | Json_chan of out_channel | Fn of (span -> unit)
 

@@ -1,0 +1,202 @@
+(** The canonical benchmark-result schema — the one file format every
+    perf producer in the repo (bechamel bench, experiment binary,
+    [tkr_cli bench run]) writes and every consumer ([bench compare],
+    [bench export], CI) reads.
+
+    {v
+    { "schema_version": 1,
+      "source": "bench/main.ml",
+      "env": { "ocaml_version": ..., "git_sha": ..., ... },
+      "results": [
+        { "suite": "table3-emp", "name": "join-1-seq",
+          "wall_ns_per_run": 123456.0, "runs": 3,
+          "counters": { "rows_out": 42, "gc_minor_words": 1.0e6 } },
+        ... ],
+      "operator_traces": [ ... ] }          (optional extras)
+    v}
+
+    The perf trajectory is the sequence of these files committed at the
+    repo root as [BENCH_PR<n>.json]. *)
+
+module Json = Tkr_obs.Json
+
+let schema_version = 1
+
+type result = {
+  suite : string;  (** group, e.g. "table3-emp" *)
+  name : string;  (** test inside the suite, e.g. "join-1-seq" *)
+  wall_ns_per_run : float;
+  runs : int;  (** samples behind [wall_ns_per_run] *)
+  counters : (string * float) list;
+      (** operator / GC counters, e.g. rows_out, gc_minor_words *)
+}
+
+type report = {
+  source : string;  (** producing binary, e.g. "bench/main.ml" *)
+  env : Env.t;
+  results : result list;
+  extra : (string * Json.t) list;
+      (** passthrough payloads (operator traces, notes) *)
+}
+
+let result ?(counters = []) ~suite ~name ~runs wall_ns_per_run =
+  { suite; name; wall_ns_per_run; runs; counters }
+
+let make ?(env = Env.capture ()) ?(extra = []) ~source results =
+  { source; env; results; extra }
+
+(** [suite/name], the key tests are matched on across reports. *)
+let key (r : result) = r.suite ^ "/" ^ r.name
+
+let find (rep : report) k = List.find_opt (fun r -> key r = k) rep.results
+
+(* ---- JSON ---- *)
+
+let result_to_json (r : result) : Json.t =
+  Json.Obj
+    [
+      ("suite", Json.Str r.suite);
+      ("name", Json.Str r.name);
+      ("wall_ns_per_run", Json.Float r.wall_ns_per_run);
+      ("runs", Json.Int r.runs);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.counters) );
+    ]
+
+let to_json (rep : report) : Json.t =
+  Json.Obj
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("source", Json.Str rep.source);
+       ("env", Env.to_json rep.env);
+       ("results", Json.List (List.map result_to_json rep.results));
+     ]
+    @ rep.extra)
+
+exception Invalid of string
+
+let result_of_json (j : Json.t) : result =
+  let str k =
+    match Option.bind (Json.member k j) Json.to_string_opt with
+    | Some s -> s
+    | None -> raise (Invalid (Printf.sprintf "result: missing field %S" k))
+  in
+  {
+    suite = str "suite";
+    name = str "name";
+    wall_ns_per_run =
+      (match Option.bind (Json.member "wall_ns_per_run" j) Json.to_float_opt with
+      | Some f -> f
+      | None -> raise (Invalid "result: missing wall_ns_per_run"));
+    runs =
+      (match Option.bind (Json.member "runs" j) Json.to_int_opt with
+      | Some n -> n
+      | None -> 1);
+    counters =
+      (match Json.member "counters" j with
+      | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (k, v) ->
+              Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+            fields
+      | _ -> []);
+  }
+
+let known_fields = [ "schema_version"; "source"; "env"; "results" ]
+
+let of_json (j : Json.t) : report =
+  (match Option.bind (Json.member "schema_version" j) Json.to_int_opt with
+  | Some v when v = schema_version -> ()
+  | Some v ->
+      raise
+        (Invalid
+           (Printf.sprintf "unsupported schema_version %d (expected %d)" v
+              schema_version))
+  | None -> raise (Invalid "missing schema_version"));
+  {
+    source =
+      (match Option.bind (Json.member "source" j) Json.to_string_opt with
+      | Some s -> s
+      | None -> "unknown");
+    env =
+      (match Json.member "env" j with
+      | Some e -> Env.of_json e
+      | None -> raise (Invalid "missing env"));
+    results =
+      (match Json.member "results" j with
+      | Some (Json.List items) -> List.map result_of_json items
+      | _ -> raise (Invalid "missing results"));
+    extra =
+      (match j with
+      | Json.Obj fields ->
+          List.filter (fun (k, _) -> not (List.mem k known_fields)) fields
+      | _ -> []);
+  }
+
+(* ---- files ---- *)
+
+let write path (rep : report) =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json rep));
+  output_char oc '\n';
+  close_out oc
+
+let read path : report =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.of_string (String.trim s))
+
+(* ---- trajectory naming ---- *)
+
+let bench_re_prefix = "BENCH_PR"
+let bench_suffix = ".json"
+
+(** PR number of a trajectory filename: [BENCH_PR7.json] -> [Some 7]. *)
+let pr_of_filename (f : string) : int option =
+  let lp = String.length bench_re_prefix and ls = String.length bench_suffix in
+  let n = String.length f in
+  if
+    n > lp + ls
+    && String.sub f 0 lp = bench_re_prefix
+    && String.sub f (n - ls) ls = bench_suffix
+  then int_of_string_opt (String.sub f lp (n - lp - ls))
+  else None
+
+let filename_of_pr (pr : int) = Printf.sprintf "BENCH_PR%d.json" pr
+
+(** Highest committed trajectory number in [dir] (default: cwd). *)
+let latest_pr ?(dir = ".") () : int option =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | files ->
+      Array.fold_left
+        (fun acc f ->
+          match pr_of_filename f with
+          | Some n -> Some (match acc with Some m -> max m n | None -> n)
+          | None -> acc)
+        None files
+
+(** The default output name of a fresh bench run: [$TKR_BENCH_PR] when
+    set, else one past the highest [BENCH_PR<n>.json] already in [dir]
+    ([BENCH_PR0.json] in an empty tree) — so reruns never silently
+    overwrite the committed trajectory. *)
+let default_filename ?(dir = ".") () : string =
+  match Option.bind (Sys.getenv_opt "TKR_BENCH_PR") int_of_string_opt with
+  | Some pr -> filename_of_pr pr
+  | None ->
+      filename_of_pr
+        (match latest_pr ~dir () with Some n -> n + 1 | None -> 0)
+
+(* ---- rendering ---- *)
+
+let pp_report ppf (rep : report) =
+  Format.fprintf ppf "source: %s@,env: %a@,%d results@," rep.source Env.pp
+    rep.env
+    (List.length rep.results);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-48s %12.1f ns/run  (%d runs)@," (key r)
+        r.wall_ns_per_run r.runs)
+    rep.results

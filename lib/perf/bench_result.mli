@@ -1,0 +1,69 @@
+(** The canonical benchmark-result schema shared by every perf producer
+    (bechamel bench, experiment binary, [tkr_cli bench run]) and consumer
+    ([bench compare] / [bench export] / CI).  The perf trajectory is the
+    sequence of these files committed at the repo root as
+    [BENCH_PR<n>.json]. *)
+
+val schema_version : int
+
+type result = {
+  suite : string;  (** group, e.g. "table3-emp" *)
+  name : string;  (** test inside the suite, e.g. "join-1-seq" *)
+  wall_ns_per_run : float;
+  runs : int;  (** samples behind [wall_ns_per_run] *)
+  counters : (string * float) list;
+      (** operator / GC counters, e.g. rows_out, gc_minor_words *)
+}
+
+type report = {
+  source : string;  (** producing binary, e.g. "bench/main.ml" *)
+  env : Env.t;
+  results : result list;
+  extra : (string * Tkr_obs.Json.t) list;
+      (** passthrough payloads (operator traces, notes) *)
+}
+
+val result :
+  ?counters:(string * float) list ->
+  suite:string ->
+  name:string ->
+  runs:int ->
+  float ->
+  result
+
+val make :
+  ?env:Env.t ->
+  ?extra:(string * Tkr_obs.Json.t) list ->
+  source:string ->
+  result list ->
+  report
+(** [env] defaults to {!Env.capture}. *)
+
+val key : result -> string
+(** [suite/name], the key tests are matched on across reports. *)
+
+val find : report -> string -> result option
+
+exception Invalid of string
+(** Schema violations when reading. *)
+
+val to_json : report -> Tkr_obs.Json.t
+val of_json : Tkr_obs.Json.t -> report
+
+val write : string -> report -> unit
+val read : string -> report
+(** @raise Invalid on schema violations,
+    @raise Tkr_obs.Json.Parse_error on malformed JSON. *)
+
+val pr_of_filename : string -> int option
+(** [BENCH_PR7.json -> Some 7]. *)
+
+val filename_of_pr : int -> string
+val latest_pr : ?dir:string -> unit -> int option
+
+val default_filename : ?dir:string -> unit -> string
+(** [$TKR_BENCH_PR] when set, else one past the highest
+    [BENCH_PR<n>.json] in [dir] — fresh runs never silently overwrite
+    the committed trajectory. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,118 @@
+(** Benchmark-regression detection: match two reports test-by-test and
+    classify each delta against a noise threshold.
+
+    A test regresses when [new/base > threshold] and improves when
+    [base/new > threshold]; anything in between is noise and stays
+    [Unchanged], so shared-runner jitter doesn't page anyone.  Tests
+    present on only one side are reported but never fail a comparison —
+    suites are allowed to grow. *)
+
+type verdict = Regression | Improvement | Unchanged
+
+type delta = {
+  test : string;  (** [suite/name] key *)
+  base_ns : float;
+  new_ns : float;
+  ratio : float;  (** new / base; > 1 is slower *)
+  verdict : verdict;
+}
+
+type outcome = {
+  threshold : float;
+  deltas : delta list;  (** tests present in both reports, report order *)
+  only_base : string list;  (** tests that disappeared *)
+  only_new : string list;  (** tests that appeared *)
+}
+
+let default_threshold = 1.5
+
+let classify threshold ratio =
+  if ratio > threshold then Regression
+  else if ratio > 0. && 1. /. ratio > threshold then Improvement
+  else Unchanged
+
+let compare_reports ?(threshold = default_threshold)
+    (base : Bench_result.report) (fresh : Bench_result.report) : outcome =
+  if threshold <= 1.0 then
+    invalid_arg "Compare.compare_reports: threshold must exceed 1.0";
+  let keys rep = List.map Bench_result.key rep.Bench_result.results in
+  let base_keys = keys base and new_keys = keys fresh in
+  let deltas =
+    List.filter_map
+      (fun (r : Bench_result.result) ->
+        let k = Bench_result.key r in
+        match Bench_result.find fresh k with
+        | None -> None
+        | Some r' ->
+            let ratio =
+              if r.wall_ns_per_run > 0. then
+                r'.wall_ns_per_run /. r.wall_ns_per_run
+              else if r'.wall_ns_per_run > 0. then infinity
+              else 1.
+            in
+            Some
+              {
+                test = k;
+                base_ns = r.wall_ns_per_run;
+                new_ns = r'.wall_ns_per_run;
+                ratio;
+                verdict = classify threshold ratio;
+              })
+      base.Bench_result.results
+  in
+  {
+    threshold;
+    deltas;
+    only_base = List.filter (fun k -> not (List.mem k new_keys)) base_keys;
+    only_new = List.filter (fun k -> not (List.mem k base_keys)) new_keys;
+  }
+
+let regressions (o : outcome) =
+  List.filter (fun d -> d.verdict = Regression) o.deltas
+
+let improvements (o : outcome) =
+  List.filter (fun d -> d.verdict = Improvement) o.deltas
+
+let has_regression (o : outcome) = regressions o <> []
+
+(* ---- rendering ---- *)
+
+let ns_pretty (ns : float) : string =
+  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let verdict_tag = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improved"
+  | Unchanged -> ""
+
+(** The per-test delta table plus a one-line summary. *)
+let render (o : outcome) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-48s %14s %14s %8s\n" "test" "base" "new" "ratio");
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-48s %14s %14s %7.2fx  %s\n" d.test
+           (ns_pretty d.base_ns) (ns_pretty d.new_ns) d.ratio
+           (verdict_tag d.verdict)))
+    o.deltas;
+  List.iter
+    (fun k -> Buffer.add_string buf (Printf.sprintf "%-48s (only in base)\n" k))
+    o.only_base;
+  List.iter
+    (fun k -> Buffer.add_string buf (Printf.sprintf "%-48s (only in new)\n" k))
+    o.only_new;
+  let r = List.length (regressions o) and i = List.length (improvements o) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d tests compared at threshold %.2fx: %d regression%s, %d \
+        improvement%s\n"
+       (List.length o.deltas) o.threshold r
+       (if r = 1 then "" else "s")
+       i
+       (if i = 1 then "" else "s"));
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Benchmark-regression detection between two {!Bench_result.report}s.
+
+    A test regresses when [new/base] exceeds the threshold and improves
+    when [base/new] does; anything in between is noise and stays
+    [Unchanged].  Tests present on only one side are reported but never
+    fail a comparison. *)
+
+type verdict = Regression | Improvement | Unchanged
+
+type delta = {
+  test : string;  (** [suite/name] key *)
+  base_ns : float;
+  new_ns : float;
+  ratio : float;  (** new / base; > 1 is slower *)
+  verdict : verdict;
+}
+
+type outcome = {
+  threshold : float;
+  deltas : delta list;  (** tests present in both reports, report order *)
+  only_base : string list;
+  only_new : string list;
+}
+
+val default_threshold : float
+(** 1.5x. *)
+
+val compare_reports :
+  ?threshold:float -> Bench_result.report -> Bench_result.report -> outcome
+(** @raise Invalid_argument when [threshold <= 1.0]. *)
+
+val regressions : outcome -> delta list
+val improvements : outcome -> delta list
+val has_regression : outcome -> bool
+
+val render : outcome -> string
+(** The per-test delta table plus a one-line summary. *)

@@ -1,0 +1,116 @@
+(** Environment metadata stamped into every benchmark report, so a perf
+    trajectory across commits can tell a real regression from a change of
+    machine or toolchain. *)
+
+module Json = Tkr_obs.Json
+
+type t = {
+  ocaml_version : string;
+  git_sha : string;  (** "unknown" outside a git checkout *)
+  hostname : string;
+  word_size : int;
+  os_type : string;
+}
+
+(* The current commit without shelling out: resolve .git/HEAD (following
+   one level of "ref:" indirection, checking packed-refs for the rest).
+   $TKR_GIT_SHA overrides, for builds from exported trees. *)
+let detect_git_sha () : string =
+  match Sys.getenv_opt "TKR_GIT_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+      let read_line path =
+        try
+          let ic = open_in path in
+          let line = try input_line ic with End_of_file -> "" in
+          close_in ic;
+          Some (String.trim line)
+        with Sys_error _ -> None
+      in
+      let rec find_git_dir dir depth =
+        if depth > 6 then None
+        else
+          let cand = Filename.concat dir ".git" in
+          if Sys.file_exists cand && Sys.is_directory cand then Some cand
+          else
+            let parent = Filename.dirname dir in
+            if parent = dir then None else find_git_dir parent (depth + 1)
+      in
+      match find_git_dir (Sys.getcwd ()) 0 with
+      | None -> "unknown"
+      | Some git_dir -> (
+          match read_line (Filename.concat git_dir "HEAD") with
+          | None -> "unknown"
+          | Some head ->
+              if String.length head >= 5 && String.sub head 0 5 = "ref: " then
+                let ref_name =
+                  String.trim (String.sub head 5 (String.length head - 5))
+                in
+                match read_line (Filename.concat git_dir ref_name) with
+                | Some sha when sha <> "" -> sha
+                | _ -> (
+                    (* packed refs: "<sha> <ref>" lines *)
+                    try
+                      let ic =
+                        open_in (Filename.concat git_dir "packed-refs")
+                      in
+                      let found = ref "unknown" in
+                      (try
+                         while true do
+                           let line = input_line ic in
+                           match String.index_opt line ' ' with
+                           | Some i
+                             when String.sub line (i + 1)
+                                    (String.length line - i - 1)
+                                  = ref_name ->
+                               found := String.sub line 0 i;
+                               raise Exit
+                           | _ -> ()
+                         done
+                       with End_of_file | Exit -> ());
+                      close_in ic;
+                      !found
+                    with Sys_error _ -> "unknown")
+              else head))
+
+let capture () : t =
+  {
+    ocaml_version = Sys.ocaml_version;
+    git_sha = detect_git_sha ();
+    hostname = (try Unix.gethostname () with Unix.Unix_error _ -> "unknown");
+    word_size = Sys.word_size;
+    os_type = Sys.os_type;
+  }
+
+let to_json (e : t) : Json.t =
+  Json.Obj
+    [
+      ("ocaml_version", Json.Str e.ocaml_version);
+      ("git_sha", Json.Str e.git_sha);
+      ("hostname", Json.Str e.hostname);
+      ("word_size", Json.Int e.word_size);
+      ("os_type", Json.Str e.os_type);
+    ]
+
+let of_json (j : Json.t) : t =
+  let str key dflt =
+    match Option.bind (Json.member key j) Json.to_string_opt with
+    | Some s -> s
+    | None -> dflt
+  in
+  {
+    ocaml_version = str "ocaml_version" "unknown";
+    git_sha = str "git_sha" "unknown";
+    hostname = str "hostname" "unknown";
+    word_size =
+      (match Option.bind (Json.member "word_size" j) Json.to_int_opt with
+      | Some w -> w
+      | None -> 0);
+    os_type = str "os_type" "unknown";
+  }
+
+let pp ppf (e : t) =
+  Format.fprintf ppf "ocaml %s | git %s | %s | %d-bit %s" e.ocaml_version
+    (if String.length e.git_sha > 12 then String.sub e.git_sha 0 12
+     else e.git_sha)
+    e.hostname e.word_size e.os_type

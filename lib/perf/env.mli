@@ -1,0 +1,18 @@
+(** Environment metadata stamped into every benchmark report. *)
+
+type t = {
+  ocaml_version : string;
+  git_sha : string;  (** "unknown" outside a git checkout *)
+  hostname : string;
+  word_size : int;
+  os_type : string;
+}
+
+val capture : unit -> t
+(** The current process environment.  The git SHA is resolved from
+    [.git/HEAD] (searching upward from the cwd), with [$TKR_GIT_SHA] as
+    an override for builds from exported trees. *)
+
+val to_json : t -> Tkr_obs.Json.t
+val of_json : Tkr_obs.Json.t -> t
+val pp : Format.formatter -> t -> unit

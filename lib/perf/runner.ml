@@ -1,0 +1,57 @@
+(** A small wall-clock measurement harness for the quick bench suites
+    (the CLI runner and the experiment binary): one warmup, then the
+    median of N timed runs, with the GC/allocation delta of the median
+    sample recorded as counters. *)
+
+module Clock = Tkr_obs.Clock
+
+type sample = {
+  wall_ns : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let sample_once (f : unit -> 'a) : sample =
+  (* [Gc.minor_words ()] is precise between collections, where
+     [quick_stat]'s minor_words only updates at collection time *)
+  let mw0 = Gc.minor_words () in
+  let g0 = Gc.quick_stat () in
+  let t0 = Clock.now_ns () in
+  ignore (f ());
+  let t1 = Clock.now_ns () in
+  let g1 = Gc.quick_stat () in
+  let mw1 = Gc.minor_words () in
+  {
+    wall_ns = Int64.to_float (Int64.sub t1 t0);
+    minor_words = mw1 -. mw0;
+    major_words = g1.major_words -. g0.major_words;
+    minor_collections = g1.minor_collections - g0.minor_collections;
+    major_collections = g1.major_collections - g0.major_collections;
+  }
+
+(** [measure ~runs f]: a full major collection and one warmup run first
+    (so earlier measurements don't bleed GC debt into this one), then
+    [runs] timed samples; reports the median-by-wall-time sample.
+    @raise Invalid_argument when [runs < 1]. *)
+let measure ?(runs = 3) (f : unit -> 'a) : sample =
+  if runs < 1 then invalid_arg "Runner.measure: runs must be positive";
+  Gc.full_major ();
+  ignore (f ());
+  let samples =
+    List.sort
+      (fun a b -> Float.compare a.wall_ns b.wall_ns)
+      (List.init runs (fun _ -> sample_once f))
+  in
+  List.nth samples ((runs - 1) / 2)
+
+(** The sample's GC numbers as schema counters, ready to merge into a
+    {!Bench_result.result}. *)
+let gc_counters (s : sample) : (string * float) list =
+  [
+    ("gc_minor_words", s.minor_words);
+    ("gc_major_words", s.major_words);
+    ("gc_minor_collections", float_of_int s.minor_collections);
+    ("gc_major_collections", float_of_int s.major_collections);
+  ]

@@ -1,0 +1,21 @@
+(** Wall-clock measurement harness for the quick bench suites. *)
+
+type sample = {
+  wall_ns : float;
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val sample_once : (unit -> 'a) -> sample
+
+val measure : ?runs:int -> (unit -> 'a) -> sample
+(** A full major collection, one warmup run, then [runs] (default 3)
+    timed samples; reports the median-by-wall-time sample.
+    @raise Invalid_argument when [runs < 1]. *)
+
+val gc_counters : sample -> (string * float) list
+(** The sample's GC numbers as schema counters
+    ([gc_minor_words], [gc_major_words], [gc_minor_collections],
+    [gc_major_collections]). *)

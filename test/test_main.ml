@@ -22,4 +22,5 @@ let () =
       Test_snapshot.suite;
       Test_obs.suite;
       Test_check.suite;
+      Test_perf.suite;
     ]
