@@ -127,33 +127,64 @@ let read_file f =
   close_in ic;
   s
 
-let run data sql file explain stats max_rows =
-  match (sql, file) with
-  | (None, None | Some _, Some _) ->
-      Error (`Msg "provide exactly one of -e SQL or -f FILE")
+let run data workload jobs sql file explain stats max_rows =
+  match (sql, file, workload) with
+  | Some _, Some _, _ -> Error (`Msg "provide at most one of -e SQL or -f FILE")
+  | None, None, None ->
+      Error (`Msg "provide -e SQL, -f FILE or --workload NAME")
   | _ -> (
-      let m = M.create () in
+      let db =
+        match workload with
+        | Some `Employee ->
+            let module W = Tkr_workload.Employees in
+            W.generate { (W.scaled 150) with W.tmax = 2000 }
+        | Some `Tpch ->
+            Tkr_workload.Tpcbih.generate
+              { Tkr_workload.Tpcbih.default with scale = 0.05 }
+        | None -> Database.create ()
+      in
+      let m = M.create ~parallelism:jobs ~db () in
       try
         (match data with Some dir -> load_dir m dir | None -> ());
-        let script =
-          match (sql, file) with
-          | Some s, _ -> s
-          | _, Some f -> read_file f
-          | _ -> assert false
-        in
-        List.iter
-          (fun stmt ->
-            (* --explain: run queries as EXPLAIN ANALYZE, leave DDL/DML
-               alone *)
-            let stmt =
-              match stmt with
-              | Ast.Query _ when explain ->
-                  Ast.Explain { analyze = true; target = stmt }
-              | stmt -> stmt
+        (* a built-in workload runs its whole query suite; the output is
+           identical at every --jobs (the CI determinism job diffs it
+           byte-for-byte across job counts) *)
+        (match workload with
+        | None -> ()
+        | Some w ->
+            let queries =
+              match w with
+              | `Employee -> Tkr_workload.Queries.employee
+              | `Tpch -> Tkr_workload.Queries.tpch
             in
-            print_result ~max_rows (M.execute_statement m stmt))
-          (Tkr_sql.Parser.script script);
+            List.iter
+              (fun (name, sql) ->
+                Printf.printf "-- %s\n" name;
+                print_result ~max_rows (M.execute m sql))
+              queries);
+        (match (sql, file) with
+        | None, None -> ()
+        | _ ->
+            let script =
+              match (sql, file) with
+              | Some s, _ -> s
+              | _, Some f -> read_file f
+              | _ -> assert false
+            in
+            List.iter
+              (fun stmt ->
+                (* --explain: run queries as EXPLAIN ANALYZE, leave
+                   DDL/DML alone *)
+                let stmt =
+                  match stmt with
+                  | Ast.Query _ when explain ->
+                      Ast.Explain { analyze = true; target = stmt }
+                  | stmt -> stmt
+                in
+                print_result ~max_rows (M.execute_statement m stmt))
+              (Tkr_sql.Parser.script script));
         if stats then Printf.printf "stats: %s\n" (M.totals_report m);
+        M.shutdown m;
         Ok ()
       with
       | Sys_error e -> Error (`Msg e)
@@ -170,6 +201,23 @@ let run_cmd =
       value
       & opt (some string) None
       & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("employee", `Employee); ("tpch", `Tpch) ])) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "run a built-in query workload (employee or tpch) against its \
+             generated catalog; output is independent of --jobs")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "worker domains for the temporal operators; 1 (the default) \
+             is the serial engine, and every value produces the same rows")
   in
   let sql =
     Arg.(
@@ -205,14 +253,18 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
-    Term.(term_result (const run $ data $ sql $ file $ explain $ stats $ max_rows))
+    Term.(
+      term_result
+        (const run $ data $ workload $ jobs $ sql $ file $ explain $ stats
+       $ max_rows))
 
 (* --- explain --- *)
 
-let explain data analyze sql =
-  let m = M.create () in
+let explain data analyze jobs sql =
+  let m = M.create ~parallelism:jobs () in
   (match data with Some dir -> load_dir m dir | None -> ());
-  print_endline (if analyze then M.explain_analyze m sql else M.explain m sql)
+  print_endline (if analyze then M.explain_analyze m sql else M.explain m sql);
+  M.shutdown m
 
 let explain_cmd =
   let data =
@@ -228,12 +280,20 @@ let explain_cmd =
           ~doc:"execute the query and annotate every operator with rows \
                 in/out, internals and elapsed time")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "worker domains; with --analyze the pooled operators report \
+             par_jobs/chunks/steals/merge_ns and per-domain attribution")
+  in
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
-    Term.(const explain $ data $ analyze $ sql)
+    Term.(const explain $ data $ analyze $ jobs $ sql)
 
 (* --- lint --- *)
 
@@ -398,18 +458,40 @@ let lint_cmd =
 (* --- bench --- *)
 
 (* The quick, deterministic bench suite behind [bench run]: the employee
-   snapshot workload through the middleware plus the multiset-coalescing
-   microbenchmark, measured with the shared Tkr_perf harness (median of
-   --runs, GC counters included).  It is intentionally much smaller than
-   bench/main.exe — small enough for CI smoke jobs — but written in the
-   same canonical schema, so [bench compare] works across any pair. *)
-let bench_suite ~scale ~runs : Bench_result.result list =
+   snapshot workload through the middleware, the multiset-coalescing and
+   interval-join/split-agg operator microbenchmarks, measured with the
+   shared Tkr_perf harness (median of --runs, GC counters included).  It
+   is intentionally much smaller than bench/main.exe — small enough for
+   CI smoke jobs — but written in the same canonical schema, so
+   [bench compare] works across any pair.
+
+   With --jobs N > 1 the middleware and the operator suites run on an
+   N-domain pool and a "par-scaling" suite is appended: each pooled
+   operator measured serially and on the pool, with the speedup recorded
+   as a [speedup_x] counter — the trajectory of parallel efficiency
+   across commits and job counts. *)
+let bench_suite ~scale ~runs ~jobs :
+    Bench_result.result list * (string * Tkr_obs.Json.t) list =
   let module W = Tkr_workload.Employees in
   let module Q = Tkr_workload.Queries in
   let module Ops = Tkr_engine.Ops in
+  let module Pool = Tkr_par.Pool in
+  let module Trace = Tkr_obs.Trace in
+  let module Json = Tkr_obs.Json in
   let employees = max 20 (int_of_float (150. *. scale)) in
   let db = W.generate { (W.scaled employees) with W.tmax = 2000 } in
-  let m = M.create ~db () in
+  let m = M.create ~parallelism:jobs ~db () in
+  let jobs_counter = ("jobs", float_of_int jobs) in
+  let measured ~suite ~name ?(counters = []) f =
+    let s = Perf_runner.measure ~runs f in
+    Printf.printf "  %-24s %12.1f us/run\n%!"
+      (suite ^ "/" ^ name)
+      (s.Perf_runner.wall_ns /. 1e3);
+    Bench_result.result ~suite ~name ~runs
+      ~counters:((jobs_counter :: counters) @ Perf_runner.gc_counters s)
+      s.Perf_runner.wall_ns
+  in
+  Pool.with_pool ~jobs @@ fun pool ->
   let employee =
     List.map
       (fun (name, sql) ->
@@ -419,7 +501,10 @@ let bench_suite ~scale ~runs : Bench_result.result list =
         Printf.printf "  %-24s %12.1f us/run  %8d rows\n%!" name
           (s.Perf_runner.wall_ns /. 1e3) rows;
         Bench_result.result ~suite:"employee" ~name ~runs
-          ~counters:(("rows_out", float_of_int rows) :: Perf_runner.gc_counters s)
+          ~counters:
+            (jobs_counter
+            :: ("rows_out", float_of_int rows)
+            :: Perf_runner.gc_counters s)
           s.Perf_runner.wall_ns)
       Q.employee
   in
@@ -428,22 +513,112 @@ let bench_suite ~scale ~runs : Bench_result.result list =
       (fun n ->
         let n = max 100 (int_of_float (float_of_int n *. scale)) in
         let t = W.coalesce_input ~n ~seed:11 ~tmax:2000 in
-        let s = Perf_runner.measure ~runs (fun () -> Ops.coalesce t) in
-        let name = Printf.sprintf "coalesce-%d" n in
-        Printf.printf "  %-24s %12.1f us/run\n%!" name
-          (s.Perf_runner.wall_ns /. 1e3);
-        Bench_result.result ~suite:"coalesce" ~name ~runs
-          ~counters:(Perf_runner.gc_counters s)
-          s.Perf_runner.wall_ns)
+        measured ~suite:"coalesce"
+          ~name:(Printf.sprintf "coalesce-%d" n)
+          (fun () -> Ops.coalesce ?pool t))
       [ 1_000; 10_000 ]
   in
-  employee @ coalesce
+  (* scaled interval-join and split-agg suites over the shared generator *)
+  let join_inputs n =
+    ( W.coalesce_input ~n ~seed:21 ~tmax:2000,
+      W.coalesce_input ~n ~seed:22 ~tmax:2000 )
+  in
+  let interval_join =
+    List.map
+      (fun n ->
+        let n = max 200 (int_of_float (float_of_int n *. scale)) in
+        let l, r = join_inputs n in
+        measured ~suite:"interval-join"
+          ~name:(Printf.sprintf "overlap-join-%d" n)
+          (fun () ->
+            Tkr_engine.Interval_join.overlap_join ?pool ~left_keys:[ 0 ]
+              ~right_keys:[ 0 ] l r))
+      [ 2_000; 8_000 ]
+  in
+  let split_agg_aggs =
+    [ { Tkr_relation.Algebra.func = Tkr_relation.Agg.Count_star; agg_name = "cnt" } ]
+  in
+  let split_agg =
+    List.map
+      (fun n ->
+        let n = max 200 (int_of_float (float_of_int n *. scale)) in
+        let t = W.coalesce_input ~n ~seed:23 ~tmax:2000 in
+        measured ~suite:"split-agg"
+          ~name:(Printf.sprintf "split-agg-%d" n)
+          (fun () ->
+            Ops.split_agg ?pool ~group:[ 0 ] ~aggs:split_agg_aggs ~gap:None t))
+      [ 2_000; 8_000 ]
+  in
+  (* speedup-vs-jobs: serial vs pooled wall time of the same operator *)
+  let par_scaling =
+    match pool with
+    | None -> []
+    | Some pool ->
+        let n = max 500 (int_of_float (8_000. *. scale)) in
+        let jl, jr = join_inputs n in
+        let ct = W.coalesce_input ~n ~seed:11 ~tmax:2000 in
+        List.concat_map
+          (fun (name, serial, parallel) ->
+            let s0 = Perf_runner.measure ~runs serial in
+            let s1 = Perf_runner.measure ~runs parallel in
+            let speedup = s0.Perf_runner.wall_ns /. s1.Perf_runner.wall_ns in
+            Printf.printf "  par-scaling/%-12s jobs %d: %.2fx\n%!" name jobs
+              speedup;
+            [
+              Bench_result.result ~suite:"par-scaling" ~name:(name ^ "-serial")
+                ~runs
+                ~counters:[ ("jobs", 1.) ]
+                s0.Perf_runner.wall_ns;
+              Bench_result.result ~suite:"par-scaling" ~name ~runs
+                ~counters:[ jobs_counter; ("speedup_x", speedup) ]
+                s1.Perf_runner.wall_ns;
+            ])
+          [
+            ( "overlap-join",
+              (fun () ->
+                Tkr_engine.Interval_join.overlap_join ~left_keys:[ 0 ]
+                  ~right_keys:[ 0 ] jl jr),
+              fun () ->
+                Tkr_engine.Interval_join.overlap_join ~pool ~left_keys:[ 0 ]
+                  ~right_keys:[ 0 ] jl jr );
+            ( "coalesce",
+              (fun () -> Ops.coalesce ct),
+              fun () -> Ops.coalesce ~pool ct );
+            ( "split-agg",
+              (fun () ->
+                Ops.split_agg ~group:[ 0 ] ~aggs:split_agg_aggs ~gap:None ct),
+              fun () ->
+                Ops.split_agg ~pool ~group:[ 0 ] ~aggs:split_agg_aggs ~gap:None
+                  ct );
+          ]
+  in
+  (* one traced execution per employee query, so [bench export --folded]
+     works on CLI-produced reports too *)
+  let traces =
+    Json.List
+      (List.map
+         (fun (name, sql) ->
+           let p = M.prepare m sql in
+           let obs = Trace.create ~gc:true () in
+           ignore (M.run_prepared ~obs m p);
+           Json.Obj
+             [
+               ("query", Json.Str name);
+               ( "trace",
+                 Json.List (List.map Trace.to_json_value (Trace.roots obs)) );
+             ])
+         Q.employee)
+  in
+  M.shutdown m;
+  ( employee @ coalesce @ interval_join @ split_agg @ par_scaling,
+    [ ("operator_traces", traces) ] )
 
-let bench_run out scale runs =
+let bench_run out scale runs jobs =
   let path = match out with Some p -> p | None -> Bench_result.default_filename () in
-  Printf.printf "quick bench suite (scale %.2f, %d runs):\n%!" scale runs;
-  let results = bench_suite ~scale ~runs in
-  let report = Bench_result.make ~source:"tkr_cli bench run" results in
+  Printf.printf "quick bench suite (scale %.2f, %d runs, %d jobs):\n%!" scale
+    runs jobs;
+  let results, extra = bench_suite ~scale ~runs ~jobs in
+  let report = Bench_result.make ~extra ~source:"tkr_cli bench run" results in
   Bench_result.write path report;
   Printf.printf "wrote %s (%d results)\n" path (List.length results);
   Ok ()
@@ -462,6 +637,15 @@ let bench_compare base fresh threshold =
           "warning: comparing runs from different hosts (%s vs %s)\n%!"
           b.Bench_result.env.Tkr_perf.Env.hostname
           f.Bench_result.env.Tkr_perf.Env.hostname;
+      (* a +dirty report did not come from the commit its SHA names *)
+      List.iter
+        (fun (label, path, (r : Bench_result.report)) ->
+          if r.Bench_result.env.Tkr_perf.Env.dirty then
+            Printf.eprintf
+              "warning: %s report %s was recorded on a dirty tree (git %s): \
+               its numbers may not match any commit\n%!"
+              label path r.Bench_result.env.Tkr_perf.Env.git_sha)
+        [ ("base", base, b); ("new", fresh, f) ];
       let outcome = Perf_compare.compare_reports ~threshold b f in
       print_string (Perf_compare.render outcome);
       if Perf_compare.has_regression outcome then
@@ -516,11 +700,20 @@ let bench_run_cmd =
       value & opt int 3
       & info [ "runs"; "r" ] ~docv:"N" ~doc:"timed samples per test (median)")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "worker domains; at N > 1 the temporal operators run on an \
+             N-domain pool and a par-scaling suite records the \
+             serial-vs-pooled speedup")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run the quick bench suite and write the canonical JSON report")
-    Term.(term_result (const bench_run $ out $ scale $ runs))
+    Term.(term_result (const bench_run $ out $ scale $ runs $ jobs))
 
 let bench_compare_cmd =
   let base =

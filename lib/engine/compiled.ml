@@ -145,7 +145,7 @@ let rows_in sp tables =
       Trace.set_int sp "rows_in"
         (List.fold_left (fun acc t -> acc + Table.cardinality t) 0 tables)
 
-let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
+let rec compile ?pool ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
   let name = Exec.op_label q in
   match q with
   | Rel n ->
@@ -159,14 +159,14 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
           rows_in sp [ t ];
           t)
   | Select (p, q0) ->
-      let cp = compile_pred p and cq = compile ~lookup q0 in
+      let cp = compile_pred p and cq = compile ?pool ~lookup q0 in
       traced name (fun sp obs db ->
           let t = cq obs db in
           rows_in sp [ t ];
           Table.of_array (Table.schema t)
             (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t)))))
   | Project (projs, q0) ->
-      let cq = compile ~lookup q0 in
+      let cq = compile ?pool ~lookup q0 in
       let child_schema = Algebra.schema_of ~lookup q0 in
       let out_schema =
         Schema.make
@@ -186,7 +186,7 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
                (fun row -> Tuple.of_array (Array.map (fun c -> c row) cexprs))
                (Table.rows t)))
   | Join (p, l, r) -> (
-      let cl = compile ~lookup l and cr = compile ~lookup r in
+      let cl = compile ?pool ~lookup l and cr = compile ?pool ~lookup r in
       let nl = Schema.arity (Algebra.schema_of ~lookup l) in
       match Expr.equi_keys ~left_arity:nl p with
       | [], _ ->
@@ -257,21 +257,21 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
               Trace.set_int sp "residual_passed" !passed;
               Table.make out_schema (List.rev !buf)))
   | Union (l, r) ->
-      let cl = compile ~lookup l and cr = compile ~lookup r in
+      let cl = compile ?pool ~lookup l and cr = compile ?pool ~lookup r in
       traced name (fun sp obs db ->
           let lt = cl obs db in
           let rt = cr obs db in
           rows_in sp [ lt; rt ];
           Exec.union lt rt)
   | Diff (l, r) ->
-      let cl = compile ~lookup l and cr = compile ~lookup r in
+      let cl = compile ?pool ~lookup l and cr = compile ?pool ~lookup r in
       traced name (fun sp obs db ->
           let lt = cl obs db in
           let rt = cr obs db in
           rows_in sp [ lt; rt ];
           Exec.except_all lt rt)
   | Agg (group, aggs, q0) ->
-      let cq = compile ~lookup q0 in
+      let cq = compile ?pool ~lookup q0 in
       let child_schema = Algebra.schema_of ~lookup q0 in
       let out_schema = Neval.agg_out_schema child_schema group aggs in
       let cgroup =
@@ -323,40 +323,41 @@ let rec compile ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
             (List.rev !order);
           Table.make out_schema (List.rev !buf))
   | Distinct q0 ->
-      let cq = compile ~lookup q0 in
+      let cq = compile ?pool ~lookup q0 in
       traced name (fun sp obs db ->
           let t = cq obs db in
           rows_in sp [ t ];
           Exec.distinct t)
   | Coalesce q0 ->
-      let cq = compile ~lookup q0 in
+      let cq = compile ?pool ~lookup q0 in
       traced name (fun sp obs db ->
           let t = cq obs db in
           rows_in sp [ t ];
-          Ops.coalesce ?sp t)
+          Ops.coalesce ?sp ?pool t)
   | Split (g, l, r) ->
       if l == r then
-        let cl = compile ~lookup l in
+        let cl = compile ?pool ~lookup l in
         traced name (fun sp obs db ->
             let t = cl obs db in
             rows_in sp [ t ];
-            Ops.split ?sp g t t)
+            Ops.split ?sp ?pool g t t)
       else
-        let cl = compile ~lookup l and cr = compile ~lookup r in
+        let cl = compile ?pool ~lookup l and cr = compile ?pool ~lookup r in
         traced name (fun sp obs db ->
             let lt = cl obs db in
             let rt = cr obs db in
             rows_in sp [ lt; rt ];
-            Ops.split ?sp g lt rt)
+            Ops.split ?sp ?pool g lt rt)
   | Split_agg sa ->
-      let cq = compile ~lookup sa.sa_child in
+      let cq = compile ?pool ~lookup sa.sa_child in
       traced name (fun sp obs db ->
           let t = cq obs db in
           rows_in sp [ t ];
-          Ops.split_agg ?sp ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap t)
+          Ops.split_agg ?sp ?pool ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap t)
 
 (** Compile and immediately run (convenience; reuse the compiled plan for
     repeated execution). *)
-let eval ?(obs = Trace.disabled) (db : Database.t) (q : Algebra.t) : Table.t =
+let eval ?(obs = Trace.disabled) ?pool (db : Database.t) (q : Algebra.t) :
+    Table.t =
   let lookup n = Database.schema_of db n in
-  (compile ~lookup q) obs db
+  (compile ?pool ~lookup q) obs db

@@ -16,9 +16,17 @@ type plan = Tkr_obs.Trace.t -> Database.t -> Table.t
 (** A compiled plan, run against a trace collector (pass
     {!Tkr_obs.Trace.disabled} for no instrumentation) and a database. *)
 
-val compile : lookup:(string -> Schema.t) -> Algebra.t -> plan
+val compile :
+  ?pool:Tkr_par.Pool.t -> lookup:(string -> Schema.t) -> Algebra.t -> plan
 (** [lookup] must give the schema of every base relation referenced;
     the compiled plan may be run against any database with compatible
-    schemas. *)
+    schemas.  [?pool] is captured by the compiled closures: the temporal
+    operators (coalesce/split/split_agg) then run their sweeps on the
+    pool, with byte-identical output to the serial plan. *)
 
-val eval : ?obs:Tkr_obs.Trace.t -> Database.t -> Algebra.t -> Table.t
+val eval :
+  ?obs:Tkr_obs.Trace.t ->
+  ?pool:Tkr_par.Pool.t ->
+  Database.t ->
+  Algebra.t ->
+  Table.t

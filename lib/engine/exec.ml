@@ -207,7 +207,8 @@ let rows_in sp tables =
       Trace.set_int sp "rows_in"
         (List.fold_left (fun acc t -> acc + Table.cardinality t) 0 tables)
 
-let rec eval ?(obs = Trace.disabled) (db : Database.t) (q : Algebra.t) : Table.t =
+let rec eval ?(obs = Trace.disabled) ?pool (db : Database.t) (q : Algebra.t) :
+    Table.t =
   Trace.with_span obs (op_label q) @@ fun sp ->
   let result =
     match q with
@@ -220,55 +221,55 @@ let rec eval ?(obs = Trace.disabled) (db : Database.t) (q : Algebra.t) : Table.t
         rows_in sp [ t ];
         t
     | Select (p, q) ->
-        let t = eval ~obs db q in
+        let t = eval ~obs ?pool db q in
         rows_in sp [ t ];
         select p t
     | Project (projs, q) ->
-        let t = eval ~obs db q in
+        let t = eval ~obs ?pool db q in
         rows_in sp [ t ];
         project projs t
     | Join (p, l, r) ->
-        let lt = eval ~obs db l in
-        let rt = eval ~obs db r in
+        let lt = eval ~obs ?pool db l in
+        let rt = eval ~obs ?pool db r in
         rows_in sp [ lt; rt ];
         join ?sp p lt rt
     | Union (l, r) ->
-        let lt = eval ~obs db l in
-        let rt = eval ~obs db r in
+        let lt = eval ~obs ?pool db l in
+        let rt = eval ~obs ?pool db r in
         rows_in sp [ lt; rt ];
         union lt rt
     | Diff (l, r) ->
-        let lt = eval ~obs db l in
-        let rt = eval ~obs db r in
+        let lt = eval ~obs ?pool db l in
+        let rt = eval ~obs ?pool db r in
         rows_in sp [ lt; rt ];
         except_all lt rt
     | Agg (group, aggs, q) ->
-        let t = eval ~obs db q in
+        let t = eval ~obs ?pool db q in
         rows_in sp [ t ];
         aggregate group aggs t
     | Distinct q ->
-        let t = eval ~obs db q in
+        let t = eval ~obs ?pool db q in
         rows_in sp [ t ];
         distinct t
     | Coalesce q ->
-        let t = eval ~obs db q in
+        let t = eval ~obs ?pool db q in
         rows_in sp [ t ];
-        Ops.coalesce ?sp t
+        Ops.coalesce ?sp ?pool t
     | Split (g, l, r) ->
         (* avoid evaluating a shared subquery twice *)
         if l == r then (
-          let t = eval ~obs db l in
+          let t = eval ~obs ?pool db l in
           rows_in sp [ t ];
-          Ops.split ?sp g t t)
+          Ops.split ?sp ?pool g t t)
         else
-          let lt = eval ~obs db l in
-          let rt = eval ~obs db r in
+          let lt = eval ~obs ?pool db l in
+          let rt = eval ~obs ?pool db r in
           rows_in sp [ lt; rt ];
-          Ops.split ?sp g lt rt
+          Ops.split ?sp ?pool g lt rt
     | Split_agg sa ->
-        let t = eval ~obs db sa.sa_child in
+        let t = eval ~obs ?pool db sa.sa_child in
         rows_in sp [ t ];
-        Ops.split_agg ?sp ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap t
+        Ops.split_agg ?sp ?pool ~group:sa.sa_group ~aggs:sa.sa_aggs ~gap:sa.sa_gap t
   in
   (match sp with
   | None -> ()

@@ -42,8 +42,15 @@ val op_label : Algebra.t -> string
 (** Trace span label of the root operator (shared with {!Compiled} so the
     two backends produce comparable traces). *)
 
-val eval : ?obs:Tkr_obs.Trace.t -> Database.t -> Algebra.t -> Table.t
+val eval :
+  ?obs:Tkr_obs.Trace.t ->
+  ?pool:Tkr_par.Pool.t ->
+  Database.t ->
+  Algebra.t ->
+  Table.t
 (** Evaluate a full plan.  [Split] with physically equal children
     evaluates the shared subplan once.  With an enabled [obs] collector,
     every operator reports a span carrying rows in/out and operator
-    internals (default: the disabled collector — no overhead). *)
+    internals (default: the disabled collector — no overhead).  [?pool]
+    parallelizes the temporal operators (coalesce/split/split_agg) with
+    byte-identical output; absent, the serial engine runs unchanged. *)

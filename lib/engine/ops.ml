@@ -10,10 +10,17 @@
       maximal constant segments — O(n log n).
     - {!split} is the split operator N_G of Def. 8.3.
     - {!split_agg} is the fused, pre-aggregated split+aggregate of the
-      paper's optimized rewriting (Section 9). *)
+      paper's optimized rewriting (Section 9).
+
+    Every operator takes an optional {!Tkr_par.Pool.t}.  Their sweeps are
+    independent per group (coalesce, split_agg) or per row (split), so
+    with a pool the groups/rows are mapped over the pool's domains and the
+    results merged back in the serial emission order — the output rows are
+    byte-identical to the serial path for any number of domains. *)
 
 open Tkr_relation
 module Trace = Tkr_obs.Trace
+module Pool = Tkr_par.Pool
 
 let period_of_row row =
   let n = Tuple.arity row in
@@ -25,10 +32,22 @@ let data_of_row row =
   let n = Tuple.arity row in
   Tuple.project (List.init (n - 2) Fun.id) row
 
+(* Map [f] over [keys] preserving order, through the pool when one is
+   given and there is enough work to split; records the batch on the
+   span.  The shared read-only state ([f]'s captured hash tables) is
+   built before the call, so worker domains only read. *)
+let map_groups ?sp ?pool (f : 'a -> 'b) (keys : 'a array) : 'b array =
+  match pool with
+  | Some pool when Array.length keys > 1 && Pool.jobs pool > 1 ->
+      let results, stats = Pool.map_array pool f keys in
+      Pool.record sp ~jobs:(Pool.jobs pool) stats;
+      results
+  | _ -> Array.map f keys
+
 (** Multiset coalescing: for every distinct data prefix, compute the
     maximal intervals of constant multiplicity (counting open intervals)
     and emit that many duplicate rows per interval. *)
-let coalesce ?sp (t : Table.t) : Table.t =
+let coalesce ?sp ?pool (t : Table.t) : Table.t =
   let groups : (Tuple.t, (int * int) list ref) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [] in
   Array.iter
@@ -41,50 +60,53 @@ let coalesce ?sp (t : Table.t) : Table.t =
           Hashtbl.add groups data (ref [ p ]);
           order := data :: !order)
     (Table.rows t);
-  let segments = ref 0 in
-  let buf = ref [] in
-  let emit data b e count =
-    if count > 0 then (
-      incr segments;
-      let row =
-        Tuple.append data (Tuple.make [ Value.Int b; Value.Int e ])
-      in
-      for _ = 1 to count do
-        buf := row :: !buf
-      done)
+  (* one group's sweep: its rows in forward (time) order + segment count *)
+  let group_rows data =
+    let intervals = !(Hashtbl.find groups data) in
+    let segments = ref 0 in
+    let buf = ref [] in
+    let emit b e count =
+      if count > 0 then (
+        incr segments;
+        let row = Tuple.append data (Tuple.make [ Value.Int b; Value.Int e ]) in
+        for _ = 1 to count do
+          buf := row :: !buf
+        done)
+    in
+    (* events: +1 at begins, -1 at ends; sweep in time order *)
+    let events =
+      List.concat_map (fun (b, e) -> [ (b, 1); (e, -1) ]) intervals
+      |> List.sort (fun (t1, _) (t2, _) -> Int.compare t1 t2)
+    in
+    (* emit only maximal segments: a segment closes when the count of
+       open intervals actually changes, not at every endpoint *)
+    let rec sweep seg_start count = function
+      | [] -> ()
+      | (t, d) :: rest ->
+          (* fold all events at the same time point *)
+          let rec absorb d rest =
+            match rest with
+            | (t', d') :: more when t' = t -> absorb (d + d') more
+            | _ -> (d, rest)
+          in
+          let delta, rest = absorb d rest in
+          if delta = 0 then sweep seg_start count rest
+          else (
+            if t > seg_start then emit seg_start t count;
+            sweep t (count + delta) rest)
+    in
+    (match events with [] -> () | (t0, _) :: _ -> sweep t0 0 events);
+    (List.rev !buf, !segments)
   in
-  List.iter
-    (fun data ->
-      let intervals = !(Hashtbl.find groups data) in
-      (* events: +1 at begins, -1 at ends; sweep in time order *)
-      let events =
-        List.concat_map (fun (b, e) -> [ (b, 1); (e, -1) ]) intervals
-        |> List.sort (fun (t1, _) (t2, _) -> Int.compare t1 t2)
-      in
-      (* emit only maximal segments: a segment closes when the count of
-         open intervals actually changes, not at every endpoint *)
-      let rec sweep seg_start count = function
-        | [] -> ()
-        | (t, d) :: rest ->
-            (* fold all events at the same time point *)
-            let rec absorb d rest =
-              match rest with
-              | (t', d') :: more when t' = t -> absorb (d + d') more
-              | _ -> (d, rest)
-            in
-            let delta, rest = absorb d rest in
-            if delta = 0 then sweep seg_start count rest
-            else (
-              if t > seg_start then emit data seg_start t count;
-              sweep t (count + delta) rest)
-      in
-      (match events with [] -> () | (t0, _) :: _ -> sweep t0 0 events);
-      ())
-    (List.rev !order);
+  let results =
+    map_groups ?sp ?pool group_rows (Array.of_list (List.rev !order))
+  in
+  let segments = Array.fold_left (fun acc (_, s) -> acc + s) 0 results in
   Trace.set_int sp "groups" (Hashtbl.length groups);
   Trace.set_int sp "endpoints" (2 * Table.cardinality t);
-  Trace.set_int sp "segments" !segments;
-  Table.make (Table.schema t) (List.rev !buf)
+  Trace.set_int sp "segments" segments;
+  Table.make (Table.schema t)
+    (List.concat_map fst (Array.to_list results))
 
 module IS = Set.Make (Int)
 
@@ -132,52 +154,42 @@ let endpoint_sets_keyed (sources : (int list * Table.t) list) =
     sources;
   eps
 
+(* Fragments of one row, split at its key's endpoints (forward order). *)
+let row_fragments eps key_cols row =
+  let key = Tuple.project key_cols row in
+  let b, e = period_of_row row in
+  let points =
+    match Hashtbl.find_opt eps key with Some s -> !s | None -> IS.empty
+  in
+  let data = data_of_row row in
+  List.map
+    (fun (sb, se) ->
+      Tuple.append data (Tuple.make [ Value.Int sb; Value.Int se ]))
+    (cut_interval points b e)
+
 (** Split every row of [t] at the endpoints its key maps to in [eps]. *)
 let split_with eps key_cols (t : Table.t) : Table.t =
-  let buf = ref [] in
-  Array.iter
-    (fun row ->
-      let key = Tuple.project key_cols row in
-      let b, e = period_of_row row in
-      let points =
-        match Hashtbl.find_opt eps key with Some s -> !s | None -> IS.empty
-      in
-      let data = data_of_row row in
-      List.iter
-        (fun (sb, se) ->
-          buf := Tuple.append data (Tuple.make [ Value.Int sb; Value.Int se ]) :: !buf)
-        (cut_interval points b e))
-    (Table.rows t);
-  Table.make (Table.schema t) (List.rev !buf)
+  Table.make (Table.schema t)
+    (List.concat_map (row_fragments eps key_cols) (Table.to_list t))
 
 (** N_G(R1, R2) of Def. 8.3: split every R1 row at the endpoints of all
     rows of R1 ∪ R2 that agree with it on the group columns. *)
-let split ?sp group_cols (left : Table.t) (right : Table.t) : Table.t =
+let split ?sp ?pool group_cols (left : Table.t) (right : Table.t) : Table.t =
   let eps = endpoint_sets group_cols [ left; right ] in
-  let fragments = ref 0 in
-  let buf = ref [] in
-  Array.iter
-    (fun row ->
-      let key = Tuple.project group_cols row in
-      let b, e = period_of_row row in
-      let points =
-        match Hashtbl.find_opt eps key with Some s -> !s | None -> IS.empty
-      in
-      let data = data_of_row row in
-      List.iter
-        (fun (sb, se) ->
-          incr fragments;
-          buf := Tuple.append data (Tuple.make [ Value.Int sb; Value.Int se ]) :: !buf)
-        (cut_interval points b e))
-    (Table.rows left);
+  let per_row =
+    map_groups ?sp ?pool (row_fragments eps group_cols) (Table.rows left)
+  in
+  let fragments =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 per_row
+  in
   (match sp with
   | None -> ()
   | Some _ ->
       Trace.set_int sp "endpoint_keys" (Hashtbl.length eps);
       Trace.set_int sp "endpoints"
         (Hashtbl.fold (fun _ s acc -> acc + IS.cardinal !s) eps 0);
-      Trace.set_int sp "fragments" !fragments);
-  Table.make (Table.schema left) (List.rev !buf)
+      Trace.set_int sp "fragments" fragments);
+  Table.make (Table.schema left) (List.concat (Array.to_list per_row))
 
 (** Fused pre-aggregated split+aggregate (Section 9).
 
@@ -188,7 +200,7 @@ let split ?sp group_cols (left : Table.t) (right : Table.t) : Table.t =
     whole time domain produces a row, using the aggregate's value over the
     empty input when nothing covers the segment — the fix for the
     aggregation-gap bug. *)
-let split_agg ?sp ~(group : int list) ~(aggs : Algebra.agg_spec list)
+let split_agg ?sp ?pool ~(group : int list) ~(aggs : Algebra.agg_spec list)
     ~(gap : (int * int) option) (child : Table.t) : Table.t =
   let child_schema = Table.schema child in
   let n_aggs = List.length aggs in
@@ -244,60 +256,64 @@ let split_agg ?sp ~(group : int list) ~(aggs : Algebra.agg_spec list)
       | Some cell -> cell := (b, e, accs) :: !cell
       | None -> Hashtbl.add entries key (ref [ (b, e, accs) ]))
     pre;
-  let buf = ref [] in
-  List.iter
-    (fun key ->
-      let eps = !(Hashtbl.find group_eps key) in
-      let segs =
-        let pts = IS.elements eps in
-        let rec pairs = function
-          | x :: (y :: _ as rest) -> (x, y) :: pairs rest
-          | _ -> []
+  (* one group's sweep over its elementary segments, rows forward *)
+  let group_rows key =
+    let eps = !(Hashtbl.find group_eps key) in
+    let segs =
+      let pts = IS.elements eps in
+      let rec pairs = function
+        | x :: (y :: _ as rest) -> (x, y) :: pairs rest
+        | _ -> []
+      in
+      pairs pts
+    in
+    let group_entries =
+      match Hashtbl.find_opt entries key with Some c -> !c | None -> []
+    in
+    (* entries sorted by begin; sweep with an active set *)
+    let sorted =
+      List.sort (fun (b1, _, _) (b2, _, _) -> Int.compare b1 b2) group_entries
+    in
+    let remaining = ref sorted in
+    let active = ref [] in
+    let buf = ref [] in
+    List.iter
+      (fun (sb, se) ->
+        (* activate entries starting at or before sb, drop finished ones *)
+        let rec pull () =
+          match !remaining with
+          | (b, e, accs) :: rest when b <= sb ->
+              remaining := rest;
+              if e > sb then active := (e, accs) :: !active;
+              pull ()
+          | _ -> ()
         in
-        pairs pts
-      in
-      let group_entries =
-        match Hashtbl.find_opt entries key with Some c -> !c | None -> []
-      in
-      (* entries sorted by begin; sweep with an active set *)
-      let sorted =
-        List.sort (fun (b1, _, _) (b2, _, _) -> Int.compare b1 b2) group_entries
-      in
-      let remaining = ref sorted in
-      let active = ref [] in
-      List.iter
-        (fun (sb, se) ->
-          (* activate entries starting at or before sb, drop finished ones *)
-          let rec pull () =
-            match !remaining with
-            | (b, e, accs) :: rest when b <= sb ->
-                remaining := rest;
-                if e > sb then active := (e, accs) :: !active;
-                pull ()
-            | _ -> ()
+        pull ();
+        active := List.filter (fun (e, _) -> e > sb) !active;
+        let covering = List.map snd !active in
+        if covering = [] && gap = None then ()
+        else
+          let finals =
+            List.mapi
+              (fun i (spec : Algebra.agg_spec) ->
+                let acc =
+                  List.fold_left
+                    (fun acc accs -> Agg.combine acc accs.(i))
+                    Agg.empty covering
+                in
+                Agg.final spec.func acc)
+              aggs
           in
-          pull ();
-          active := List.filter (fun (e, _) -> e > sb) !active;
-          let covering = List.map snd !active in
-          if covering = [] && gap = None then ()
-          else
-            let finals =
-              List.mapi
-                (fun i (spec : Algebra.agg_spec) ->
-                  let acc =
-                    List.fold_left
-                      (fun acc accs -> Agg.combine acc accs.(i))
-                      Agg.empty covering
-                  in
-                  Agg.final spec.func acc)
-                aggs
-            in
-            buf :=
-              Tuple.append key
-                (Tuple.make (finals @ [ Value.Int sb; Value.Int se ]))
-              :: !buf)
-        segs)
-    (List.rev !group_order);
+          buf :=
+            Tuple.append key
+              (Tuple.make (finals @ [ Value.Int sb; Value.Int se ]))
+            :: !buf)
+      segs;
+    List.rev !buf
+  in
+  let per_group =
+    map_groups ?sp ?pool group_rows (Array.of_list (List.rev !group_order))
+  in
   (match sp with
   | None -> ()
   | Some _ ->
@@ -317,4 +333,4 @@ let split_agg ?sp ~(group : int list) ~(aggs : Algebra.agg_spec list)
       (gattrs @ aattrs
       @ [ Schema.attr "__b" Value.TInt; Schema.attr "__e" Value.TInt ])
   in
-  Table.make out_schema (List.rev !buf)
+  Table.make out_schema (List.concat (Array.to_list per_group))

@@ -27,6 +27,7 @@ module Metrics = Tkr_obs.Metrics
 module Diagnostic = Tkr_check.Diagnostic
 module Check = Tkr_check.Check
 module Lint = Tkr_check.Lint
+module Pool = Tkr_par.Pool
 
 exception Error of Diagnostic.t
 
@@ -106,6 +107,9 @@ type t = {
       (** execute plans by AST interpretation or as compiled closures *)
   mutable strict : bool;
       (** --Werror: the check phase rejects on warnings too *)
+  mutable pool : Pool.t option;
+      (** worker pool for the temporal operators; [None] = the serial
+          engine, whose output parallel plans reproduce byte-for-byte *)
   insert_order : (string, int list) Hashtbl.t;
       (** CREATE TABLE column order -> stored order (period cols last) *)
   totals : phase_stats;
@@ -119,13 +123,15 @@ type t = {
 }
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
-    ?(backend = Interpreted) ?(strict = false) ?(db = Database.create ()) () =
+    ?(backend = Interpreted) ?(strict = false) ?(parallelism = 1)
+    ?(db = Database.create ()) () =
   {
     db;
     options;
     optimize;
     backend;
     strict;
+    pool = (if parallelism > 1 then Some (Pool.create ~jobs:parallelism ()) else None);
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
     metrics = Metrics.create ();
@@ -139,6 +145,20 @@ let set_optimize m b = m.optimize <- b
 let set_backend m b = m.backend <- b
 let set_strict m b = m.strict <- b
 let strict m = m.strict
+
+let parallelism m = match m.pool with Some p -> Pool.jobs p | None -> 1
+
+(* statements prepared earlier keep the pool they captured; a shut-down
+   pool still executes batches correctly (the submitting domain drains
+   them alone), so replacing the pool degrades old statements to serial
+   execution instead of breaking them *)
+let set_parallelism m n =
+  (match m.pool with Some p -> Pool.shutdown p | None -> ());
+  m.pool <- (if n > 1 then Some (Pool.create ~jobs:n ()) else None)
+
+let shutdown m =
+  (match m.pool with Some p -> Pool.shutdown p | None -> ());
+  m.pool <- None
 
 let database m = m.db
 let set_options m options = m.options <- options
@@ -183,10 +203,14 @@ type prepared = {
 }
 
 let make_exec m plan : Trace.t -> Database.t -> Table.t =
+  (* the pool is captured at prepare time, like the backend *)
+  let pool = m.pool in
   match m.backend with
-  | Interpreted -> fun obs db -> Exec.eval ~obs db plan
+  | Interpreted -> fun obs db -> Exec.eval ~obs ?pool db plan
   | Compiled ->
-      Tkr_engine.Compiled.compile ~lookup:(fun n -> Database.schema_of m.db n) plan
+      Tkr_engine.Compiled.compile ?pool
+        ~lookup:(fun n -> Database.schema_of m.db n)
+        plan
 
 (* time one preparation phase into a [phase_stats] cell *)
 let phase (set : int64 -> unit) (f : unit -> 'a) : 'a =

@@ -36,12 +36,17 @@ val create :
   ?optimize:bool ->
   ?backend:backend ->
   ?strict:bool ->
+  ?parallelism:int ->
   ?db:Database.t ->
   unit ->
   t
 (** A middleware over a (possibly pre-populated) engine database.  Default
     options: {!Rewriter.optimized}.  [strict] (--Werror, default false)
-    makes the check phase reject statements on warnings too. *)
+    makes the check phase reject statements on warnings too.
+    [parallelism] (default 1) > 1 creates a {!Tkr_par.Pool.t} of that many
+    domains on which the temporal operators run their sweeps; at 1 the
+    serial engine runs unchanged, and parallel plans produce byte-identical
+    rows either way. *)
 
 val database : t -> Database.t
 val set_options : t -> Rewriter.options -> unit
@@ -52,6 +57,19 @@ val set_strict : t -> bool -> unit
 
 val strict : t -> bool
 val options : t -> Rewriter.options
+
+val parallelism : t -> int
+(** Pool size; 1 when running serially. *)
+
+val set_parallelism : t -> int -> unit
+(** Replace the worker pool ([n <= 1] removes it).  Statements prepared
+    earlier keep the pool they captured; a replaced pool is shut down, on
+    which already-prepared statements degrade gracefully to serial
+    execution. *)
+
+val shutdown : t -> unit
+(** Join the worker domains (no-op when serial).  The middleware stays
+    usable and reverts to serial execution. *)
 
 (** Cumulative phase timings of one prepared statement (or, for
     {!totals}, of a whole middleware): the preparation pipeline

@@ -1,0 +1,248 @@
+(** A fixed-size [Domain] pool with a chunked task queue and deterministic
+    ordered-merge combiners.
+
+    Scheduling: a batch is an array of tasks plus an atomic cursor; every
+    participant (the submitting domain and the resident workers) claims
+    the next index with [Atomic.fetch_and_add] until the batch drains.
+    That is work stealing in its cheapest form — no per-worker deques,
+    just a shared cursor — which is plenty for the engine's coarse chunks
+    (hundreds to thousands of rows each).
+
+    Determinism: combinators place the result of task [i] at slot [i] and
+    merge slots in order, so results never depend on which domain ran
+    which chunk.  Combined with jobs-independent chunking in the
+    operators, parallel plans are reproducible run-to-run. *)
+
+module Trace = Tkr_obs.Trace
+module Clock = Tkr_obs.Clock
+
+type batch = {
+  b_run : int -> unit;  (** run task [i] (exception-safe wrapper) *)
+  b_n : int;
+  b_next : int Atomic.t;
+  b_completed : int Atomic.t;
+  b_chunks_by_slot : int array;  (** chunks executed per participant *)
+  b_busy_ns_by_slot : int64 array;
+}
+
+type t = {
+  p_jobs : int;
+  m : Mutex.t;
+  work_cv : Condition.t;  (** workers: a new batch (generation) exists *)
+  done_cv : Condition.t;  (** submitter: the current batch drained *)
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.p_jobs
+
+type stats = {
+  chunks : int;
+  steals : int;
+  merge_ns : int64;
+  domains : (int * int * int64) list;
+}
+
+let no_stats = { chunks = 0; steals = 0; merge_ns = 0L; domains = [] }
+
+(* Claim-and-run until the batch cursor runs dry; the last finisher wakes
+   the submitter.  [slot] indexes the per-participant counters. *)
+let drain pool (b : batch) ~slot =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.b_next 1 in
+    if i < b.b_n then (
+      let t0 = Clock.now_ns () in
+      b.b_run i;
+      b.b_chunks_by_slot.(slot) <- b.b_chunks_by_slot.(slot) + 1;
+      b.b_busy_ns_by_slot.(slot) <-
+        Int64.add b.b_busy_ns_by_slot.(slot)
+          (Int64.sub (Clock.now_ns ()) t0);
+      if Atomic.fetch_and_add b.b_completed 1 = b.b_n - 1 then (
+        Mutex.lock pool.m;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m);
+      go ())
+  in
+  go ()
+
+let worker pool ~slot =
+  let rec loop last_gen =
+    Mutex.lock pool.m;
+    while (not pool.stop) && pool.generation = last_gen do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else (
+      let gen = pool.generation in
+      let b = pool.batch in
+      Mutex.unlock pool.m;
+      (match b with Some b -> drain pool b ~slot | None -> ());
+      loop gen)
+  in
+  loop 0
+
+let create ?name:_ ~jobs () =
+  let jobs = max 1 (min 128 jobs) in
+  let pool =
+    {
+      p_jobs = jobs;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      batch = None;
+      generation = 0;
+      stop = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker pool ~slot:(i + 1)));
+  pool
+
+let shutdown pool =
+  let ws =
+    Mutex.lock pool.m;
+    let ws = pool.workers in
+    pool.workers <- [||];
+    pool.stop <- true;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    ws
+  in
+  Array.iter Domain.join ws
+
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else
+    let pool = create ~jobs () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+
+let stats_of_batch (b : batch) : stats =
+  let domains = ref [] in
+  for slot = Array.length b.b_chunks_by_slot - 1 downto 0 do
+    if b.b_chunks_by_slot.(slot) > 0 then
+      domains :=
+        (slot, b.b_chunks_by_slot.(slot), b.b_busy_ns_by_slot.(slot))
+        :: !domains
+  done;
+  {
+    chunks = b.b_n;
+    steals = b.b_n - b.b_chunks_by_slot.(0);
+    merge_ns = 0L;
+    domains = !domains;
+  }
+
+let run pool (tasks : (unit -> 'a) array) : 'a array * stats =
+  let n = Array.length tasks in
+  if n = 0 then ([||], no_stats)
+  else begin
+    let results : 'a option array = Array.make n None in
+    let first_exn : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let b =
+      {
+        b_run =
+          (fun i ->
+            match tasks.(i) () with
+            | r -> results.(i) <- Some r
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set first_exn None (Some (e, bt))));
+        b_n = n;
+        b_next = Atomic.make 0;
+        b_completed = Atomic.make 0;
+        b_chunks_by_slot = Array.make pool.p_jobs 0;
+        b_busy_ns_by_slot = Array.make pool.p_jobs 0L;
+      }
+    in
+    if pool.p_jobs > 1 && n > 1 then (
+      Mutex.lock pool.m;
+      pool.batch <- Some b;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_cv;
+      Mutex.unlock pool.m);
+    drain pool b ~slot:0;
+    if pool.p_jobs > 1 && n > 1 then (
+      Mutex.lock pool.m;
+      while Atomic.get b.b_completed < n do
+        Condition.wait pool.done_cv pool.m
+      done;
+      pool.batch <- None;
+      Mutex.unlock pool.m);
+    (match Atomic.get first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    ( Array.map
+        (function Some r -> r | None -> assert false (* every task ran *))
+        results,
+      stats_of_batch b )
+  end
+
+(* Contiguous sub-ranges of [0, n): range [i] is [cut i, cut (i+1)), with
+   the remainder spread over the first ranges. *)
+let cut ~n ~chunks i = (n * i) / chunks
+
+let default_chunks pool n = max 1 (min n (4 * pool.p_jobs))
+
+let timed_merge merge =
+  let t0 = Clock.now_ns () in
+  let r = merge () in
+  (r, Int64.sub (Clock.now_ns ()) t0)
+
+let concat_map_ranges ?chunks pool ~n (f : lo:int -> hi:int -> 'b list) :
+    'b list * stats =
+  let chunks =
+    match chunks with Some c -> max 1 c | None -> default_chunks pool n
+  in
+  let tasks =
+    Array.init chunks (fun i ->
+        fun () -> f ~lo:(cut ~n ~chunks i) ~hi:(cut ~n ~chunks (i + 1)))
+  in
+  let parts, stats = run pool tasks in
+  let merged, merge_ns =
+    timed_merge (fun () -> List.concat (Array.to_list parts))
+  in
+  (merged, { stats with merge_ns })
+
+let map_array ?chunks pool (f : 'a -> 'b) (a : 'a array) : 'b array * stats =
+  let n = Array.length a in
+  if n = 0 then ([||], no_stats)
+  else
+    let chunks =
+      match chunks with Some c -> max 1 c | None -> default_chunks pool n
+    in
+    let tasks =
+      Array.init chunks (fun i ->
+          fun () ->
+            let lo = cut ~n ~chunks i and hi = cut ~n ~chunks (i + 1) in
+            Array.init (hi - lo) (fun j -> f a.(lo + j)))
+    in
+    let parts, stats = run pool tasks in
+    let merged, merge_ns =
+      timed_merge (fun () -> Array.concat (Array.to_list parts))
+    in
+    (merged, { stats with merge_ns })
+
+let map_list ?chunks pool f l =
+  let arr, stats = map_array ?chunks pool f (Array.of_list l) in
+  (Array.to_list arr, stats)
+
+let record sp ~jobs (s : stats) =
+  match sp with
+  | None -> ()
+  | Some _ ->
+      Trace.set_int sp Trace.par_jobs jobs;
+      Trace.set_int sp Trace.par_chunks s.chunks;
+      Trace.set_int sp Trace.par_steals s.steals;
+      Trace.set_int sp Trace.par_merge_ns (Int64.to_int s.merge_ns);
+      Trace.set_str sp Trace.par_domains
+        (String.concat " "
+           (List.map
+              (fun (slot, chunks, busy_ns) ->
+                Printf.sprintf "%d:%d/%.3fms" slot chunks
+                  (Clock.ns_to_ms busy_ns))
+              s.domains))

@@ -1,0 +1,73 @@
+(** A fixed-size pool of OCaml 5 [Domain]s with a chunked task queue and
+    deterministic ordered-merge combiners.
+
+    The pool is the engine's unit of parallelism: operators take a
+    [?pool] and fall back to their serial code path when it is absent, so
+    serial semantics stay the default (and byte-identical to the
+    pre-parallel engine).  A pool of [jobs] executes batches with the
+    calling domain plus [jobs - 1] worker domains; tasks are claimed from
+    a shared atomic cursor (cheap work stealing) and results are always
+    merged in task order, so the output of every combinator is
+    deterministic and independent of how chunks were scheduled. *)
+
+type t
+(** A worker pool.  Values are safe to share across batches but a batch
+    ([run]/[map_array]/...) must not be started from two domains at
+    once — the engine always submits from the query's evaluating
+    domain. *)
+
+val create : ?name:string -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is clamped
+    to [\[1, 128\]]).  A pool with [jobs = 1] spawns nothing and runs
+    every batch inline. *)
+
+val jobs : t -> int
+(** Total parallelism, caller included. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool when
+    [jobs > 1] (shut down afterwards, also on exceptions), and [f None]
+    when [jobs <= 1] — the serial engine path. *)
+
+(** Execution statistics of one batch: what [EXPLAIN ANALYZE] reports as
+    the parallel plan. *)
+type stats = {
+  chunks : int;  (** tasks in the batch *)
+  steals : int;  (** chunks executed by worker domains (not the caller) *)
+  merge_ns : int64;  (** time spent in the ordered merge of the results *)
+  domains : (int * int * int64) list;
+      (** per-participant [(slot, chunks, busy_ns)]; slot 0 is the
+          calling domain *)
+}
+
+val no_stats : stats
+(** The empty batch. *)
+
+val run : t -> (unit -> 'a) array -> 'a array * stats
+(** Execute every task on the pool (the caller participates) and return
+    the results in task order.  The first exception raised by a task is
+    re-raised in the caller after the batch drains. *)
+
+val map_array : ?chunks:int -> t -> ('a -> 'b) -> 'a array -> 'b array * stats
+(** Chunked, order-preserving parallel map: the input is split into
+    [chunks] contiguous slices (default: enough for [4 * jobs]-way load
+    balancing), mapped in parallel, and concatenated back in slice
+    order — element order is exactly that of [Array.map]. *)
+
+val map_list : ?chunks:int -> t -> ('a -> 'b) -> 'a list -> 'b list * stats
+(** [map_array] for lists; element order is exactly that of [List.map]. *)
+
+val concat_map_ranges :
+  ?chunks:int -> t -> n:int -> (lo:int -> hi:int -> 'b list) -> 'b list * stats
+(** Split the index range [\[0, n)] into [chunks] contiguous sub-ranges
+    (some possibly empty), compute each in parallel, and concatenate the
+    results in range order. *)
+
+val record : Tkr_obs.Trace.span option -> jobs:int -> stats -> unit
+(** Annotate an operator span with the batch: [par_jobs], [chunks],
+    [steals], [merge_ns] and a per-domain [domains] attribution string
+    ([slot:chunks/busy-ms], slot 0 being the calling domain). *)

@@ -7,6 +7,7 @@ module Json = Tkr_obs.Json
 type t = {
   ocaml_version : string;
   git_sha : string;  (** "unknown" outside a git checkout *)
+  dirty : bool;  (** uncommitted changes in the tree the run came from *)
   hostname : string;
   word_size : int;
   os_type : string;
@@ -73,10 +74,29 @@ let detect_git_sha () : string =
                     with Sys_error _ -> "unknown")
               else head))
 
+(* Whether the checkout has uncommitted changes: any output from
+   [git status --porcelain].  $TKR_GIT_DIRTY overrides (CI stamps it
+   without needing git in the runner image); outside a checkout, or
+   without git on PATH, the tree counts as clean. *)
+let detect_dirty () : bool =
+  match Sys.getenv_opt "TKR_GIT_DIRTY" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ -> false
+  | None -> (
+      try
+        let ic =
+          Unix.open_process_in "git status --porcelain 2>/dev/null"
+        in
+        let line = try Some (input_line ic) with End_of_file -> None in
+        ignore (Unix.close_process_in ic);
+        line <> None
+      with Unix.Unix_error _ | Sys_error _ -> false)
+
 let capture () : t =
   {
     ocaml_version = Sys.ocaml_version;
     git_sha = detect_git_sha ();
+    dirty = detect_dirty ();
     hostname = (try Unix.gethostname () with Unix.Unix_error _ -> "unknown");
     word_size = Sys.word_size;
     os_type = Sys.os_type;
@@ -87,6 +107,7 @@ let to_json (e : t) : Json.t =
     [
       ("ocaml_version", Json.Str e.ocaml_version);
       ("git_sha", Json.Str e.git_sha);
+      ("git_dirty", Json.Bool e.dirty);
       ("hostname", Json.Str e.hostname);
       ("word_size", Json.Int e.word_size);
       ("os_type", Json.Str e.os_type);
@@ -101,6 +122,12 @@ let of_json (j : Json.t) : t =
   {
     ocaml_version = str "ocaml_version" "unknown";
     git_sha = str "git_sha" "unknown";
+    dirty =
+      (* pre-PR4 reports have no dirty flag; a clean tree is the
+         conservative default for regression comparisons *)
+      (match Json.member "git_dirty" j with
+      | Some (Json.Bool b) -> b
+      | _ -> false);
     hostname = str "hostname" "unknown";
     word_size =
       (match Option.bind (Json.member "word_size" j) Json.to_int_opt with
@@ -110,7 +137,8 @@ let of_json (j : Json.t) : t =
   }
 
 let pp ppf (e : t) =
-  Format.fprintf ppf "ocaml %s | git %s | %s | %d-bit %s" e.ocaml_version
+  Format.fprintf ppf "ocaml %s | git %s%s | %s | %d-bit %s" e.ocaml_version
     (if String.length e.git_sha > 12 then String.sub e.git_sha 0 12
      else e.git_sha)
+    (if e.dirty then "+dirty" else "")
     e.hostname e.word_size e.os_type

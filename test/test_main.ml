@@ -23,4 +23,5 @@ let () =
       Test_obs.suite;
       Test_check.suite;
       Test_perf.suite;
+      Test_par.suite;
     ]

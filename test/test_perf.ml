@@ -56,6 +56,7 @@ let sample_env =
   {
     Env.ocaml_version = "5.1.1";
     git_sha = "abc123";
+    dirty = false;
     hostname = "ci";
     word_size = 64;
     os_type = "Unix";
@@ -350,7 +351,29 @@ let test_env () =
   Alcotest.(check int) "word size" Sys.word_size e.Env.word_size;
   Alcotest.(check bool) "hostname nonempty" true (e.Env.hostname <> "");
   let e' = Env.of_json (Env.to_json e) in
-  Alcotest.(check bool) "env roundtrip" true (e = e')
+  Alcotest.(check bool) "env roundtrip" true (e = e');
+  (* the dirty-tree flag round-trips ... *)
+  let d = { e with Env.dirty = true } in
+  Alcotest.(check bool) "dirty roundtrip" true (Env.of_json (Env.to_json d)).Env.dirty;
+  (* ... defaults to clean when reading pre-flag reports ... *)
+  let legacy =
+    match Env.to_json e with
+    | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "git_dirty") fields)
+    | j -> j
+  in
+  Alcotest.(check bool) "missing flag reads clean" false (Env.of_json legacy).Env.dirty;
+  (* ... and is rendered as a +dirty suffix on the SHA *)
+  let shown = Format.asprintf "%a" Env.pp d in
+  let has_needle needle s =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length s && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp marks dirty" true (has_needle "+dirty" shown);
+  Alcotest.(check bool) "pp omits marker when clean" false
+    (has_needle "+dirty"
+       (Format.asprintf "%a" Env.pp { e with Env.dirty = false }))
 
 let suite =
   ( "perf",
