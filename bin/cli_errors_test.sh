@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Golden test for the CLI's error hygiene: every failure class prints one
+# line to stderr and exits with its documented code (2 parse, 3 check,
+# 4 runtime, 5 I/O, 124 usage).  Run by the dune rule in bin/dune, which
+# diffs the output against cli_errors.expected.
+set -u
+CLI="$1"
+case "$CLI" in */*) ;; *) CLI="./$CLI" ;; esac
+
+run() {
+  "$CLI" "$@" 2>&1
+  echo "exit=$?"
+}
+
+echo "# ok: query runs, exit 0"
+run run -e "CREATE TABLE t (x int); INSERT INTO t VALUES (1); SELECT x FROM t"
+
+echo "# parse error -> 2"
+run run -e "SELEC 1"
+
+echo "# static check failure -> 3"
+run lint -e "SELECT x FROM nothing"
+
+echo "# runtime/semantic error -> 4"
+run run -e "SELECT x FROM nothing"
+
+echo "# I/O error -> 5"
+run run -f no-such-file.sql
+
+echo "# usage error -> 124"
+run run

@@ -8,10 +8,17 @@
      lint [--workload W] [-e SQL] [-f FILE]...
                                static analysis only: type check, validate
                                plan invariants and lint for snapshot bugs
-     bench run|compare|export  perf trajectory: run the quick suite,
+     serve                     TCP query server: sessions, admission
+                               control, snapshot-aware result cache
+     connect                   client for a running server
+     bench run|compare|export|serve
+                               perf trajectory: run the quick suite,
                                detect regressions between two BENCH
-                               files, export to OpenMetrics/flamegraphs
-*)
+                               files, export to OpenMetrics/flamegraphs,
+                               benchmark the query server
+
+   Exit codes: 0 ok, 2 parse/lex error, 3 static check failure, 4
+   semantic/runtime error, 5 I/O or transport error, 124 usage error. *)
 
 open Cmdliner
 module M = Tkr_middleware.Middleware
@@ -25,6 +32,59 @@ module Bench_result = Tkr_perf.Bench_result
 module Perf_compare = Tkr_perf.Compare
 module Perf_export = Tkr_perf.Export
 module Perf_runner = Tkr_perf.Runner
+module Server = Tkr_serve.Server
+module Client = Tkr_serve.Client
+module Wire = Tkr_serve.Wire
+module Cache = Tkr_serve.Cache
+module Clock = Tkr_obs.Clock
+
+(* --- error hygiene: distinct exit codes per failure class --- *)
+
+exception Fail of int * string
+
+let usage msg = raise (Fail (124, msg))
+
+let code_of_wire_error : Wire.error_code -> int = function
+  | Wire.Parse_error -> 2
+  | Wire.Check_error -> 3
+  | Wire.Runtime_error -> 4
+  | Wire.Server_busy | Wire.Deadline_exceeded | Wire.Server_shutdown
+  | Wire.Session_limit | Wire.Protocol_violation ->
+      5
+
+(* Every subcommand body runs under this wrapper: failures print one line
+   to stderr and map onto the documented exit codes (2 parse, 3 check,
+   4 runtime, 5 I/O / transport). *)
+let guarded f =
+  let fail code msg =
+    Printf.eprintf "tkr: %s\n%!" msg;
+    code
+  in
+  match f () with
+  | () -> 0
+  | exception Fail (code, msg) -> fail code msg
+  | exception Tkr_sql.Parser.Error d -> fail 2 (Diagnostic.to_string d)
+  | exception Tkr_sql.Lexer.Error d -> fail 2 (Diagnostic.to_string d)
+  | exception M.Rejected ds ->
+      fail 3 (String.trim (Diagnostic.report_to_text ds))
+  | exception M.Error d -> fail 4 (Diagnostic.to_string d)
+  | exception Tkr_sql.Analyzer.Error d -> fail 4 (Diagnostic.to_string d)
+  | exception Tkr_relation.Schema.Unknown n -> fail 4 ("unknown name " ^ n)
+  | exception Invalid_argument msg -> fail 4 msg
+  | exception Sys_error e -> fail 5 e
+  | exception Unix.Unix_error (e, fn, arg) ->
+      fail 5
+        (Printf.sprintf "%s: %s%s" fn (Unix.error_message e)
+           (if arg = "" then "" else " (" ^ arg ^ ")"))
+  | exception Bench_result.Invalid e -> fail 5 ("invalid bench file: " ^ e)
+  | exception Tkr_obs.Json.Parse_error e -> fail 5 ("malformed JSON: " ^ e)
+  | exception Client.Server_error e ->
+      fail
+        (code_of_wire_error e.Wire.code)
+        (Printf.sprintf "%s: %s"
+           (Wire.error_code_to_string e.Wire.code)
+           e.Wire.message)
+  | exception Wire.Protocol_error msg -> fail 5 ("protocol error: " ^ msg)
 
 let print_result ?(max_rows = 100) = function
   | M.Rows t -> print_string (Table.to_text ~max_rows t)
@@ -50,7 +110,7 @@ let demo () =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running example (Figure 1b)")
-    Term.(const demo $ const ())
+    Term.(const (fun () -> guarded demo) $ const ())
 
 (* --- gen --- *)
 
@@ -90,7 +150,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a workload dataset as CSV period tables")
-    Term.(const gen $ dataset $ out $ scale)
+    Term.(const (fun d o s -> guarded (fun () -> gen d o s)) $ dataset $ out $ scale)
 
 (* --- run --- *)
 
@@ -127,73 +187,63 @@ let read_file f =
   close_in ic;
   s
 
+(* the generated catalog shared by run, serve and connect --workload: the
+   CI serve smoke job byte-diffs server output against [run --workload],
+   so both sides must see the same tables *)
+let workload_db = function
+  | Some `Employee ->
+      let module W = Tkr_workload.Employees in
+      W.generate { (W.scaled 150) with W.tmax = 2000 }
+  | Some `Tpch ->
+      Tkr_workload.Tpcbih.generate
+        { Tkr_workload.Tpcbih.default with scale = 0.05 }
+  | None -> Database.create ()
+
+let workload_queries = function
+  | `Employee -> Tkr_workload.Queries.employee
+  | `Tpch -> Tkr_workload.Queries.tpch
+
 let run data workload jobs sql file explain stats max_rows =
-  match (sql, file, workload) with
-  | Some _, Some _, _ -> Error (`Msg "provide at most one of -e SQL or -f FILE")
-  | None, None, None ->
-      Error (`Msg "provide -e SQL, -f FILE or --workload NAME")
-  | _ -> (
-      let db =
-        match workload with
-        | Some `Employee ->
-            let module W = Tkr_workload.Employees in
-            W.generate { (W.scaled 150) with W.tmax = 2000 }
-        | Some `Tpch ->
-            Tkr_workload.Tpcbih.generate
-              { Tkr_workload.Tpcbih.default with scale = 0.05 }
-        | None -> Database.create ()
+  (match (sql, file, workload) with
+  | Some _, Some _, _ -> usage "provide at most one of -e SQL or -f FILE"
+  | None, None, None -> usage "provide -e SQL, -f FILE or --workload NAME"
+  | _ -> ());
+  let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
+  Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
+  (match data with Some dir -> load_dir m dir | None -> ());
+  (* a built-in workload runs its whole query suite; the output is
+     identical at every --jobs (the CI determinism job diffs it
+     byte-for-byte across job counts) *)
+  (match workload with
+  | None -> ()
+  | Some w ->
+      List.iter
+        (fun (name, sql) ->
+          Printf.printf "-- %s\n" name;
+          print_result ~max_rows (M.execute m sql))
+        (workload_queries w));
+  (match (sql, file) with
+  | None, None -> ()
+  | _ ->
+      let script =
+        match (sql, file) with
+        | Some s, _ -> s
+        | _, Some f -> read_file f
+        | _ -> assert false
       in
-      let m = M.create ~parallelism:jobs ~db () in
-      try
-        (match data with Some dir -> load_dir m dir | None -> ());
-        (* a built-in workload runs its whole query suite; the output is
-           identical at every --jobs (the CI determinism job diffs it
-           byte-for-byte across job counts) *)
-        (match workload with
-        | None -> ()
-        | Some w ->
-            let queries =
-              match w with
-              | `Employee -> Tkr_workload.Queries.employee
-              | `Tpch -> Tkr_workload.Queries.tpch
-            in
-            List.iter
-              (fun (name, sql) ->
-                Printf.printf "-- %s\n" name;
-                print_result ~max_rows (M.execute m sql))
-              queries);
-        (match (sql, file) with
-        | None, None -> ()
-        | _ ->
-            let script =
-              match (sql, file) with
-              | Some s, _ -> s
-              | _, Some f -> read_file f
-              | _ -> assert false
-            in
-            List.iter
-              (fun stmt ->
-                (* --explain: run queries as EXPLAIN ANALYZE, leave
-                   DDL/DML alone *)
-                let stmt =
-                  match stmt with
-                  | Ast.Query _ when explain ->
-                      Ast.Explain { analyze = true; target = stmt }
-                  | stmt -> stmt
-                in
-                print_result ~max_rows (M.execute_statement m stmt))
-              (Tkr_sql.Parser.script script));
-        if stats then Printf.printf "stats: %s\n" (M.totals_report m);
-        M.shutdown m;
-        Ok ()
-      with
-      | Sys_error e -> Error (`Msg e)
-      | M.Rejected ds -> Error (`Msg (Diagnostic.report_to_text ds))
-      | M.Error d
-      | Tkr_sql.Parser.Error d
-      | Tkr_sql.Lexer.Error d
-      | Tkr_sql.Analyzer.Error d ->
-          Error (`Msg (Diagnostic.to_string d)))
+      List.iter
+        (fun stmt ->
+          (* --explain: run queries as EXPLAIN ANALYZE, leave
+             DDL/DML alone *)
+          let stmt =
+            match stmt with
+            | Ast.Query _ when explain ->
+                Ast.Explain { analyze = true; target = stmt }
+            | stmt -> stmt
+          in
+          print_result ~max_rows (M.execute_statement m stmt))
+        (Tkr_sql.Parser.script script));
+  if stats then Printf.printf "stats: %s\n" (M.totals_report m)
 
 let run_cmd =
   let data =
@@ -254,9 +304,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
     Term.(
-      term_result
-        (const run $ data $ workload $ jobs $ sql $ file $ explain $ stats
-       $ max_rows))
+      const (fun a b c d e f g h -> guarded (fun () -> run a b c d e f g h))
+      $ data $ workload $ jobs $ sql $ file $ explain $ stats $ max_rows)
 
 (* --- explain --- *)
 
@@ -293,7 +342,9 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
-    Term.(const explain $ data $ analyze $ jobs $ sql)
+    Term.(
+      const (fun a b c d -> guarded (fun () -> explain a b c d))
+      $ data $ analyze $ jobs $ sql)
 
 (* --- lint --- *)
 
@@ -330,11 +381,10 @@ let lint_script m profile name text : (string * Diagnostic.t list) list =
 let lint data workload sql files profile werror json_out =
   match Lint.of_name profile with
   | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown profile %s (try %s)" profile
-              (String.concat ", "
-                 (List.map (fun (p : Lint.profile) -> p.prof_name) Lint.profiles))))
+      usage
+        (Printf.sprintf "unknown profile %s (try %s)" profile
+           (String.concat ", "
+              (List.map (fun (p : Lint.profile) -> p.prof_name) Lint.profiles)))
   | Some profile ->
       let db =
         match workload with
@@ -351,12 +401,8 @@ let lint data workload sql files profile werror json_out =
         | Some db -> M.create ~strict:werror ~db ()
         | None -> M.create ~strict:werror ()
       in
-      match
-        (match data with Some dir -> load_dir m dir | None -> ());
-        List.map (fun f -> (f, read_file f)) files
-      with
-      | exception Sys_error e -> Error (`Msg e)
-      | file_items ->
+      (match data with Some dir -> load_dir m dir | None -> ());
+      let file_items = List.map (fun f -> (f, read_file f)) files in
       let items =
         (match workload with
         | Some `Employee -> Tkr_workload.Queries.employee
@@ -366,7 +412,7 @@ let lint data workload sql files profile werror json_out =
         @ file_items
       in
       if items = [] then
-        Error (`Msg "nothing to lint: give --workload, -e SQL or -f FILE")
+        usage "nothing to lint: give --workload, -e SQL or -f FILE"
       else
         let reports =
           List.concat_map (fun (name, text) -> lint_script m profile name text) items
@@ -395,12 +441,12 @@ let lint data workload sql files profile werror json_out =
                  print_endline (Diagnostic.report_to_text ds)))
              reports);
         let bad = List.length (List.filter failed reports) in
-        if bad = 0 then Ok ()
-        else
-          Error
-            (`Msg
-               (Printf.sprintf "lint: %d of %d statements failed" bad
-                  (List.length reports)))
+        if bad > 0 then
+          raise
+            (Fail
+               ( 3,
+                 Printf.sprintf "lint: %d of %d statements failed" bad
+                   (List.length reports) ))
 
 let lint_cmd =
   let data =
@@ -451,9 +497,270 @@ let lint_cmd =
              validate plan invariants and lint for snapshot-semantics bugs \
              (AG/BD)")
     Term.(
-      term_result
-        (const lint $ data $ workload $ sql $ files $ profile $ werror
-       $ json_out))
+      const (fun a b c d e f g -> guarded (fun () -> lint a b c d e f g))
+      $ data $ workload $ sql $ files $ profile $ werror $ json_out)
+
+(* --- serve --- *)
+
+let serve data workload host port max_sessions queue_depth cache_mb jobs
+    workers metrics_out =
+  let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
+  Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
+  (match data with Some dir -> load_dir m dir | None -> ());
+  let config =
+    { Server.host; port; max_sessions; queue_depth; cache_mb; workers }
+  in
+  let srv = Server.start ~config m in
+  Printf.printf
+    "tkr_serve listening on %s:%d (sessions %d, queue %d, cache %d MiB, \
+     workers %d, jobs %d)\n%!"
+    host (Server.port srv) max_sessions queue_depth cache_mb workers jobs;
+  (* SIGTERM/SIGINT request a graceful drain: accepted requests finish,
+     then every thread joins and the process exits 0 *)
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.1
+  done;
+  Printf.eprintf "draining...\n%!";
+  Server.stop srv;
+  let s = Server.cache_stats srv in
+  Printf.eprintf "cache: %d hits, %d misses, %d evictions, %d invalidations\n%!"
+    s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.invalidations;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Tkr_obs.Openmetrics.of_metrics (M.metrics m));
+      close_out oc;
+      Printf.eprintf "wrote metrics to %s\n%!" path
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"bind/connect address")
+
+let port_arg =
+  Arg.(
+    value & opt int 7643
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"TCP port (0 lets the kernel pick; serve prints the choice)")
+
+let serve_cmd =
+  let data =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR" ~doc:"directory of CSV tables to load")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("employee", `Employee); ("tpch", `Tpch) ])) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"serve a built-in workload catalog (employee or tpch)")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"concurrent connections; further dials get SESSION_LIMIT")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 128
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "admission queue high-water mark; requests past it get \
+             SERVER_BUSY instead of queueing unboundedly")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "result-cache byte budget in MiB; 0 disables the cache \
+             (results are then always recomputed)")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"worker domains inside the engine (CPU parallelism per query)")
+  in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"worker threads draining the admission queue (request \
+                concurrency)")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:
+            "on shutdown, write the full metrics registry (engine and \
+             serve_* instruments) as an OpenMetrics document")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the TCP query server: per-connection sessions with prepared \
+          statements, admission control with backpressure, snapshot-aware \
+          result cache; SIGTERM/SIGINT drain gracefully")
+    Term.(
+      const (fun a b c d e f g h i j ->
+          guarded (fun () -> serve a b c d e f g h i j))
+      $ data $ workload $ host_arg $ port_arg $ max_sessions $ queue_depth
+      $ cache_mb $ jobs $ workers $ metrics_out)
+
+(* --- connect --- *)
+
+(* split a script into statements client-side (the wire protocol carries
+   one statement per request); quote-aware so ';' inside SQL strings
+   survives *)
+let split_statements text =
+  let out = ref [] in
+  let buf = Buffer.create 128 in
+  let in_str = ref false in
+  let flush_stmt () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then out := s :: !out
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\'' ->
+          in_str := not !in_str;
+          Buffer.add_char buf ch
+      | ';' when not !in_str -> flush_stmt ()
+      | ch -> Buffer.add_char buf ch)
+    text;
+  flush_stmt ();
+  List.rev !out
+
+let connect host port sql file workload connections deadline_ms trace max_rows
+    =
+  let render (rsp : Wire.response) =
+    (match rsp.Wire.rsp_trace with
+    | Some t when trace -> Printf.eprintf "%s\n%!" (Tkr_obs.Json.to_string t)
+    | _ -> ());
+    match rsp.Wire.body with
+    | Ok (Wire.Rows t) -> Table.to_text ~max_rows t
+    | Ok (Wire.Message msg) -> msg ^ "\n"
+    | Error e -> raise (Client.Server_error e)
+  in
+  match (workload, sql, file) with
+  | None, None, None -> usage "provide -e SQL, -f FILE or --workload NAME"
+  | Some _, Some _, _ | Some _, _, Some _ ->
+      usage "--workload excludes -e/-f"
+  | None, _, _ ->
+      let script =
+        match (sql, file) with
+        | Some s, None -> s
+        | None, Some f -> read_file f
+        | Some _, Some _ -> usage "provide at most one of -e SQL or -f FILE"
+        | None, None -> assert false
+      in
+      Client.with_client ~host ~port @@ fun c ->
+      List.iter
+        (fun stmt ->
+          print_string (render (Client.run ?deadline_ms ~trace c stmt)))
+        (split_statements script)
+  | Some w, None, None ->
+      (* the whole workload suite, fanned over N connections; results
+         print in workload order so the bytes match [run --workload] *)
+      let queries = Array.of_list (workload_queries w) in
+      let n = Array.length queries in
+      let results = Array.make n "" in
+      let nconn = max 1 connections in
+      let first_err = ref None in
+      let err_lock = Mutex.create () in
+      let worker k () =
+        try
+          Client.with_client ~host ~port @@ fun c ->
+          Array.iteri
+            (fun i (name, sql) ->
+              if i mod nconn = k then
+                let rsp = Client.run ?deadline_ms ~trace c sql in
+                results.(i) <- Printf.sprintf "-- %s\n%s" name (render rsp))
+            queries
+        with e ->
+          Mutex.lock err_lock;
+          if !first_err = None then first_err := Some e;
+          Mutex.unlock err_lock
+      in
+      let threads = List.init nconn (fun k -> Thread.create (worker k) ()) in
+      List.iter Thread.join threads;
+      (match !first_err with Some e -> raise e | None -> ());
+      Array.iter print_string results
+
+let connect_cmd =
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SQL" ~doc:"SQL script to execute remotely")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f" ] ~docv:"FILE" ~doc:"SQL script file to execute remotely")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("employee", `Employee); ("tpch", `Tpch) ])) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "run a built-in query workload through the server; output is \
+             byte-identical to [run --workload] against the same catalog")
+  in
+  let connections =
+    Arg.(
+      value & opt int 1
+      & info [ "connections"; "c" ] ~docv:"N"
+          ~doc:
+            "with --workload, fan the queries over $(docv) concurrent \
+             connections (results still print in workload order)")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "per-request deadline; requests still queued past it fail \
+             with DEADLINE_EXCEEDED")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"request execution traces and print them to stderr as JSON")
+  in
+  let max_rows =
+    Arg.(
+      value & opt int 100
+      & info [ "max-rows" ] ~docv:"N" ~doc:"print at most $(docv) result rows")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Run SQL against a tkr serve instance over the wire protocol")
+    Term.(
+      const (fun a b c d e f g h i ->
+          guarded (fun () -> connect a b c d e f g h i))
+      $ host_arg $ port_arg $ sql $ file $ workload $ connections
+      $ deadline_ms $ trace $ max_rows)
 
 (* --- bench --- *)
 
@@ -620,15 +927,10 @@ let bench_run out scale runs jobs =
   let results, extra = bench_suite ~scale ~runs ~jobs in
   let report = Bench_result.make ~extra ~source:"tkr_cli bench run" results in
   Bench_result.write path report;
-  Printf.printf "wrote %s (%d results)\n" path (List.length results);
-  Ok ()
+  Printf.printf "wrote %s (%d results)\n" path (List.length results)
 
 let bench_compare base fresh threshold =
   match (Bench_result.read base, Bench_result.read fresh) with
-  | exception Sys_error e -> Error (`Msg e)
-  | exception Bench_result.Invalid e -> Error (`Msg ("invalid bench file: " ^ e))
-  | exception Tkr_obs.Json.Parse_error e ->
-      Error (`Msg ("malformed bench file: " ^ e))
   | b, f ->
       if b.Bench_result.env.Tkr_perf.Env.hostname
          <> f.Bench_result.env.Tkr_perf.Env.hostname
@@ -649,35 +951,27 @@ let bench_compare base fresh threshold =
       let outcome = Perf_compare.compare_reports ~threshold b f in
       print_string (Perf_compare.render outcome);
       if Perf_compare.has_regression outcome then
-        Error
-          (`Msg
-             (Printf.sprintf "%d test(s) regressed beyond %.2fx"
-                (List.length (Perf_compare.regressions outcome))
-                threshold))
-      else Ok ()
+        raise
+          (Fail
+             ( 1,
+               Printf.sprintf "%d test(s) regressed beyond %.2fx"
+                 (List.length (Perf_compare.regressions outcome))
+                 threshold ))
 
 let bench_export file openmetrics folded =
-  match Bench_result.read file with
-  | exception Sys_error e -> Error (`Msg e)
-  | exception Bench_result.Invalid e -> Error (`Msg ("invalid bench file: " ^ e))
-  | exception Tkr_obs.Json.Parse_error e ->
-      Error (`Msg ("malformed bench file: " ^ e))
-  | rep -> (
-      match (openmetrics, folded) with
-      | true, false ->
-          print_string (Perf_export.to_openmetrics rep);
-          Ok ()
-      | false, true ->
-          let out = Perf_export.to_folded rep in
-          if out = "" then
-            Error
-              (`Msg
-                 "no operator_traces in this file (produced by bench \
-                  run? use bench/main.exe or experiments --json)")
-          else (
-            print_string out;
-            Ok ())
-      | _ -> Error (`Msg "choose exactly one of --openmetrics or --folded"))
+  let rep = Bench_result.read file in
+  match (openmetrics, folded) with
+  | true, false -> print_string (Perf_export.to_openmetrics rep)
+  | false, true ->
+      let out = Perf_export.to_folded rep in
+      if out = "" then
+        raise
+          (Fail
+             ( 5,
+               "no operator_traces in this file (produced by bench run? \
+                use bench/main.exe or experiments --json)" ))
+      else print_string out
+  | _ -> usage "choose exactly one of --openmetrics or --folded"
 
 let bench_run_cmd =
   let out =
@@ -713,7 +1007,9 @@ let bench_run_cmd =
     (Cmd.info "run"
        ~doc:
          "Run the quick bench suite and write the canonical JSON report")
-    Term.(term_result (const bench_run $ out $ scale $ runs $ jobs))
+    Term.(
+      const (fun a b c d -> guarded (fun () -> bench_run a b c d))
+      $ out $ scale $ runs $ jobs)
 
 let bench_compare_cmd =
   let base =
@@ -734,7 +1030,9 @@ let bench_compare_cmd =
        ~doc:
          "Compare two bench reports test-by-test; exit non-zero when any \
           test regressed beyond the threshold")
-    Term.(term_result (const bench_compare $ base $ fresh $ threshold))
+    Term.(
+      const (fun a b c -> guarded (fun () -> bench_compare a b c))
+      $ base $ fresh $ threshold)
 
 let bench_export_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -755,19 +1053,245 @@ let bench_export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export a bench report for Prometheus or flamegraph tooling")
-    Term.(term_result (const bench_export $ file $ openmetrics $ folded))
+    Term.(
+      const (fun a b c -> guarded (fun () -> bench_export a b c))
+      $ file $ openmetrics $ folded)
+
+(* --- bench serve --- *)
+
+(* The timeslice-heavy repeated workload behind [bench serve]: a few
+   snapshot timeslices of the employee join/agg/diff queries, cycled by
+   every client.  After the first coverage every request is a cache hit,
+   so the cached-vs-uncached ratio measures the result cache itself. *)
+let timeslice_statements =
+  let inners =
+    [
+      ( "join-1",
+        "SELECT d.dept_no, s.emp_no, s.salary FROM dept_emp d, salaries s \
+         WHERE d.emp_no = s.emp_no" );
+      ( "join-4",
+        "SELECT m.dept_no, m.emp_no, s.salary, e.name FROM dept_manager m, \
+         salaries s, employees e WHERE m.emp_no = s.emp_no AND m.emp_no = \
+         e.emp_no" );
+      ( "agg-1",
+        "SELECT d.dept_no, avg(s.salary) AS avg_salary FROM dept_emp d, \
+         salaries s WHERE d.emp_no = s.emp_no GROUP BY d.dept_no" );
+      ( "agg-join",
+        "SELECT e.name FROM employees e, dept_emp d, salaries s, (SELECT \
+         d2.dept_no AS dn, max(s2.salary) AS ms FROM dept_emp d2, salaries \
+         s2 WHERE d2.emp_no = s2.emp_no GROUP BY d2.dept_no) AS mx WHERE \
+         e.emp_no = d.emp_no AND e.emp_no = s.emp_no AND d.dept_no = mx.dn \
+         AND s.salary = mx.ms" );
+      ( "diff-1",
+        "SELECT emp_no FROM employees EXCEPT ALL SELECT emp_no FROM \
+         dept_manager" );
+    ]
+  in
+  List.concat_map
+    (fun t ->
+      List.map
+        (fun (n, q) ->
+          ( Printf.sprintf "%s@%d" n t,
+            Printf.sprintf "SEQ VT AS OF %d (%s)" t q ))
+        inners)
+    [ 100; 400; 700; 1000; 1300 ]
+
+(* one closed-loop pass: N clients x M requests against an in-process
+   server; returns per-request latencies (us), total wall ns, cache
+   stats, error count *)
+let serve_bench_pass ~scale ~connections ~requests ~jobs ~cache_mb =
+  let db =
+    let module W = Tkr_workload.Employees in
+    W.generate
+      { (W.scaled (max 20 (int_of_float (600. *. scale)))) with W.tmax = 2000 }
+  in
+  let m = M.create ~parallelism:jobs ~db () in
+  Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      max_sessions = connections + 4;
+      queue_depth = max 128 (connections * 4);
+      cache_mb;
+    }
+  in
+  let srv = Server.start ~config m in
+  let port = Server.port srv in
+  let stmts = Array.of_list (List.map snd timeslice_statements) in
+  let nst = Array.length stmts in
+  let lat_us = Array.make (connections * requests) 0.0 in
+  let errors = Atomic.make 0 in
+  let worker k () =
+    try
+      Client.with_client ~port @@ fun c ->
+      for i = 0 to requests - 1 do
+        let stmt = stmts.((k + i) mod nst) in
+        let t0 = Clock.now_ns () in
+        (match (Client.run c stmt).Wire.body with
+        | Ok _ -> ()
+        | Error _ -> Atomic.incr errors);
+        lat_us.((k * requests) + i) <-
+          Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e3
+      done
+    with _ -> Atomic.incr errors
+  in
+  let t0 = Clock.now_ns () in
+  let threads = List.init connections (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join threads;
+  let total_ns = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) in
+  let stats = Server.cache_stats srv in
+  Server.stop srv;
+  (lat_us, total_ns, stats, Atomic.get errors)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let bench_serve out append scale connections requests jobs cache_mb =
+  Printf.printf
+    "serve bench: %d clients x %d requests (%d distinct statements), scale \
+     %.2f, jobs %d, cache %d MiB vs off:\n%!"
+    connections requests
+    (List.length timeslice_statements)
+    scale jobs cache_mb;
+  let pass label cache_mb =
+    let lat, total_ns, stats, errors =
+      serve_bench_pass ~scale ~connections ~requests ~jobs ~cache_mb
+    in
+    if errors > 0 then
+      raise (Fail (4, Printf.sprintf "%s pass: %d request(s) failed" label errors));
+    Array.sort compare lat;
+    let n = connections * requests in
+    let rps = float_of_int n /. (total_ns /. 1e9) in
+    let looked = stats.Cache.hits + stats.Cache.misses in
+    let hit_rate =
+      if looked = 0 then 0.0
+      else float_of_int stats.Cache.hits /. float_of_int looked
+    in
+    Printf.printf
+      "  %-8s %8.0f req/s  p50 %8.0f us  p95 %8.0f us  p99 %8.0f us  hit \
+       rate %.2f\n%!"
+      label rps (percentile lat 0.50) (percentile lat 0.95)
+      (percentile lat 0.99) hit_rate;
+    (lat, total_ns, rps, hit_rate)
+  in
+  let lat_c, ns_c, rps_c, hits_c = pass "cached" cache_mb in
+  let lat_u, ns_u, rps_u, hits_u = pass "uncached" 0 in
+  let speedup = ns_u /. ns_c in
+  Printf.printf "  cache speedup: %.2fx throughput\n%!" speedup;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let result name lat rps hit_rate extra =
+    Bench_result.result ~suite:"serve" ~name ~runs:(connections * requests)
+      ~counters:
+        ([
+           ("connections", float_of_int connections);
+           ("requests", float_of_int (connections * requests));
+           ("jobs", float_of_int jobs);
+           ("p50_us", percentile lat 0.50);
+           ("p95_us", percentile lat 0.95);
+           ("p99_us", percentile lat 0.99);
+           ("rps", rps);
+           ("cache_hit_rate", hit_rate);
+         ]
+        @ extra)
+      (mean lat *. 1e3)
+  in
+  let results =
+    [
+      result "cached" lat_c rps_c hits_c [ ("speedup_x", speedup) ];
+      result "uncached" lat_u rps_u hits_u [];
+    ]
+  in
+  match append with
+  | Some path ->
+      let r = Bench_result.read path in
+      let keep =
+        List.filter
+          (fun (x : Bench_result.result) -> x.Bench_result.suite <> "serve")
+          r.Bench_result.results
+      in
+      Bench_result.write path
+        { r with Bench_result.results = keep @ results };
+      Printf.printf "appended serve suite to %s\n" path
+  | None ->
+      let path =
+        match out with Some p -> p | None -> Bench_result.default_filename ()
+      in
+      Bench_result.write path
+        (Bench_result.make ~source:"tkr_cli bench serve" results);
+      Printf.printf "wrote %s (%d results)\n" path (List.length results)
+
+let bench_serve_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"output file (defaults like [bench run])")
+  in
+  let append =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "append" ] ~docv:"PATH"
+          ~doc:
+            "append/replace the serve suite inside an existing bench \
+             report instead of writing a fresh file")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale"; "s" ] ~docv:"F"
+          ~doc:"workload scale factor (600 employees at 1.0)")
+  in
+  let connections =
+    Arg.(
+      value & opt int 8
+      & info [ "connections"; "c" ] ~docv:"N" ~doc:"closed-loop clients")
+  in
+  let requests =
+    Arg.(
+      value & opt int 60
+      & info [ "requests"; "r" ] ~docv:"M" ~doc:"requests per client")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"engine worker domains")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"cache budget of the cached pass (the other pass runs at 0)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Benchmark the query server: closed-loop clients over a \
+          timeslice-heavy repeated workload, cached vs uncached, \
+          p50/p95/p99 latency, throughput and cache hit rate")
+    Term.(
+      const (fun a b c d e f g ->
+          guarded (fun () -> bench_serve a b c d e f g))
+      $ out $ append $ scale $ connections $ requests $ jobs $ cache_mb)
 
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
        ~doc:
          "Performance trajectory: run the quick suite, detect regressions, \
-          export to external tooling")
-    [ bench_run_cmd; bench_compare_cmd; bench_export_cmd ]
+          export to external tooling, benchmark the query server")
+    [ bench_run_cmd; bench_compare_cmd; bench_export_cmd; bench_serve_cmd ]
 
 let () =
   let doc = "snapshot-semantics temporal query middleware" in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group (Cmd.info "tkr" ~doc)
-          [ demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd; bench_cmd ]))
+          [
+            demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd; serve_cmd;
+            connect_cmd; bench_cmd;
+          ]))

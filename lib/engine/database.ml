@@ -12,12 +12,25 @@ type entry = { table : Table.t; is_period : bool }
 
 type t = {
   tables : (string, entry) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;
+      (** per-table version counters, monotone over the database's
+          lifetime (never reset by DROP, so re-creating a table does not
+          resurrect stale cache entries); bumped by every load/update —
+          the invalidation signal of the snapshot-aware result cache *)
   mutable tmin : int;
   mutable tmax : int;
 }
 
 let create ?(tmin = 0) ?(tmax = 1) () =
-  { tables = Hashtbl.create 16; tmin; tmax }
+  { tables = Hashtbl.create 16; versions = Hashtbl.create 16; tmin; tmax }
+
+let version db name =
+  Option.value ~default:0
+    (Hashtbl.find_opt db.versions (String.lowercase_ascii name))
+
+let bump_version db name =
+  let key = String.lowercase_ascii name in
+  Hashtbl.replace db.versions key (version db key + 1)
 
 let time_bounds db = (db.tmin, db.tmax)
 let set_time_bounds db ~tmin ~tmax =
@@ -26,6 +39,7 @@ let set_time_bounds db ~tmin ~tmax =
 
 (** Register a plain (non-temporal) table. *)
 let add_table db name table =
+  bump_version db name;
   Hashtbl.replace db.tables (String.lowercase_ascii name)
     { table; is_period = false }
 
@@ -58,6 +72,7 @@ let add_period_table db name ?begin_col ?end_col table =
           if e > db.tmax then db.tmax <- e
       | _ -> invalid_arg "Database.add_period_table: non-integer period")
     (Table.rows reordered);
+  bump_version db name;
   Hashtbl.replace db.tables (String.lowercase_ascii name)
     { table = reordered; is_period = true }
 
@@ -98,6 +113,7 @@ let append_rows db name (rows : Tuple.t list) =
             if e > db.tmax then db.tmax <- e
         | _ -> invalid_arg "Database.append_rows: non-integer period")
       rows;
+  bump_version db name;
   Hashtbl.replace db.tables (String.lowercase_ascii name) { e with table }
 
 (** Replace a table's rows wholesale (UPDATE/DELETE), keeping its schema
@@ -114,10 +130,13 @@ let set_rows db name (rows : Tuple.t array) =
             if e > db.tmax then db.tmax <- e
         | _ -> invalid_arg "Database.set_rows: non-integer period")
       rows;
+  bump_version db name;
   Hashtbl.replace db.tables (String.lowercase_ascii name)
     { e with table = Table.of_array (Table.schema e.table) rows }
 
-let remove_table db name = Hashtbl.remove db.tables (String.lowercase_ascii name)
+let remove_table db name =
+  bump_version db name;
+  Hashtbl.remove db.tables (String.lowercase_ascii name)
 
 let names db =
   Hashtbl.fold (fun n _ acc -> n :: acc) db.tables [] |> List.sort String.compare

@@ -40,3 +40,11 @@ val set_rows : t -> string -> Tuple.t array -> unit
 
 val remove_table : t -> string -> unit
 val names : t -> string list
+
+val version : t -> string -> int
+(** Per-table version counter: 0 for names never loaded, bumped by every
+    {!add_table}, {!add_period_table}, {!append_rows}, {!set_rows} and
+    {!remove_table}.  Monotone over the database's lifetime (DROP bumps
+    but never resets), so a (name, version) pair identifies one immutable
+    table state — the invalidation key of the snapshot-aware result
+    cache. *)

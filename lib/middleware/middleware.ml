@@ -28,6 +28,7 @@ module Diagnostic = Tkr_check.Diagnostic
 module Check = Tkr_check.Check
 module Lint = Tkr_check.Lint
 module Pool = Tkr_par.Pool
+module Rwlock = Tkr_par.Rwlock
 
 exception Error of Diagnostic.t
 
@@ -120,7 +121,23 @@ type t = {
           ([execute_us]), output-cardinality histogram ([rows_out]) and a
           statement counter, feeding the EXPLAIN ANALYZE quantile line
           and the OpenMetrics exporter *)
+  lock : Mutex.t;
+      (** guards the cumulative stats ([totals], per-prepared
+          [phase_stats]) against concurrent callers *)
+  rw : Rwlock.t;
+      (** catalog/settings lock: queries hold the (reentrant) read side,
+          DDL/DML and settings changes the exclusive write side — many
+          queries execute concurrently, mutations are serialized against
+          everything *)
+  pool_lock : Mutex.t;
+      (** serializes pooled executions: a {!Pool.t} accepts one batch
+          submitter at a time, so prepared statements that captured a
+          pool run one by one (serial statements are unaffected) *)
 }
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
     ?(backend = Interpreted) ?(strict = false) ?(parallelism = 1)
@@ -135,33 +152,43 @@ let create ?(options = Rewriter.optimized) ?(optimize = true)
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
     metrics = Metrics.create ();
+    lock = Mutex.create ();
+    rw = Rwlock.create ();
+    pool_lock = Mutex.create ();
   }
 
+let read_locked m f = Rwlock.with_read m.rw f
+let write_locked m f = Rwlock.with_write m.rw f
+
 let totals m = m.totals
-let totals_report m = Format.asprintf "%a" pp_phase_stats m.totals
+let totals_report m = locked m.lock (fun () -> Format.asprintf "%a" pp_phase_stats m.totals)
 let metrics m = m.metrics
 
-let set_optimize m b = m.optimize <- b
-let set_backend m b = m.backend <- b
-let set_strict m b = m.strict <- b
+let set_optimize m b = write_locked m (fun () -> m.optimize <- b)
+let set_backend m b = write_locked m (fun () -> m.backend <- b)
+let set_strict m b = write_locked m (fun () -> m.strict <- b)
 let strict m = m.strict
 
-let parallelism m = match m.pool with Some p -> Pool.jobs p | None -> 1
+let parallelism m =
+  read_locked m (fun () ->
+      match m.pool with Some p -> Pool.jobs p | None -> 1)
 
 (* statements prepared earlier keep the pool they captured; a shut-down
    pool still executes batches correctly (the submitting domain drains
    them alone), so replacing the pool degrades old statements to serial
    execution instead of breaking them *)
 let set_parallelism m n =
+  write_locked m @@ fun () ->
   (match m.pool with Some p -> Pool.shutdown p | None -> ());
   m.pool <- (if n > 1 then Some (Pool.create ~jobs:n ()) else None)
 
 let shutdown m =
+  write_locked m @@ fun () ->
   (match m.pool with Some p -> Pool.shutdown p | None -> ());
   m.pool <- None
 
 let database m = m.db
-let set_options m options = m.options <- options
+let set_options m options = write_locked m (fun () -> m.options <- options)
 let options m = m.options
 
 (* ---- catalogs ---- *)
@@ -200,6 +227,13 @@ type prepared = {
   diags : Diagnostic.t list;
       (** diagnostics of the static [check] phase (warnings only: a
           statement with errors raises {!Rejected} instead) *)
+  tables : string list;
+      (** base tables the final plan reads, sorted and deduplicated —
+          with {!Tkr_engine.Database.version} these form the dependency
+          set of a snapshot-aware result cache entry *)
+  pooled : bool;
+      (** the exec closure captured a worker pool; pooled runs are
+          serialized on the middleware's pool lock *)
 }
 
 let make_exec m plan : Trace.t -> Database.t -> Table.t =
@@ -250,12 +284,12 @@ let rec setify (q : Algebra.t) : Algebra.t =
   | Coalesce _ | Split _ | Split_agg _ ->
       err "TKR201" "setify: physical operator in logical query"
 
-let prepare_statement m (stmt : Ast.statement) : prepared =
+let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
   match stmt with
   | Ast.Query { q; order_by; limit } -> (
       let stats = fresh_stats () in
       let finish (p : prepared) =
-        add_stats ~into:m.totals p.stats;
+        locked m.lock (fun () -> add_stats ~into:m.totals p.stats);
         p
       in
       (* one stage of the obs-timed static [check] phase: accumulate
@@ -392,7 +426,9 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
           let order_by = List.map (Analyzer.resolve_order out_schema) order_by in
           finish
             { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of;
-              order_by; limit; stats; diags }
+              order_by; limit; stats; diags;
+              tables = List.sort_uniq String.compare (collect_rels [] plan);
+              pooled = Option.is_some m.pool }
       | `Plain inner ->
           let analyzed =
             phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
@@ -420,14 +456,21 @@ let prepare_statement m (stmt : Ast.statement) : prepared =
               limit;
               stats;
               diags;
+              tables =
+                List.sort_uniq String.compare (collect_rels [] analyzed.algebra);
+              pooled = Option.is_some m.pool;
             })
   | _ -> err "TKR021" "not a query"
+
+let prepare_statement m stmt =
+  read_locked m (fun () -> prepare_statement_unlocked m stmt)
 
 let prepare m (sql : string) : prepared =
   let ns, stmt = Clock.elapsed (fun () -> Parser.statement sql) in
   let p = prepare_statement m stmt in
   p.stats.parse_ns <- ns;
-  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  locked m.lock (fun () ->
+      m.totals.parse_ns <- Int64.add m.totals.parse_ns ns);
   p
 
 (** Analyze the snapshot query inside a [SEQ VT (...)] statement and return
@@ -436,16 +479,25 @@ let prepare m (sql : string) : prepared =
 let snapshot_algebra m (sql : string) : Algebra.t * Schema.t =
   match Parser.statement sql with
   | Ast.Query { q = Ast.Seq_vt inner; _ } ->
+      read_locked m @@ fun () ->
       let a = Analyzer.analyze_query (snapshot_catalog m) inner in
       (a.algebra, a.schema)
   | _ -> err "TKR021" "expected a SEQ VT query"
 
 let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
-  let ns, result = Clock.elapsed (fun () -> p.exec obs m.db) in
-  p.stats.runs <- p.stats.runs + 1;
-  p.stats.execute_ns <- Int64.add p.stats.execute_ns ns;
-  m.totals.runs <- m.totals.runs + 1;
-  m.totals.execute_ns <- Int64.add m.totals.execute_ns ns;
+  read_locked m @@ fun () ->
+  let exec () = p.exec obs m.db in
+  (* a pool accepts one batch submitter at a time: pooled statements
+     queue on the pool lock, serial ones run fully concurrently *)
+  let ns, result =
+    Clock.elapsed (fun () ->
+        if p.pooled then locked m.pool_lock exec else exec ())
+  in
+  locked m.lock (fun () ->
+      p.stats.runs <- p.stats.runs + 1;
+      p.stats.execute_ns <- Int64.add p.stats.execute_ns ns;
+      m.totals.runs <- m.totals.runs + 1;
+      m.totals.execute_ns <- Int64.add m.totals.execute_ns ns);
   Metrics.incr (Metrics.counter m.metrics "statements_run");
   Metrics.observe
     (Metrics.histogram m.metrics "execute_us")
@@ -491,8 +543,9 @@ let run_prepared ?(obs = Trace.disabled) m (p : prepared) : Table.t =
     | Some l when Array.length rows > l -> Array.sub rows 0 l
     | _ -> rows
   in
-  p.stats.last_rows <- Array.length rows;
-  m.totals.last_rows <- Array.length rows;
+  locked m.lock (fun () ->
+      p.stats.last_rows <- Array.length rows;
+      m.totals.last_rows <- Array.length rows);
   Metrics.observe (Metrics.histogram m.metrics "rows_out") (Array.length rows);
   Table.of_array p.out_schema rows
 
@@ -593,6 +646,7 @@ let rec lint_statement m (profile : Lint.profile) (stmt : Ast.statement) :
   match stmt with
   | Ast.Query { q; _ } ->
       let algebra =
+        read_locked m @@ fun () ->
         match q with
         | Ast.Seq_vt inner | Ast.Seq_vt_as_of (_, inner) ->
             (Analyzer.analyze_query (snapshot_catalog m) inner).algebra
@@ -617,7 +671,9 @@ let check m (sql : string) : Diagnostic.t list =
 
 type result = Rows of Table.t | Done of string
 
-let rec execute_statement m (stmt : Ast.statement) : result =
+(* queries, EXPLAIN and CHECK: the caller holds the read side of the
+   catalog lock (prepare/run take their own nested read locks) *)
+let rec execute_query_statement m (stmt : Ast.statement) : result =
   match stmt with
   | Ast.Query _ -> Rows (run_prepared m (prepare_statement m stmt))
   | Ast.Check { target } ->
@@ -631,8 +687,15 @@ let rec execute_statement m (stmt : Ast.statement) : result =
             let obs = Trace.create ~gc:true () in
             let result = run_prepared ~obs m p in
             Done (render_analyze m p obs result)
-      | Ast.Explain _ -> execute_statement m target  (* EXPLAIN EXPLAIN ... *)
+      | Ast.Explain _ ->
+          execute_query_statement m target  (* EXPLAIN EXPLAIN ... *)
       | _ -> err "TKR021" "EXPLAIN expects a query")
+  | _ -> err "TKR021" "not a query"
+
+(* DDL/DML: the caller holds the exclusive write side of the catalog
+   lock — no query executes while the catalog or a table mutates *)
+let execute_update_statement m (stmt : Ast.statement) : result =
+  match stmt with
   | Ast.Create_table { tbl_name; cols; period } -> (
       let schema =
         Schema.make (List.map (fun (n, ty) -> Schema.attr n ty) cols)
@@ -801,16 +864,30 @@ let rec execute_statement m (stmt : Ast.statement) : result =
       in
       Database.set_rows m.db del_name rows;
       Done (Printf.sprintf "deleted %d rows from %s" !deleted del_name)
+  | Ast.Query _ | Ast.Explain _ | Ast.Check _ ->
+      err "TKR021" "not a DDL/DML statement"
+
+(* take the lock side matching the statement: queries (and EXPLAIN/CHECK)
+   share the read side and run concurrently, DDL/DML is exclusive *)
+let execute_statement m (stmt : Ast.statement) : result =
+  match stmt with
+  | Ast.Query _ | Ast.Explain _ | Ast.Check _ ->
+      read_locked m (fun () -> execute_query_statement m stmt)
+  | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ | Ast.Update _
+  | Ast.Delete _ ->
+      write_locked m (fun () -> execute_update_statement m stmt)
 
 let execute m (sql : string) : result =
   let ns, stmt = Clock.elapsed (fun () -> Parser.statement sql) in
-  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  locked m.lock (fun () ->
+      m.totals.parse_ns <- Int64.add m.totals.parse_ns ns);
   execute_statement m stmt
 
 (** Run a whole ;-separated script, returning the result of each statement. *)
 let execute_script m (sql : string) : result list =
   let ns, stmts = Clock.elapsed (fun () -> Parser.script sql) in
-  m.totals.parse_ns <- Int64.add m.totals.parse_ns ns;
+  locked m.lock (fun () ->
+      m.totals.parse_ns <- Int64.add m.totals.parse_ns ns);
   List.map (execute_statement m) stmts
 
 (** Convenience: run a query and return its rows. *)
@@ -831,4 +908,4 @@ let explain_analyze m (sql : string) : string =
   render_analyze m p obs result
 
 let prepared_stats (p : prepared) = p.stats
-let totals_json m : Json.t = phase_stats_json m.totals
+let totals_json m : Json.t = locked m.lock (fun () -> phase_stats_json m.totals)

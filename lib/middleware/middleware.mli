@@ -9,7 +9,16 @@
       sound because τ_T commutes with queries.
     - Queries without [SEQ VT] run as ordinary SQL.
     - DDL/DML: [CREATE TABLE ... PERIOD (b, e)], [INSERT], [DROP TABLE],
-      [UPDATE]/[DELETE] including SQL:2011 [FOR PORTION OF]. *)
+      [UPDATE]/[DELETE] including SQL:2011 [FOR PORTION OF].
+
+    A middleware is safe for concurrent callers (threads or domains):
+    queries prepare and execute under the shared read side of an internal
+    readers-writer lock, DDL/DML and settings changes take the exclusive
+    write side, cumulative stats are mutex-guarded and the metrics
+    registry is itself thread-safe.  Statements whose plans captured a
+    worker pool serialize their executions on a pool lock (a
+    {!Tkr_par.Pool.t} accepts one batch submitter at a time); serial
+    statements run fully concurrently. *)
 
 open Tkr_relation
 module Table = Tkr_engine.Table
@@ -71,6 +80,17 @@ val shutdown : t -> unit
 (** Join the worker domains (no-op when serial).  The middleware stays
     usable and reverts to serial execution. *)
 
+val read_locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the shared read side of the middleware's catalog
+    lock: no DDL/DML executes inside [f], so table versions read there
+    are consistent with query results computed there.  Reentrant — [f]
+    may call any query-side middleware function.  The query server wraps
+    (version read, execute, cache fill) in this bracket. *)
+
+val write_locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the exclusive write side (no queries in flight).
+    [f] must not call query-side middleware functions. *)
+
 (** Cumulative phase timings of one prepared statement (or, for
     {!totals}, of a whole middleware): the preparation pipeline
     (parse → analyze → rewrite → optimize) is timed once per statement,
@@ -103,6 +123,13 @@ type prepared = {
   diags : Diagnostic.t list;
       (** diagnostics of the static [check] phase (warnings only: a
           statement with errors raises {!Rejected} instead) *)
+  tables : string list;
+      (** base tables the final plan reads, sorted and deduplicated —
+          with {!Tkr_engine.Database.version} these form the dependency
+          set of a snapshot-aware result cache entry *)
+  pooled : bool;
+      (** the exec closure captured a worker pool (executions serialize
+          on the middleware's pool lock) *)
 }
 (** A parsed, analyzed, statically checked and (for snapshot queries)
     rewritten statement, ready for repeated execution. *)

@@ -5,17 +5,25 @@
     need setup code; reads ([value], [snapshot], [to_json]) are cheap and
     never disturb the instruments.  A registry is a plain value — the
     engine, middleware and benchmarks each keep their own, and {!global}
-    is a process-wide default for ad-hoc use. *)
+    is a process-wide default for ad-hoc use.
 
-type counter = { mutable count : int }
+    Every operation is safe under concurrent callers (threads or
+    domains): counters are atomics, timers and histograms take a
+    per-instrument mutex, and find-or-create is serialized on a
+    per-registry mutex — the middleware and the query server share
+    registries across their worker threads. *)
+
+type counter = { count : int Atomic.t }
 
 type timer = {
   clock : Clock.t;
+  tm_lock : Mutex.t;
   mutable total_ns : int64;
   mutable samples : int;
 }
 
 type histogram = {
+  h_lock : Mutex.t;
   bounds : int array;  (** upper bucket bounds, ascending *)
   buckets : int array;  (** [Array.length bounds + 1] slots; last = overflow *)
   mutable observations : int;
@@ -29,16 +37,22 @@ type metric =
 
 type t = {
   reg_clock : Clock.t;
+  reg_lock : Mutex.t;
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list;  (** registration order, reversed *)
 }
 
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let create ?(clock = Clock.monotonic) () =
-  { reg_clock = clock; tbl = Hashtbl.create 32; order = [] }
+  { reg_clock = clock; reg_lock = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
 
 let global = create ()
 
 let find_or_add t name make =
+  locked t.reg_lock @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some m -> m
   | None ->
@@ -48,14 +62,20 @@ let find_or_add t name make =
       m
 
 let counter t name : counter =
-  match find_or_add t name (fun () -> Counter { count = 0 }) with
+  match find_or_add t name (fun () -> Counter { count = Atomic.make 0 }) with
   | Counter c -> c
   | _ -> invalid_arg ("metric " ^ name ^ " is not a counter")
 
 let timer t name : timer =
   match
     find_or_add t name (fun () ->
-        Timer { clock = t.reg_clock; total_ns = 0L; samples = 0 })
+        Timer
+          {
+            clock = t.reg_clock;
+            tm_lock = Mutex.create ();
+            total_ns = 0L;
+            samples = 0;
+          })
   with
   | Timer tm -> tm
   | _ -> invalid_arg ("metric " ^ name ^ " is not a timer")
@@ -67,6 +87,7 @@ let histogram ?(bounds = default_bounds) t name : histogram =
     find_or_add t name (fun () ->
         Histogram
           {
+            h_lock = Mutex.create ();
             bounds;
             buckets = Array.make (Array.length bounds + 1) 0;
             observations = 0;
@@ -78,11 +99,14 @@ let histogram ?(bounds = default_bounds) t name : histogram =
 
 (* ---- instrument operations ---- *)
 
-let incr (c : counter) = c.count <- c.count + 1
-let add (c : counter) n = c.count <- c.count + n
-let value (c : counter) = c.count
+let incr (c : counter) = Atomic.incr c.count
+
+let add (c : counter) n = ignore (Atomic.fetch_and_add c.count n)
+
+let value (c : counter) = Atomic.get c.count
 
 let record_ns (tm : timer) ns =
+  locked tm.tm_lock @@ fun () ->
   tm.total_ns <- Int64.add tm.total_ns ns;
   tm.samples <- tm.samples + 1
 
@@ -97,10 +121,11 @@ let time (tm : timer) (f : unit -> 'a) : 'a =
       finish ();
       raise e
 
-let timer_total_ns (tm : timer) = tm.total_ns
-let timer_samples (tm : timer) = tm.samples
+let timer_total_ns (tm : timer) = locked tm.tm_lock (fun () -> tm.total_ns)
+let timer_samples (tm : timer) = locked tm.tm_lock (fun () -> tm.samples)
 
 let observe (h : histogram) v =
+  locked h.h_lock @@ fun () ->
   let n = Array.length h.bounds in
   let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
@@ -108,9 +133,14 @@ let observe (h : histogram) v =
   h.observations <- h.observations + 1;
   h.sum <- h.sum + v
 
-let histogram_observations (h : histogram) = h.observations
-let histogram_sum (h : histogram) = h.sum
-let histogram_buckets (h : histogram) = Array.copy h.buckets
+let histogram_observations (h : histogram) =
+  locked h.h_lock (fun () -> h.observations)
+
+let histogram_sum (h : histogram) = locked h.h_lock (fun () -> h.sum)
+
+let histogram_buckets (h : histogram) =
+  locked h.h_lock (fun () -> Array.copy h.buckets)
+
 let histogram_bounds (h : histogram) = Array.copy h.bounds
 
 (** The [q]-quantile (q in [0,1]) estimated from the bucket counts by
@@ -119,22 +149,25 @@ let histogram_bounds (h : histogram) = Array.copy h.bounds
     no upper bound, so ranks landing there report the largest finite
     bound; an empty histogram reports 0. *)
 let histogram_quantile (h : histogram) (q : float) : int =
-  if h.observations = 0 then 0
+  let observations, buckets =
+    locked h.h_lock (fun () -> (h.observations, Array.copy h.buckets))
+  in
+  if observations = 0 then 0
   else begin
     let q = Float.max 0. (Float.min 1. q) in
-    let rank = q *. float_of_int h.observations in
+    let rank = q *. float_of_int observations in
     let nb = Array.length h.bounds in
     let rec go i cumulative =
       if i > nb then h.bounds.(nb - 1)
       else
-        let cumulative' = cumulative +. float_of_int h.buckets.(i) in
-        if cumulative' >= rank && h.buckets.(i) > 0 then
+        let cumulative' = cumulative +. float_of_int buckets.(i) in
+        if cumulative' >= rank && buckets.(i) > 0 then
           if i >= nb then (* overflow bucket: no upper bound to interpolate to *)
             h.bounds.(nb - 1)
           else
             let lo = if i = 0 then 0. else float_of_int h.bounds.(i - 1) in
             let hi = float_of_int h.bounds.(i) in
-            let inside = (rank -. cumulative) /. float_of_int h.buckets.(i) in
+            let inside = (rank -. cumulative) /. float_of_int buckets.(i) in
             int_of_float (lo +. ((hi -. lo) *. inside))
         else go (i + 1) cumulative'
     in
@@ -142,14 +175,17 @@ let histogram_quantile (h : histogram) (q : float) : int =
   end
 
 let reset t =
+  locked t.reg_lock @@ fun () ->
   List.iter
     (fun name ->
       match Hashtbl.find t.tbl name with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Timer tm ->
+          locked tm.tm_lock @@ fun () ->
           tm.total_ns <- 0L;
           tm.samples <- 0
       | Histogram h ->
+          locked h.h_lock @@ fun () ->
           Array.fill h.buckets 0 (Array.length h.buckets) 0;
           h.observations <- 0;
           h.sum <- 0)
@@ -157,7 +193,7 @@ let reset t =
 
 (* ---- export ---- *)
 
-let names t = List.rev t.order
+let names t = locked t.reg_lock (fun () -> List.rev t.order)
 
 (** A read-only snapshot of one instrument, for exporters that must
     dispatch on the metric kind without find-or-create side effects. *)
@@ -167,44 +203,63 @@ type view =
   | V_histogram of histogram
 
 let view t name : view option =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter c) -> Some (V_counter c.count)
-  | Some (Timer tm) -> Some (V_timer (tm.total_ns, tm.samples))
+  match locked t.reg_lock (fun () -> Hashtbl.find_opt t.tbl name) with
+  | Some (Counter c) -> Some (V_counter (Atomic.get c.count))
+  | Some (Timer tm) ->
+      Some (locked tm.tm_lock (fun () -> V_timer (tm.total_ns, tm.samples)))
   | Some (Histogram h) -> Some (V_histogram h)
   | None -> None
 
 let metric_json = function
-  | Counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.count) ]
+  | Counter c ->
+      Json.Obj
+        [ ("type", Json.Str "counter"); ("value", Json.Int (Atomic.get c.count)) ]
   | Timer tm ->
+      let total_ns, samples =
+        locked tm.tm_lock (fun () -> (tm.total_ns, tm.samples))
+      in
       Json.Obj
         [
           ("type", Json.Str "timer");
-          ("total_ns", Json.Int (Int64.to_int tm.total_ns));
-          ("samples", Json.Int tm.samples);
+          ("total_ns", Json.Int (Int64.to_int total_ns));
+          ("samples", Json.Int samples);
         ]
   | Histogram h ->
+      let observations, sum, buckets =
+        locked h.h_lock (fun () -> (h.observations, h.sum, Array.copy h.buckets))
+      in
       Json.Obj
         [
           ("type", Json.Str "histogram");
-          ("observations", Json.Int h.observations);
-          ("sum", Json.Int h.sum);
+          ("observations", Json.Int observations);
+          ("sum", Json.Int sum);
           ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) h.bounds)));
-          ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.buckets)));
+          ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) buckets)));
         ]
 
 let to_json_value t : Json.t =
-  Json.Obj (List.map (fun name -> (name, metric_json (Hashtbl.find t.tbl name))) (names t))
+  Json.Obj
+    (List.map
+       (fun name ->
+         (name, metric_json (locked t.reg_lock (fun () -> Hashtbl.find t.tbl name))))
+       (names t))
 
 let to_json t : string = Json.to_string (to_json_value t)
 
 let pp ppf t =
   List.iter
     (fun name ->
-      match Hashtbl.find t.tbl name with
-      | Counter c -> Format.fprintf ppf "%-40s %12d@," name c.count
+      match locked t.reg_lock (fun () -> Hashtbl.find t.tbl name) with
+      | Counter c -> Format.fprintf ppf "%-40s %12d@," name (Atomic.get c.count)
       | Timer tm ->
+          let total_ns, samples =
+            locked tm.tm_lock (fun () -> (tm.total_ns, tm.samples))
+          in
           Format.fprintf ppf "%-40s %9.3f ms / %d samples@," name
-            (Clock.ns_to_ms tm.total_ns) tm.samples
+            (Clock.ns_to_ms total_ns) samples
       | Histogram h ->
-          Format.fprintf ppf "%-40s %d obs, sum %d@," name h.observations h.sum)
+          let observations, sum =
+            locked h.h_lock (fun () -> (h.observations, h.sum))
+          in
+          Format.fprintf ppf "%-40s %d obs, sum %d@," name observations sum)
     (names t)

@@ -1,5 +1,9 @@
 (** A lightweight metrics registry: named counters, monotonic-clock
-    timers and fixed-bucket histograms, find-or-create by name. *)
+    timers and fixed-bucket histograms, find-or-create by name.
+
+    Thread-safe: counters are atomics, timers/histograms take a
+    per-instrument mutex and registration is serialized, so one registry
+    can be shared by concurrent threads or domains. *)
 
 type counter
 type timer

@@ -1,0 +1,61 @@
+(** A readers-writer lock for the middleware and the query server.
+
+    Reader-preference: a thread may re-acquire the read side while
+    already holding it (queries nest freely through the middleware's
+    public API), at the cost of writers waiting for a quiet moment —
+    acceptable because the write side guards rare catalog mutations
+    (DDL/DML, settings), not the hot query path. *)
+
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;  (** active readers *)
+  mutable writer : bool;  (** a writer holds the lock *)
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+  }
+
+let read_lock t =
+  Mutex.lock t.m;
+  while t.writer do
+    Condition.wait t.can_read t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let read_unlock t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let write_lock t =
+  Mutex.lock t.m;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let write_unlock t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  Condition.broadcast t.can_read;
+  Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

@@ -1,0 +1,24 @@
+(** A readers-writer lock: any number of concurrent readers, or one
+    exclusive writer.
+
+    Reader-preference: taking the read side never blocks on a {e waiting}
+    writer, so a thread already holding the read side may re-acquire it
+    (nested middleware calls) without deadlocking.  Writers wait until no
+    reader is active; under a saturated read load they can be delayed,
+    which is the intended trade-off for a read-mostly query system. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Exception-safe [read_lock]/[read_unlock] bracket. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Exception-safe [write_lock]/[write_unlock] bracket. *)

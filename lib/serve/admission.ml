@@ -1,0 +1,46 @@
+type 'a t = {
+  depth : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable draining : bool;
+}
+
+let create ~depth =
+  {
+    depth = max 1 depth;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    draining = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t job =
+  locked t @@ fun () ->
+  if t.draining then `Draining
+  else if Queue.length t.q >= t.depth then `Busy
+  else begin
+    Queue.push job t.q;
+    Condition.signal t.nonempty;
+    `Accepted
+  end
+
+let take t =
+  locked t @@ fun () ->
+  while Queue.is_empty t.q && not t.draining do
+    Condition.wait t.nonempty t.lock
+  done;
+  (* drain hands out what was already accepted before reporting dry *)
+  Queue.take_opt t.q
+
+let drain t =
+  locked t @@ fun () ->
+  t.draining <- true;
+  Condition.broadcast t.nonempty
+
+let draining t = locked t (fun () -> t.draining)
+let length t = locked t (fun () -> Queue.length t.q)

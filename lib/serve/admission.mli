@@ -1,0 +1,25 @@
+(** Admission control: a bounded FIFO work queue with backpressure.
+
+    Submissions past the high-water mark are rejected with [`Busy] (the
+    server answers [SERVER_BUSY]) instead of queueing unboundedly.  On
+    {!drain} the queue stops admitting — already-queued work is still
+    handed out, so workers finish what was accepted, and blocked takers
+    wake with [None] once the queue runs dry.  That is the server's
+    graceful-shutdown contract. *)
+
+type 'a t
+
+val create : depth:int -> 'a t
+(** [depth] is the high-water mark ([>= 1] enforced). *)
+
+val submit : 'a t -> 'a -> [ `Accepted | `Busy | `Draining ]
+
+val take : 'a t -> 'a option
+(** Block until work is available ([Some job]) or the queue is draining
+    and empty ([None], the worker's signal to exit). *)
+
+val drain : 'a t -> unit
+(** Stop admitting; wake all blocked takers.  Idempotent. *)
+
+val draining : 'a t -> bool
+val length : 'a t -> int

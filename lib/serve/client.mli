@@ -1,0 +1,34 @@
+(** Synchronous client for the Tkr_serve wire protocol.
+
+    One connection, one request in flight at a time (the server supports
+    pipelining; this client keeps the simple call/response shape the CLI
+    and tests need).  Thread-safe: concurrent callers serialize on an
+    internal lock.  For concurrency, open one client per thread. *)
+
+type t
+
+exception Server_error of Wire.error
+(** Raised by {!run_exn} and {!connect} (for [SESSION_LIMIT]
+    rejections). *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Dial, read the greeting.
+    @raise Server_error when the server rejects the connection.
+    @raise Unix.Unix_error when the server is unreachable. *)
+
+val session_id : t -> int
+
+val request : t -> Wire.request -> Wire.response
+(** Send one request and wait for its response. *)
+
+val run : ?deadline_ms:int -> ?trace:bool -> t -> string -> Wire.response
+(** {!request} with an auto-assigned id. *)
+
+val run_exn : ?deadline_ms:int -> ?trace:bool -> t -> string -> Wire.response
+(** Like {!run} but raises {!Server_error} on error responses. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)

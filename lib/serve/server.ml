@@ -1,0 +1,352 @@
+(** The Tkr_serve TCP query server: accept loop, per-connection reader
+    threads, worker threads draining the admission queue, snapshot-aware
+    result cache.  See the interface for the architecture overview. *)
+
+module Middleware = Tkr_middleware.Middleware
+module Database = Tkr_engine.Database
+module Ast = Tkr_sql.Ast
+module Diagnostic = Tkr_check.Diagnostic
+module Trace = Tkr_obs.Trace
+module Clock = Tkr_obs.Clock
+module Json = Tkr_obs.Json
+module Metrics = Tkr_obs.Metrics
+open Tkr_relation
+
+type config = {
+  host : string;
+  port : int;
+  max_sessions : int;
+  queue_depth : int;
+  cache_mb : int;
+  workers : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7643;
+    max_sessions = 64;
+    queue_depth = 128;
+    cache_mb = 64;
+    workers = 8;
+  }
+
+(* a connection endpoint: workers and the reader thread both write
+   response frames, serialized on [wlock] *)
+type conn = { fd : Unix.file_descr; wlock : Mutex.t }
+
+type job = {
+  j_conn : conn;
+  j_sess : Session.session;
+  j_req : Wire.request;
+  j_enq_ns : int64;
+}
+
+type t = {
+  cfg : config;
+  mw : Middleware.t;
+  cache : Cache.t;
+  sessions : Session.manager;
+  queue : job Admission.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  conns : (int, conn) Hashtbl.t;  (* live connections by session id *)
+  conns_lock : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable worker_threads : Thread.t list;
+  mutable conn_threads : Thread.t list;
+  (* server metrics, registered in the middleware's registry so one
+     OpenMetrics export covers engine and server *)
+  m_requests : Metrics.counter;
+  m_busy : Metrics.counter;
+  m_deadline : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_cache_evictions : Metrics.counter;
+  m_latency : Metrics.histogram;
+}
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let port t = t.bound_port
+let config t = t.cfg
+let cache_stats t = Cache.stats t.cache
+let stopping t = Atomic.get t.stop_flag
+
+(* ---- replies ---- *)
+
+let send_raw conn frame =
+  (* the peer may be gone; a failed reply must not kill the worker *)
+  try locked conn.wlock (fun () -> Wire.write_frame conn.fd frame)
+  with Unix.Unix_error _ | Wire.Protocol_error _ -> ()
+
+let send_error srv conn ~id code message =
+  Metrics.incr srv.m_errors;
+  send_raw conn (Wire.error_frame ~id { Wire.code; message })
+
+(* ---- query execution ---- *)
+
+(* the cache key: normalized final plan plus the post-plan shape
+   (ordering, limit, snapshot rendering) — everything that determines the
+   result bytes besides the dependency table states *)
+let plan_key (p : Middleware.prepared) =
+  String.concat "\x00"
+    [
+      Algebra.to_string p.Middleware.plan;
+      String.concat ","
+        (List.map
+           (fun (i, asc) -> Printf.sprintf "%d%c" i (if asc then 'a' else 'd'))
+           p.Middleware.order_by);
+      (match p.Middleware.limit with Some n -> string_of_int n | None -> "");
+      (if p.Middleware.snapshot then "s" else "");
+      (match p.Middleware.as_of with Some v -> string_of_int v | None -> "");
+    ]
+
+let trace_json obs =
+  match Trace.roots obs with
+  | [] -> None
+  | roots -> Some (Json.List (List.map Trace.to_json_value roots))
+
+(* Run one plain query with the cache: (payload, cached, trace).  The
+   read_locked bracket makes (version read, execute, cache fill) atomic
+   with respect to DDL/DML — versions observed here are the versions the
+   result was computed from. *)
+let run_query srv sess (req : Wire.request) =
+  Middleware.read_locked srv.mw @@ fun () ->
+  let p = Session.prepared sess srv.mw req.Wire.stmt in
+  let db = Middleware.database srv.mw in
+  let key = plan_key p in
+  let deps =
+    List.map (fun tb -> (tb, Database.version db tb)) p.Middleware.tables
+  in
+  match Cache.find srv.cache ~key ~deps with
+  | Some payload ->
+      Metrics.incr srv.m_cache_hits;
+      (payload, true, None)
+  | None ->
+      if Cache.enabled srv.cache then Metrics.incr srv.m_cache_misses;
+      let obs = if req.Wire.trace then Trace.create () else Trace.disabled in
+      let tbl = Middleware.run_prepared ~obs srv.mw p in
+      let payload = Wire.body_to_payload (Wire.Rows tbl) in
+      Cache.add srv.cache ~key ~deps payload;
+      (payload, false, trace_json obs)
+
+(* DDL/DML and the meta statements (EXPLAIN, CHECK) bypass the cache;
+   execute_statement takes the right middleware lock side itself *)
+let run_statement srv stmt =
+  match Middleware.execute_statement srv.mw stmt with
+  | Middleware.Rows tbl -> Wire.body_to_payload (Wire.Rows tbl)
+  | Middleware.Done msg -> Wire.body_to_payload (Wire.Message msg)
+
+let execute srv (j : job) =
+  let req = j.j_req in
+  let id = req.Wire.id in
+  let reply_ok (payload, cached, trace) =
+    let elapsed_us =
+      Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) j.j_enq_ns) 1000L)
+    in
+    Metrics.observe srv.m_latency elapsed_us;
+    send_raw j.j_conn (Wire.ok_frame ~id ~cached ~elapsed_us ?trace payload)
+  in
+  match
+    (* plain queries go through the session's prepared table and the
+       cache; EXPLAIN/CHECK/DDL/DML take the execute_statement path *)
+    match Tkr_sql.Parser.statement req.Wire.stmt with
+    | Ast.Query _ -> run_query srv j.j_sess req
+    | stmt -> (run_statement srv stmt, false, None)
+  with
+  | result -> reply_ok result
+  | exception Tkr_sql.Parser.Error d | exception Tkr_sql.Lexer.Error d ->
+      send_error srv j.j_conn ~id Wire.Parse_error (Diagnostic.to_string d)
+  | exception Middleware.Rejected diags ->
+      send_error srv j.j_conn ~id Wire.Check_error
+        (Diagnostic.report_to_text diags)
+  | exception Middleware.Error d ->
+      send_error srv j.j_conn ~id Wire.Runtime_error (Diagnostic.to_string d)
+  | exception Tkr_sql.Analyzer.Error d ->
+      send_error srv j.j_conn ~id Wire.Runtime_error (Diagnostic.to_string d)
+  | exception Schema.Unknown name ->
+      send_error srv j.j_conn ~id Wire.Runtime_error ("unknown name " ^ name)
+  | exception exn ->
+      send_error srv j.j_conn ~id Wire.Runtime_error (Printexc.to_string exn)
+
+(* ---- worker threads ---- *)
+
+let worker_loop srv () =
+  let rec loop () =
+    match Admission.take srv.queue with
+    | None -> ()  (* drained and dry: exit *)
+    | Some job ->
+        Metrics.incr srv.m_requests;
+        (match job.j_req.Wire.deadline_ms with
+        | Some budget_ms
+          when Int64.to_int
+                 (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1_000_000L)
+               >= budget_ms ->
+            Metrics.incr srv.m_deadline;
+            send_raw job.j_conn
+              (Wire.error_frame ~id:job.j_req.Wire.id
+                 {
+                   Wire.code = Wire.Deadline_exceeded;
+                   message =
+                     Printf.sprintf "deadline of %d ms exceeded in queue"
+                       budget_ms;
+                 })
+        | _ -> execute srv job);
+        loop ()
+  in
+  loop ()
+
+(* ---- connection threads ---- *)
+
+let conn_loop srv conn sess () =
+  let sid = Session.id sess in
+  let finally () =
+    Session.close srv.sessions sess;
+    locked srv.conns_lock (fun () -> Hashtbl.remove srv.conns sid);
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  in
+  Fun.protect ~finally @@ fun () ->
+  send_raw conn (Wire.greeting_frame ~session_id:sid);
+  let rec loop () =
+    match Wire.read_frame conn.fd with
+    | None -> ()  (* clean close *)
+    | Some frame ->
+        (match Wire.request_of_json (Json.of_string frame) with
+        | req -> (
+            let job =
+              { j_conn = conn; j_sess = sess; j_req = req;
+                j_enq_ns = Clock.now_ns () }
+            in
+            match Admission.submit srv.queue job with
+            | `Accepted -> ()
+            | `Busy ->
+                Metrics.incr srv.m_busy;
+                send_error srv conn ~id:req.Wire.id Wire.Server_busy
+                  "admission queue full, retry later"
+            | `Draining ->
+                send_error srv conn ~id:req.Wire.id Wire.Server_shutdown
+                  "server is draining")
+        | exception (Wire.Protocol_error msg | Json.Parse_error msg) ->
+            send_error srv conn ~id:0 Wire.Protocol_violation msg);
+        loop ()
+  in
+  try loop () with
+  | Wire.Protocol_error _ -> ()  (* torn frame: drop the connection *)
+  | Unix.Unix_error _ -> ()
+
+(* ---- accept loop ---- *)
+
+let accept_loop srv () =
+  (* select with a timeout so the loop notices [stop] promptly without a
+     wakeup pipe; the listen socket stays blocking for the accept itself *)
+  let rec loop () =
+    if not (Atomic.get srv.stop_flag) then begin
+      (match Unix.select [ srv.listen_fd ] [] [] 0.1 with
+      | [ _ ], _, _ when not (Atomic.get srv.stop_flag) -> (
+          match Unix.accept ~cloexec:true srv.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _peer -> (
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let conn = { fd; wlock = Mutex.create () } in
+              match Session.open_session srv.sessions with
+              | None ->
+                  send_raw conn
+                    (Wire.error_frame ~id:0
+                       {
+                         Wire.code = Wire.Session_limit;
+                         message =
+                           Printf.sprintf "session limit of %d reached"
+                             srv.cfg.max_sessions;
+                       });
+                  (try Unix.close fd with Unix.Unix_error _ -> ())
+              | Some sess ->
+                  locked srv.conns_lock (fun () ->
+                      Hashtbl.replace srv.conns (Session.id sess) conn;
+                      srv.conn_threads <-
+                        Thread.create (conn_loop srv conn sess) ()
+                        :: srv.conn_threads)))
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let start ?(config = default_config) mw =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let reg = Middleware.metrics mw in
+  let srv =
+    {
+      cfg = config;
+      mw;
+      cache = Cache.create ~max_bytes:(config.cache_mb * 1024 * 1024);
+      sessions = Session.manager ~max_sessions:config.max_sessions;
+      queue = Admission.create ~depth:config.queue_depth;
+      listen_fd;
+      bound_port;
+      stop_flag = Atomic.make false;
+      conns = Hashtbl.create 64;
+      conns_lock = Mutex.create ();
+      accept_thread = None;
+      worker_threads = [];
+      conn_threads = [];
+      m_requests = Metrics.counter reg "serve_requests_total";
+      m_busy = Metrics.counter reg "serve_busy_total";
+      m_deadline = Metrics.counter reg "serve_deadline_exceeded_total";
+      m_errors = Metrics.counter reg "serve_errors_total";
+      m_cache_hits = Metrics.counter reg "serve_cache_hits_total";
+      m_cache_misses = Metrics.counter reg "serve_cache_misses_total";
+      m_cache_evictions = Metrics.counter reg "serve_cache_evictions_total";
+      m_latency = Metrics.histogram reg "serve_latency_us";
+    }
+  in
+  srv.worker_threads <-
+    List.init (max 1 config.workers) (fun _ -> Thread.create (worker_loop srv) ());
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let stop srv =
+  if Atomic.compare_and_set srv.stop_flag false true then begin
+    (* 1. stop accepting connections *)
+    (match srv.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (* 2. drain: no new requests; workers finish everything accepted *)
+    Admission.drain srv.queue;
+    List.iter Thread.join srv.worker_threads;
+    (* evictions counter is cumulative; sync it for the final export *)
+    let evs = (Cache.stats srv.cache).Cache.evictions in
+    Metrics.add srv.m_cache_evictions
+      (evs - Metrics.value srv.m_cache_evictions);
+    (* 3. wake blocked readers (EOF) and join connection threads *)
+    let conn_fds =
+      locked srv.conns_lock (fun () ->
+          Hashtbl.fold (fun _ c acc -> c.fd :: acc) srv.conns [])
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conn_fds;
+    let threads = locked srv.conns_lock (fun () -> srv.conn_threads) in
+    List.iter Thread.join threads
+  end

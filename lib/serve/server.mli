@@ -1,0 +1,52 @@
+(** The Tkr_serve TCP query server.
+
+    One accept loop, one reader thread per connection, a fixed pool of
+    worker threads draining the {!Admission} queue.  Each connection is a
+    {!Session} (prepared statements cached per statement text); queries
+    execute on the shared, thread-safe {!Tkr_middleware.Middleware} — the
+    pool of domains inside the middleware provides CPU parallelism, the
+    worker threads provide request concurrency and IO overlap.
+
+    Query results flow through the snapshot-aware {!Cache}: an entry is
+    keyed on the normalized final plan and guarded by the
+    [(table, version)] pairs it reads, all observed under one
+    {!Tkr_middleware.Middleware.read_locked} bracket, so a hit replays
+    bytes that are provably equal to a fresh evaluation.
+
+    Backpressure and shutdown are typed wire errors: [SERVER_BUSY] past
+    the queue's high-water mark, [DEADLINE_EXCEEDED] for requests still
+    queued past their budget, [SERVER_SHUTDOWN] once draining, and
+    [SESSION_LIMIT] for connections beyond [max_sessions].  {!stop}
+    drains gracefully: accepted requests finish, then threads join. *)
+
+module Middleware = Tkr_middleware.Middleware
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  max_sessions : int;
+  queue_depth : int;  (** admission high-water mark *)
+  cache_mb : int;  (** result-cache byte budget; 0 disables the cache *)
+  workers : int;  (** worker threads draining the admission queue *)
+}
+
+val default_config : config
+(** 127.0.0.1:7643, 64 sessions, queue 128, 64 MiB cache, 8 workers. *)
+
+type t
+
+val start : ?config:config -> Middleware.t -> t
+(** Bind, listen and spawn the accept loop and workers.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val config : t -> config
+val cache_stats : t -> Cache.stats
+val stopping : t -> bool
+
+val stop : t -> unit
+(** Graceful drain: stop accepting connections and requests, let workers
+    finish every accepted request, wake and join all threads.  Idempotent
+    and safe to call from a signal-triggered context. *)

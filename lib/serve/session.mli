@@ -1,0 +1,35 @@
+(** Per-connection sessions and the session manager.
+
+    A session holds the connection's prepared-statement table: statements
+    are prepared once per (session, statement text) and re-executed on
+    repetition, so clients replaying a workload skip the parse → analyze
+    → rewrite → optimize pipeline after the first round.  The manager
+    enforces the server's [max_sessions] admission limit.
+
+    Both are mutex-guarded and safe for concurrent callers. *)
+
+module Middleware = Tkr_middleware.Middleware
+
+type session
+
+type manager
+
+val manager : max_sessions:int -> manager
+
+val open_session : manager -> session option
+(** [None] when the manager is at [max_sessions]. *)
+
+val close : manager -> session -> unit
+(** Idempotent. *)
+
+val id : session -> int
+(** Unique for the manager's lifetime, starting at 1. *)
+
+val active : manager -> int
+
+val prepared : session -> Middleware.t -> string -> Middleware.prepared
+(** The session's prepared statement for [stmt], preparing (and caching)
+    it on first sight.  Raises whatever {!Middleware.prepare} raises;
+    failures are not cached. *)
+
+val prepared_count : session -> int

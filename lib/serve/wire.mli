@@ -1,0 +1,98 @@
+(** The Tkr_serve wire protocol: length-prefixed JSON frames.
+
+    Frame format: a 4-byte big-endian payload length followed by that
+    many bytes of JSON (frames above {!max_frame} are protocol errors).
+    A connection opens with a server {e greeting} (or a rejection), then
+    carries independent request/response pairs correlated by [id] —
+    responses may arrive out of order when a client pipelines.
+
+    Floats are encoded as OCaml [%h] hexadecimal literals, so every value
+    round-trips bit-exactly: rendering a wire table client-side produces
+    the same bytes as rendering it in the server process, which is what
+    lets the result cache replay stored payloads verbatim. *)
+
+open Tkr_relation
+module Json = Tkr_obs.Json
+module Table = Tkr_engine.Table
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Hard frame cap (256 MiB). *)
+
+val proto_version : int
+
+(* ---- frame I/O ---- *)
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> string option
+(** [None] on a clean peer close before the first header byte.
+    @raise Protocol_error on truncated or oversized frames. *)
+
+(* ---- values and tables ---- *)
+
+val value_to_json : Value.t -> Json.t
+val value_of_json : Json.t -> Value.t
+val table_to_json : Table.t -> Json.t
+val table_of_json : Json.t -> Table.t
+
+(* ---- requests ---- *)
+
+type request = {
+  id : int;
+  stmt : string;
+  deadline_ms : int option;
+      (** time budget from receipt; requests still queued past it are
+          cancelled with [Deadline_exceeded] *)
+  trace : bool;  (** attach the Tkr_obs execution trace to the response *)
+}
+
+val request : ?id:int -> ?deadline_ms:int -> ?trace:bool -> string -> request
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> request
+
+(* ---- responses ---- *)
+
+type error_code =
+  | Parse_error
+  | Check_error
+  | Runtime_error
+  | Server_busy
+  | Deadline_exceeded
+  | Server_shutdown
+  | Session_limit
+  | Protocol_violation
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code
+
+type error = { code : error_code; message : string }
+
+type body = Rows of Table.t | Message of string
+
+type response = {
+  rsp_id : int;
+  cached : bool;  (** served from the snapshot-aware result cache *)
+  elapsed_us : int;
+  body : (body, error) result;
+  rsp_trace : Json.t option;
+}
+
+val body_to_payload : body -> string
+(** The result payload as JSON text — the exact string the result cache
+    stores, so cached responses are byte-identical to fresh ones. *)
+
+val body_of_payload : Json.t -> body
+
+val ok_frame :
+  id:int -> cached:bool -> elapsed_us:int -> ?trace:Json.t -> string -> string
+(** Assemble an ok envelope around a pre-rendered payload string. *)
+
+val error_frame : id:int -> error -> string
+val response_of_string : string -> response
+
+(* ---- greeting ---- *)
+
+val greeting_frame : session_id:int -> string
+val greeting_of_string : string -> (int, error) result
+(** [Ok session_id] on a greeting, [Error e] on a rejection frame. *)

@@ -24,4 +24,5 @@ let () =
       Test_check.suite;
       Test_perf.suite;
       Test_par.suite;
+      Test_serve.suite;
     ]

@@ -1,0 +1,510 @@
+(* The query server (Tkr_serve): wire-protocol round-trips, the
+   snapshot-aware result cache (hits, version invalidation, LRU
+   eviction), per-table version counters, admission-control semantics,
+   thread-safety of one shared middleware hammered from four domains
+   (alcotest + qcheck op mix), and end-to-end server/client byte-identity
+   against in-process execution with the cache on and off. *)
+
+module Value = Tkr_relation.Value
+module Schema = Tkr_relation.Schema
+module Tuple = Tkr_relation.Tuple
+module Table = Tkr_engine.Table
+module Database = Tkr_engine.Database
+module M = Tkr_middleware.Middleware
+module Wire = Tkr_serve.Wire
+module Cache = Tkr_serve.Cache
+module Admission = Tkr_serve.Admission
+module Server = Tkr_serve.Server
+module Client = Tkr_serve.Client
+module Json = Tkr_obs.Json
+module W = Tkr_workload.Employees
+module Q = Tkr_workload.Queries
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---- wire protocol ---- *)
+
+let sample_table () =
+  let schema =
+    Schema.make
+      [
+        Schema.attr "ok" Value.TBool;
+        Schema.attr "n" Value.TInt;
+        Schema.attr "x" Value.TFloat;
+        Schema.attr "s" Value.TStr;
+      ]
+  in
+  Table.of_array schema
+    [|
+      Tuple.of_array
+        [| Value.Bool true; Value.Int 42; Value.Float 0.1; Value.Str "a b" |];
+      Tuple.of_array
+        [| Value.Null; Value.Int (-7); Value.Float 1e-300; Value.Str "" |];
+      Tuple.of_array
+        [|
+          Value.Bool false; Value.Null; Value.Float (-3.75); Value.Str "q'z";
+        |];
+    |]
+
+let test_wire_table_roundtrip () =
+  let t = sample_table () in
+  let j = Wire.table_to_json t in
+  let t' = Wire.table_of_json (Json.of_string (Json.to_string j)) in
+  check "schema survives" true (Table.schema t' = Table.schema t);
+  check "rows survive exactly (incl. floats and nulls)" true
+    (Array.for_all2 Tuple.equal (Table.rows t) (Table.rows t'));
+  (* the payload is the cache's stored unit: serializing again must give
+     the same bytes, or cached responses would not be byte-identical *)
+  check_str "payload bytes are stable"
+    (Wire.body_to_payload (Wire.Rows t))
+    (Wire.body_to_payload (Wire.Rows t'))
+
+let test_wire_frames () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally:(fun () -> close a; close b) @@ fun () ->
+  Wire.write_frame a "hello";
+  Wire.write_frame a "";
+  Wire.write_frame a (String.make 100_000 'x');
+  check "frame 1" true (Wire.read_frame b = Some "hello");
+  check "empty frame" true (Wire.read_frame b = Some "");
+  check "large frame" true (Wire.read_frame b = Some (String.make 100_000 'x'));
+  Unix.close a;
+  check "clean EOF is None" true (Wire.read_frame b = None)
+
+let test_wire_request_response () =
+  let req = Wire.request ~id:7 ~deadline_ms:250 ~trace:true "SELECT 1" in
+  let req' =
+    Wire.request_of_json (Json.of_string (Json.to_string (Wire.request_to_json req)))
+  in
+  check "request round-trips" true (req' = req);
+  let t = sample_table () in
+  let payload = Wire.body_to_payload (Wire.Rows t) in
+  let frame = Wire.ok_frame ~id:7 ~cached:true ~elapsed_us:12 payload in
+  let rsp = Wire.response_of_string frame in
+  check_int "response id" 7 rsp.Wire.rsp_id;
+  check "response cached flag" true rsp.Wire.cached;
+  (match rsp.Wire.body with
+  | Ok (Wire.Rows t') ->
+      check "response rows" true
+        (Array.for_all2 Tuple.equal (Table.rows t) (Table.rows t'))
+  | _ -> Alcotest.fail "expected rows");
+  let ef =
+    Wire.error_frame ~id:3
+      { Wire.code = Wire.Server_busy; message = "queue full" }
+  in
+  match (Wire.response_of_string ef).Wire.body with
+  | Error { Wire.code = Wire.Server_busy; message = "queue full" } -> ()
+  | _ -> Alcotest.fail "expected SERVER_BUSY error"
+
+(* ---- result cache ---- *)
+
+let test_cache_hit_and_invalidation () =
+  let c = Cache.create ~max_bytes:10_000 in
+  let deps = [ ("works", 1); ("emp", 3) ] in
+  check "miss on empty" true (Cache.find c ~key:"k" ~deps = None);
+  Cache.add c ~key:"k" ~deps "payload-bytes";
+  check "hit on same versions" true
+    (Cache.find c ~key:"k" ~deps = Some "payload-bytes");
+  (* dependency order must not matter *)
+  check "hit is order-insensitive" true
+    (Cache.find c ~key:"k" ~deps:(List.rev deps) = Some "payload-bytes");
+  (* a bumped version invalidates exactly this entry *)
+  Cache.add c ~key:"other" ~deps:[ ("salaries", 2) ] "other-bytes";
+  check "stale versions invalidate" true
+    (Cache.find c ~key:"k" ~deps:[ ("works", 2); ("emp", 3) ] = None);
+  check "unrelated entry survives" true
+    (Cache.find c ~key:"other" ~deps:[ ("salaries", 2) ] = Some "other-bytes");
+  let s = Cache.stats c in
+  check_int "one invalidation" 1 s.Cache.invalidations;
+  check_int "entries" 1 s.Cache.entries
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~max_bytes:30 in
+  Cache.add c ~key:"a" ~deps:[] (String.make 10 'a');
+  Cache.add c ~key:"b" ~deps:[] (String.make 10 'b');
+  Cache.add c ~key:"c" ~deps:[] (String.make 10 'c');
+  (* touch a so b is the least recently used *)
+  check "a hits" true (Cache.find c ~key:"a" ~deps:[] <> None);
+  Cache.add c ~key:"d" ~deps:[] (String.make 10 'd');
+  check "LRU victim b evicted" true (Cache.find c ~key:"b" ~deps:[] = None);
+  check "recently used a survives" true (Cache.find c ~key:"a" ~deps:[] <> None);
+  check "newest d present" true (Cache.find c ~key:"d" ~deps:[] <> None);
+  let s = Cache.stats c in
+  check_int "one eviction" 1 s.Cache.evictions;
+  check "byte budget holds" true (s.Cache.bytes <= 30);
+  (* a payload alone above the budget is not stored *)
+  Cache.add c ~key:"huge" ~deps:[] (String.make 100 'h');
+  check "oversized payload not stored" true
+    (Cache.find c ~key:"huge" ~deps:[] = None);
+  (* disabled cache: every lookup misses, add is a no-op *)
+  let off = Cache.create ~max_bytes:0 in
+  Cache.add off ~key:"k" ~deps:[] "p";
+  check "disabled cache never hits" true (Cache.find off ~key:"k" ~deps:[] = None);
+  check "disabled reports disabled" false (Cache.enabled off)
+
+let test_cache_invalidate_table () =
+  let c = Cache.create ~max_bytes:10_000 in
+  Cache.add c ~key:"q1" ~deps:[ ("works", 1) ] "p1";
+  Cache.add c ~key:"q2" ~deps:[ ("works", 1); ("emp", 1) ] "p2";
+  Cache.add c ~key:"q3" ~deps:[ ("emp", 1) ] "p3";
+  check_int "two entries dropped" 2 (Cache.invalidate_table c "WORKS");
+  check "q3 survives" true (Cache.find c ~key:"q3" ~deps:[ ("emp", 1) ] <> None);
+  check_int "entries after" 1 (Cache.stats c).Cache.entries
+
+(* ---- per-table version counters ---- *)
+
+let test_database_versions () =
+  let db = Database.create () in
+  check_int "unknown name is version 0" 0 (Database.version db "t");
+  let schema = Schema.make [ Schema.attr "x" Value.TInt ] in
+  let row n = Tuple.of_array [| Value.Int n |] in
+  Database.add_table db "t" (Table.of_array schema [| row 1 |]);
+  check_int "load bumps" 1 (Database.version db "t");
+  Database.append_rows db "t" [ row 2 ];
+  check_int "insert bumps" 2 (Database.version db "t");
+  Database.set_rows db "t" [| row 9 |];
+  check_int "update bumps" 3 (Database.version db "t");
+  check_int "case-insensitive" 3 (Database.version db "T");
+  Database.remove_table db "t";
+  check_int "drop bumps, never resets" 4 (Database.version db "t");
+  Database.add_table db "t" (Table.of_array schema [| row 1 |]);
+  check_int "reload continues monotone" 5 (Database.version db "t")
+
+(* ---- admission control ---- *)
+
+let test_admission_busy_and_drain () =
+  let q = Admission.create ~depth:2 in
+  check "accept 1" true (Admission.submit q 1 = `Accepted);
+  check "accept 2" true (Admission.submit q 2 = `Accepted);
+  check "high-water rejects" true (Admission.submit q 3 = `Busy);
+  check "take 1" true (Admission.take q = Some 1);
+  check "freed capacity accepts" true (Admission.submit q 4 = `Accepted);
+  Admission.drain q;
+  check "draining rejects new work" true (Admission.submit q 5 = `Draining);
+  (* accepted work is still handed out after drain *)
+  check "drain hands out queued work" true (Admission.take q = Some 2);
+  check "drain hands out queued work" true (Admission.take q = Some 4);
+  check "dry after drain is None" true (Admission.take q = None)
+
+let test_admission_drain_wakes_takers () =
+  let q = Admission.create ~depth:4 in
+  let got = Atomic.make `Waiting in
+  let th =
+    Thread.create
+      (fun () ->
+        Atomic.set got
+          (match Admission.take q with Some _ -> `Job | None -> `Drained))
+      ()
+  in
+  Thread.delay 0.05;
+  Admission.drain q;
+  Thread.join th;
+  check "blocked taker wakes with None" true (Atomic.get got = `Drained)
+
+(* ---- middleware hammered from four domains ---- *)
+
+let hammer_queries =
+  [ Q.lookup "join-1" Q.employee; Q.lookup "agg-1" Q.employee ]
+
+let test_middleware_domain_hammer () =
+  let m = M.create ~db:(W.generate { (W.scaled 40) with W.tmax = 600 }) () in
+  (* serial reference results, computed before the hammer *)
+  let expected = List.map (fun sql -> M.query m sql) hammer_queries in
+  let runs_before = (M.totals m).M.runs in
+  let per_domain = 5 in
+  let mismatches = Atomic.make 0 in
+  let work () =
+    List.iter2
+      (fun sql want ->
+        let p = M.prepare m sql in
+        for _ = 1 to per_domain do
+          let got = M.run_prepared m p in
+          if
+            not
+              (Array.length (Table.rows got) = Array.length (Table.rows want)
+              && Array.for_all2 Tuple.equal (Table.rows got) (Table.rows want))
+          then Atomic.incr mismatches
+        done)
+      hammer_queries expected
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn work) in
+  List.iter Domain.join domains;
+  check_int "every concurrent result matches the serial reference" 0
+    (Atomic.get mismatches);
+  (* totals are mutex-guarded: no lost updates under contention *)
+  check_int "totals.runs counted every execution"
+    (runs_before + (4 * per_domain * List.length hammer_queries))
+    (M.totals m).M.runs
+
+let test_middleware_dml_hammer () =
+  let m = M.create () in
+  ignore
+    (M.execute_script m
+       {|CREATE TABLE h0 (x int); CREATE TABLE h1 (x int);
+         CREATE TABLE q0 (x int); INSERT INTO q0 VALUES (1), (2), (3);|});
+  let inserts = 25 in
+  let writer k () =
+    for i = 1 to inserts do
+      ignore
+        (M.execute m (Printf.sprintf "INSERT INTO h%d VALUES (%d)" k i))
+    done
+  in
+  let errors = Atomic.make 0 in
+  let reader () =
+    for _ = 1 to 40 do
+      match M.query m "SELECT x FROM q0" with
+      | t -> if Table.cardinality t <> 3 then Atomic.incr errors
+      | exception _ -> Atomic.incr errors
+    done
+  in
+  let domains =
+    [ Domain.spawn (writer 0); Domain.spawn (writer 1); Domain.spawn reader;
+      Domain.spawn reader ]
+  in
+  List.iter Domain.join domains;
+  check_int "readers always saw a consistent catalog" 0 (Atomic.get errors);
+  check_int "writer 0 rows all landed" inserts
+    (Table.cardinality (M.query m "SELECT x FROM h0"));
+  check_int "writer 1 rows all landed" inserts
+    (Table.cardinality (M.query m "SELECT x FROM h1"));
+  check "versions bumped once per DML" true
+    (Database.version (M.database m) "h0" >= inserts)
+
+(* qcheck: a random mix of concurrent per-domain inserts and shared-table
+   queries keeps the middleware consistent — each domain's private table
+   ends with exactly its own inserts, and shared reads never tear *)
+let qcheck_op_mix =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:15 ~name:"concurrent op mix keeps middleware consistent"
+       QCheck.(list_of_size (Gen.int_range 1 12) (QCheck.int_range 0 2))
+       (fun ops ->
+         let m = M.create () in
+         ignore
+           (M.execute_script m
+              {|CREATE TABLE s (x int); INSERT INTO s VALUES (10), (20);|});
+         let n_domains = 4 in
+         List.iteri
+           (fun k _ ->
+             ignore (M.execute m (Printf.sprintf "CREATE TABLE p%d (x int)" k)))
+           (List.init n_domains Fun.id);
+         let bad = Atomic.make false in
+         let work k () =
+           let mine = ref 0 in
+           List.iter
+             (fun op ->
+               match op with
+               | 0 ->
+                   incr mine;
+                   ignore
+                     (M.execute m
+                        (Printf.sprintf "INSERT INTO p%d VALUES (%d)" k !mine))
+               | 1 ->
+                   if Table.cardinality (M.query m "SELECT x FROM s") <> 2 then
+                     Atomic.set bad true
+               | _ -> (
+                   match
+                     M.query m (Printf.sprintf "SELECT x FROM p%d" k)
+                   with
+                   | t ->
+                       if Table.cardinality t <> !mine then Atomic.set bad true
+                   | exception _ -> Atomic.set bad true))
+             ops;
+           if
+             Table.cardinality (M.query m (Printf.sprintf "SELECT x FROM p%d" k))
+             <> !mine
+           then Atomic.set bad true
+         in
+         let domains = List.init n_domains (fun k -> Domain.spawn (work k)) in
+         List.iter Domain.join domains;
+         not (Atomic.get bad)))
+
+(* ---- end-to-end: server + client ---- *)
+
+(* the queries the acceptance gate cares about: EXCEPT ALL (bag
+   difference) and aggregations, plus a join *)
+let e2e_queries =
+  List.map
+    (fun n -> (n, Q.lookup n Q.employee))
+    [ "join-1"; "agg-1"; "agg-3"; "diff-1"; "diff-2" ]
+
+let with_server ?(cache_mb = 16) f =
+  let m = M.create ~db:(W.generate { (W.scaled 40) with W.tmax = 600 }) () in
+  let srv =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          port = 0;
+          cache_mb;
+          max_sessions = 16;
+          workers = 4;
+        }
+      m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      M.shutdown m)
+    (fun () -> f m srv)
+
+let render = function
+  | M.Rows t -> Table.to_text ~max_rows:1000 t
+  | M.Done msg -> msg ^ "\n"
+
+let render_rsp (rsp : Wire.response) =
+  match rsp.Wire.body with
+  | Ok (Wire.Rows t) -> Table.to_text ~max_rows:1000 t
+  | Ok (Wire.Message msg) -> msg ^ "\n"
+  | Error e -> Alcotest.fail ("unexpected server error: " ^ e.Wire.message)
+
+let test_e2e_byte_identity_cached () =
+  with_server @@ fun m srv ->
+  let expected = List.map (fun (_, sql) -> render (M.execute m sql)) e2e_queries in
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  List.iter2
+    (fun (name, sql) want ->
+      let first = Client.run_exn c sql in
+      check (name ^ " first run not cached") false first.Wire.cached;
+      check_str (name ^ " cold bytes") want (render_rsp first);
+      let second = Client.run_exn c sql in
+      check (name ^ " replay is a cache hit") true second.Wire.cached;
+      check_str (name ^ " cached bytes identical") want (render_rsp second))
+    e2e_queries expected;
+  let s = Server.cache_stats srv in
+  check "cache saw the hits" true (s.Cache.hits >= List.length e2e_queries)
+
+let test_e2e_byte_identity_cache_off () =
+  with_server ~cache_mb:0 @@ fun m srv ->
+  let expected = List.map (fun (_, sql) -> render (M.execute m sql)) e2e_queries in
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  List.iter2
+    (fun (name, sql) want ->
+      let a = Client.run_exn c sql in
+      let b = Client.run_exn c sql in
+      check (name ^ " never cached") false (a.Wire.cached || b.Wire.cached);
+      check_str (name ^ " bytes (1)") want (render_rsp a);
+      check_str (name ^ " bytes (2)") want (render_rsp b))
+    e2e_queries expected
+
+let test_e2e_concurrent_clients () =
+  with_server @@ fun m srv ->
+  let expected = List.map (fun (_, sql) -> render (M.execute m sql)) e2e_queries in
+  let port = Server.port srv in
+  let n_clients = 8 in
+  let bad = Atomic.make 0 in
+  let worker () =
+    try
+      Client.with_client ~port @@ fun c ->
+      List.iter2
+        (fun (_, sql) want ->
+          if render_rsp (Client.run_exn c sql) <> want then Atomic.incr bad)
+        e2e_queries expected
+    with _ -> Atomic.incr bad
+  in
+  let threads = List.init n_clients (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  check_int "8 concurrent connections, all byte-identical" 0 (Atomic.get bad)
+
+let test_e2e_dml_invalidates () =
+  with_server @@ fun _m srv ->
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  ignore (Client.run_exn c "CREATE TABLE kv (x int)");
+  ignore (Client.run_exn c "INSERT INTO kv VALUES (1), (2)");
+  let q = "SELECT x FROM kv" in
+  let r1 = Client.run_exn c q in
+  check "cold" false r1.Wire.cached;
+  let r2 = Client.run_exn c q in
+  check "warm" true r2.Wire.cached;
+  ignore (Client.run_exn c "INSERT INTO kv VALUES (3)");
+  let r3 = Client.run_exn c q in
+  check "DML invalidated the entry" false r3.Wire.cached;
+  (match r3.Wire.body with
+  | Ok (Wire.Rows t) -> check_int "new row visible" 3 (Table.cardinality t)
+  | _ -> Alcotest.fail "expected rows");
+  let r4 = Client.run_exn c q in
+  check "re-cached after recompute" true r4.Wire.cached;
+  check_int "one invalidation recorded" 1
+    (Server.cache_stats srv).Cache.invalidations
+
+let test_e2e_error_codes () =
+  with_server @@ fun _m srv ->
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  (match (Client.run c "SELEC nonsense").Wire.body with
+  | Error { Wire.code = Wire.Parse_error; _ } -> ()
+  | _ -> Alcotest.fail "expected PARSE_ERROR");
+  (match (Client.run c "SELECT x FROM missing").Wire.body with
+  | Error { Wire.code = Wire.Runtime_error; _ } -> ()
+  | _ -> Alcotest.fail "expected RUNTIME_ERROR");
+  (* deadline 0: always already expired when a worker picks it up *)
+  match (Client.run ~deadline_ms:0 c "SELECT x FROM missing").Wire.body with
+  | Error { Wire.code = Wire.Deadline_exceeded; _ } -> ()
+  | _ -> Alcotest.fail "expected DEADLINE_EXCEEDED"
+
+let test_e2e_session_limit () =
+  let m = M.create () in
+  let srv =
+    Server.start
+      ~config:{ Server.default_config with port = 0; max_sessions = 1 }
+      m
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv; M.shutdown m) @@ fun () ->
+  Client.with_client ~port:(Server.port srv) @@ fun _c1 ->
+  match Client.connect ~port:(Server.port srv) () with
+  | c2 ->
+      Client.close c2;
+      Alcotest.fail "expected SESSION_LIMIT rejection"
+  | exception Client.Server_error { Wire.code = Wire.Session_limit; _ } -> ()
+
+let test_e2e_graceful_stop () =
+  let m = M.create () in
+  let srv = Server.start ~config:{ Server.default_config with port = 0 } m in
+  let c = Client.connect ~port:(Server.port srv) () in
+  ignore (Client.run_exn c "CREATE TABLE g (x int)");
+  (* stop with a connection open: accepted work finished, reader woken *)
+  Server.stop srv;
+  check "stop is idempotent" true (Server.stopping srv);
+  Server.stop srv;
+  (match Client.run c "SELECT x FROM g" with
+  | _ -> ()
+  | exception _ -> () (* connection torn down by drain is fine *));
+  Client.close c;
+  M.shutdown m
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "wire: table round-trip" `Quick test_wire_table_roundtrip;
+      Alcotest.test_case "wire: frame I/O" `Quick test_wire_frames;
+      Alcotest.test_case "wire: request/response" `Quick test_wire_request_response;
+      Alcotest.test_case "cache: hit and version invalidation" `Quick
+        test_cache_hit_and_invalidation;
+      Alcotest.test_case "cache: LRU eviction and budget" `Quick
+        test_cache_lru_eviction;
+      Alcotest.test_case "cache: invalidate_table" `Quick
+        test_cache_invalidate_table;
+      Alcotest.test_case "database: version counters" `Quick
+        test_database_versions;
+      Alcotest.test_case "admission: busy and drain" `Quick
+        test_admission_busy_and_drain;
+      Alcotest.test_case "admission: drain wakes takers" `Quick
+        test_admission_drain_wakes_takers;
+      Alcotest.test_case "middleware: 4-domain query hammer" `Quick
+        test_middleware_domain_hammer;
+      Alcotest.test_case "middleware: mixed DML hammer" `Quick
+        test_middleware_dml_hammer;
+      qcheck_op_mix;
+      Alcotest.test_case "e2e: byte identity, cache on" `Quick
+        test_e2e_byte_identity_cached;
+      Alcotest.test_case "e2e: byte identity, cache off" `Quick
+        test_e2e_byte_identity_cache_off;
+      Alcotest.test_case "e2e: 8 concurrent clients" `Quick
+        test_e2e_concurrent_clients;
+      Alcotest.test_case "e2e: DML invalidates cache" `Quick
+        test_e2e_dml_invalidates;
+      Alcotest.test_case "e2e: typed error codes" `Quick test_e2e_error_codes;
+      Alcotest.test_case "e2e: session limit" `Quick test_e2e_session_limit;
+      Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
+    ] )
