@@ -17,23 +17,38 @@ type t = {
           lifetime (never reset by DROP, so re-creating a table does not
           resurrect stale cache entries); bumped by every load/update —
           the invalidation signal of the snapshot-aware result cache *)
+  mutable generation : int;
+      (** whole-catalog mutation counter: bumped with every table version
+          and on time-bound changes — a plan prepared at generation [g] is
+          guaranteed valid while the generation stays [g] (schemas, table
+          set and [tmin]/[tmax] are all unchanged) *)
   mutable tmin : int;
   mutable tmax : int;
 }
 
 let create ?(tmin = 0) ?(tmax = 1) () =
-  { tables = Hashtbl.create 16; versions = Hashtbl.create 16; tmin; tmax }
+  {
+    tables = Hashtbl.create 16;
+    versions = Hashtbl.create 16;
+    generation = 0;
+    tmin;
+    tmax;
+  }
 
 let version db name =
   Option.value ~default:0
     (Hashtbl.find_opt db.versions (String.lowercase_ascii name))
 
+let generation db = db.generation
+
 let bump_version db name =
   let key = String.lowercase_ascii name in
+  db.generation <- db.generation + 1;
   Hashtbl.replace db.versions key (version db key + 1)
 
 let time_bounds db = (db.tmin, db.tmax)
 let set_time_bounds db ~tmin ~tmax =
+  db.generation <- db.generation + 1;
   db.tmin <- tmin;
   db.tmax <- tmax
 

@@ -48,3 +48,10 @@ val version : t -> string -> int
     but never resets), so a (name, version) pair identifies one immutable
     table state — the invalidation key of the snapshot-aware result
     cache. *)
+
+val generation : t -> int
+(** Whole-catalog mutation counter: bumped alongside every table version
+    and by {!set_time_bounds}.  Monotone; while it is unchanged the table
+    set, all schemas and the time bounds are unchanged, so plans prepared
+    against this catalog state are still valid — the staleness signal for
+    prepared-statement caches. *)

@@ -129,6 +129,10 @@ type t = {
           DDL/DML and settings changes the exclusive write side — many
           queries execute concurrently, mutations are serialized against
           everything *)
+  settings_epoch : int Atomic.t;
+      (** bumped by every {!write_locked} section; together with
+          {!Database.generation} it forms {!epoch}, the staleness signal
+          for prepared statements cached outside the middleware *)
   pool_lock : Mutex.t;
       (** serializes pooled executions: a {!Pool.t} accepts one batch
           submitter at a time, so prepared statements that captured a
@@ -154,11 +158,23 @@ let create ?(options = Rewriter.optimized) ?(optimize = true)
     metrics = Metrics.create ();
     lock = Mutex.create ();
     rw = Rwlock.create ();
+    settings_epoch = Atomic.make 0;
     pool_lock = Mutex.create ();
   }
 
 let read_locked m f = Rwlock.with_read m.rw f
-let write_locked m f = Rwlock.with_write m.rw f
+
+let write_locked m f =
+  Rwlock.with_write m.rw (fun () ->
+      (* bump first: even if [f] raises mid-mutation, cached plans are
+         (conservatively) treated as stale *)
+      Atomic.incr m.settings_epoch;
+      f ())
+
+(* both summands are monotone non-decreasing, so the sum changes whenever
+   either does; reading it under [read_locked] excludes writers, making
+   (epoch read, prepare, execute) atomic with respect to mutations *)
+let epoch m = Atomic.get m.settings_epoch + Database.generation m.db
 
 let totals m = m.totals
 let totals_report m = locked m.lock (fun () -> Format.asprintf "%a" pp_phase_stats m.totals)

@@ -89,7 +89,18 @@ val read_locked : t -> (unit -> 'a) -> 'a
 
 val write_locked : t -> (unit -> 'a) -> 'a
 (** Run [f] holding the exclusive write side (no queries in flight).
-    [f] must not call query-side middleware functions. *)
+    [f] must not call query-side middleware functions.  Every
+    [write_locked] section bumps {!epoch}. *)
+
+val epoch : t -> int
+(** Catalog/settings generation: changes whenever a {!write_locked}
+    section ran (DDL, DML, settings) or the underlying
+    {!Tkr_engine.Database.t} was mutated directly.  A {!prepared}
+    statement bakes the catalog state of prepare time (time bounds,
+    schema arities, rewrite options), so a plan cached outside the
+    middleware is valid only while [epoch] still equals its value at
+    prepare time; compare under {!read_locked} to exclude concurrent
+    mutations.  Monotone non-decreasing. *)
 
 (** Cumulative phase timings of one prepared statement (or, for
     {!totals}, of a whole middleware): the preparation pipeline

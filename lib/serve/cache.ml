@@ -102,27 +102,30 @@ let find (c : t) ~key ~deps =
           None)
 
 let add (c : t) ~key ~deps payload =
-  if enabled c then
-    let size = String.length payload in
-    if size <= c.max_bytes then
-      locked c @@ fun () ->
-      (match Hashtbl.find_opt c.tbl key with
-      | Some old -> remove c old
-      | None -> ());
-      let n =
-        let rec n =
-          { key; deps = normalize_deps deps; payload; size; prev = n; next = n }
-        in
-        n
+  let size = String.length payload in
+  if (not (enabled c)) || size > c.max_bytes then 0
+  else
+    locked c @@ fun () ->
+    (match Hashtbl.find_opt c.tbl key with
+    | Some old -> remove c old
+    | None -> ());
+    let n =
+      let rec n =
+        { key; deps = normalize_deps deps; payload; size; prev = n; next = n }
       in
-      Hashtbl.replace c.tbl key n;
-      push_front c n;
-      c.bytes <- c.bytes + size;
-      while c.bytes > c.max_bytes do
-        let lru = c.sent.prev in
-        remove c lru;
-        c.evictions <- c.evictions + 1
-      done
+      n
+    in
+    Hashtbl.replace c.tbl key n;
+    push_front c n;
+    c.bytes <- c.bytes + size;
+    let evicted = ref 0 in
+    while c.bytes > c.max_bytes do
+      let lru = c.sent.prev in
+      remove c lru;
+      c.evictions <- c.evictions + 1;
+      incr evicted
+    done;
+    !evicted
 
 let invalidate_table (c : t) name =
   if not (enabled c) then 0

@@ -37,10 +37,11 @@ val find : t -> key:string -> deps:(string * int) list -> string option
     dependency versions equal [deps] (compared order-insensitively).
     A stale entry is removed and counted as an invalidation. *)
 
-val add : t -> key:string -> deps:(string * int) list -> string -> unit
+val add : t -> key:string -> deps:(string * int) list -> string -> int
 (** Insert (or replace) an entry, then evict least-recently-used entries
-    until the byte budget holds.  A payload alone above the budget is not
-    stored. *)
+    until the byte budget holds; returns how many entries were evicted,
+    so callers can feed a live eviction metric.  A payload alone above
+    the budget is not stored (returns 0, as does a disabled cache). *)
 
 val invalidate_table : t -> string -> int
 (** Drop every entry depending on the table (case-insensitive); returns

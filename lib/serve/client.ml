@@ -41,7 +41,16 @@ let request_unlocked t (req : Wire.request) : Wire.response =
   Wire.write_frame t.fd (Json.to_string (Wire.request_to_json req));
   match Wire.read_frame t.fd with
   | None -> raise (Wire.Protocol_error "server closed mid-request")
-  | Some frame -> Wire.response_of_string frame
+  | Some frame ->
+      let rsp = Wire.response_of_string frame in
+      (* one request in flight, so the next response must answer it —
+         anything else means the stream is desynchronized *)
+      if rsp.Wire.rsp_id <> req.Wire.id then
+        raise
+          (Wire.Protocol_error
+             (Printf.sprintf "response id %d does not match request id %d"
+                rsp.Wire.rsp_id req.Wire.id));
+      rsp
 
 let request t req = locked t (fun () -> request_unlocked t req)
 

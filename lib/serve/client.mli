@@ -19,7 +19,9 @@ val connect : ?host:string -> port:int -> unit -> t
 val session_id : t -> int
 
 val request : t -> Wire.request -> Wire.response
-(** Send one request and wait for its response. *)
+(** Send one request and wait for its response.
+    @raise Wire.Protocol_error when the response id does not match the
+    request id (desynchronized stream). *)
 
 val run : ?deadline_ms:int -> ?trace:bool -> t -> string -> Wire.response
 (** {!request} with an auto-assigned id. *)

@@ -53,6 +53,14 @@ type t = {
   stop_flag : bool Atomic.t;
   conns : (int, conn) Hashtbl.t;  (* live connections by session id *)
   conns_lock : Mutex.t;
+  (* per-session execution chains: a session id is present iff one of its
+     jobs is executing right now; jobs of that session taken from the
+     admission queue meanwhile are deferred here and run, in FIFO order,
+     by the worker finishing the current one — so a session has at most
+     one request executing at a time and pipelined requests observe
+     program order (an INSERT is visible to the SELECT behind it) *)
+  order : (int, job Queue.t) Hashtbl.t;
+  order_lock : Mutex.t;
   mutable accept_thread : Thread.t option;
   mutable worker_threads : Thread.t list;
   mutable conn_threads : Thread.t list;
@@ -132,7 +140,8 @@ let run_query srv sess (req : Wire.request) =
       let obs = if req.Wire.trace then Trace.create () else Trace.disabled in
       let tbl = Middleware.run_prepared ~obs srv.mw p in
       let payload = Wire.body_to_payload (Wire.Rows tbl) in
-      Cache.add srv.cache ~key ~deps payload;
+      let evicted = Cache.add srv.cache ~key ~deps payload in
+      if evicted > 0 then Metrics.add srv.m_cache_evictions evicted;
       (payload, false, trace_json obs)
 
 (* DDL/DML and the meta statements (EXPLAIN, CHECK) bypass the cache;
@@ -174,29 +183,89 @@ let execute srv (j : job) =
   | exception exn ->
       send_error srv j.j_conn ~id Wire.Runtime_error (Printexc.to_string exn)
 
+(* ---- per-session ordering ---- *)
+
+(* Enqueue [job] preserving per-session FIFO order.  The caller is the
+   session's reader thread, which sees requests in arrival order, and at
+   most one job per session is ever inside the admission queue: when the
+   session already holds a claim (a job executing or queued), the new job
+   is deferred onto the session's chain instead, to be run by the worker
+   finishing the current one.  Two workers can therefore never race on
+   the order of one session's requests.  The chain is bounded by the
+   admission depth, so a pipelining flood gets [`Busy] backpressure like
+   everyone else. *)
+let enqueue srv (job : job) =
+  let sid = Session.id job.j_sess in
+  if Admission.draining srv.queue then `Draining
+  else
+    let claim =
+      locked srv.order_lock @@ fun () ->
+      match Hashtbl.find_opt srv.order sid with
+      | Some pending ->
+          if Queue.length pending >= srv.cfg.queue_depth then `Busy
+          else begin
+            Queue.push job pending;
+            `Deferred
+          end
+      | None ->
+          Hashtbl.replace srv.order sid (Queue.create ());
+          `Claimed
+    in
+    match claim with
+    | (`Busy | `Deferred) as r -> r
+    | `Claimed -> (
+        match Admission.submit srv.queue job with
+        | `Accepted -> `Accepted
+        | (`Busy | `Draining) as r ->
+            (* the job never entered the queue: release the fresh claim
+               (its chain is empty — this reader is the only submitter) *)
+            locked srv.order_lock (fun () -> Hashtbl.remove srv.order sid);
+            r)
+
+(* done with one job of the session: hand back its next deferred job, or
+   release the session's claim when the chain is dry *)
+let session_next srv (job : job) =
+  let sid = Session.id job.j_sess in
+  locked srv.order_lock @@ fun () ->
+  match Hashtbl.find_opt srv.order sid with
+  | Some pending when not (Queue.is_empty pending) -> Some (Queue.pop pending)
+  | _ ->
+      Hashtbl.remove srv.order sid;
+      None
+
 (* ---- worker threads ---- *)
 
+let run_one srv (job : job) =
+  Metrics.incr srv.m_requests;
+  match job.j_req.Wire.deadline_ms with
+  | Some budget_ms
+    when Int64.to_int
+           (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1_000_000L)
+         >= budget_ms ->
+      Metrics.incr srv.m_deadline;
+      send_raw job.j_conn
+        (Wire.error_frame ~id:job.j_req.Wire.id
+           {
+             Wire.code = Wire.Deadline_exceeded;
+             message =
+               Printf.sprintf "deadline of %d ms exceeded in queue" budget_ms;
+           })
+  | _ -> execute srv job
+
 let worker_loop srv () =
+  (* every job handed out by the admission queue carries its session's
+     claim: run it, then drain the jobs deferred behind it in FIFO order *)
+  let rec run_chain job =
+    run_one srv job;
+    match session_next srv job with
+    | Some next -> run_chain next
+    | None -> ()
+  in
   let rec loop () =
     match Admission.take srv.queue with
     | None -> ()  (* drained and dry: exit *)
     | Some job ->
-        Metrics.incr srv.m_requests;
-        (match job.j_req.Wire.deadline_ms with
-        | Some budget_ms
-          when Int64.to_int
-                 (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1_000_000L)
-               >= budget_ms ->
-            Metrics.incr srv.m_deadline;
-            send_raw job.j_conn
-              (Wire.error_frame ~id:job.j_req.Wire.id
-                 {
-                   Wire.code = Wire.Deadline_exceeded;
-                   message =
-                     Printf.sprintf "deadline of %d ms exceeded in queue"
-                       budget_ms;
-                 })
-        | _ -> execute srv job);
+        run_chain job;
         loop ()
   in
   loop ()
@@ -207,7 +276,16 @@ let conn_loop srv conn sess () =
   let sid = Session.id sess in
   let finally () =
     Session.close srv.sessions sess;
-    locked srv.conns_lock (fun () -> Hashtbl.remove srv.conns sid);
+    (* deregister and prune this thread from the server's bookkeeping so
+       a long-running server doesn't accumulate a Thread.t per connection
+       ever accepted; the accept loop inserts the thread into
+       [conn_threads] under [conns_lock] before releasing it, so the
+       filter below can never run before the insertion *)
+    let self = Thread.id (Thread.self ()) in
+    locked srv.conns_lock (fun () ->
+        Hashtbl.remove srv.conns sid;
+        srv.conn_threads <-
+          List.filter (fun th -> Thread.id th <> self) srv.conn_threads);
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   in
   Fun.protect ~finally @@ fun () ->
@@ -222,8 +300,8 @@ let conn_loop srv conn sess () =
               { j_conn = conn; j_sess = sess; j_req = req;
                 j_enq_ns = Clock.now_ns () }
             in
-            match Admission.submit srv.queue job with
-            | `Accepted -> ()
+            match enqueue srv job with
+            | `Accepted | `Deferred -> ()
             | `Busy ->
                 Metrics.incr srv.m_busy;
                 send_error srv conn ~id:req.Wire.id Wire.Server_busy
@@ -272,7 +350,12 @@ let accept_loop srv () =
                         Thread.create (conn_loop srv conn sess) ()
                         :: srv.conn_threads)))
       | _ -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          (* EBADF in a stop race, EMFILE pressure, ...: the accept loop
+             must survive — back off briefly (a persistent error would
+             otherwise spin hot) and re-check [stop_flag] *)
+          Thread.delay 0.05);
       loop ()
     end
   in
@@ -308,6 +391,8 @@ let start ?(config = default_config) mw =
       stop_flag = Atomic.make false;
       conns = Hashtbl.create 64;
       conns_lock = Mutex.create ();
+      order = Hashtbl.create 64;
+      order_lock = Mutex.create ();
       accept_thread = None;
       worker_threads = [];
       conn_threads = [];
@@ -334,10 +419,6 @@ let stop srv =
     (* 2. drain: no new requests; workers finish everything accepted *)
     Admission.drain srv.queue;
     List.iter Thread.join srv.worker_threads;
-    (* evictions counter is cumulative; sync it for the final export *)
-    let evs = (Cache.stats srv.cache).Cache.evictions in
-    Metrics.add srv.m_cache_evictions
-      (evs - Metrics.value srv.m_cache_evictions);
     (* 3. wake blocked readers (EOF) and join connection threads *)
     let conn_fds =
       locked srv.conns_lock (fun () ->

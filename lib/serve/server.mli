@@ -2,10 +2,20 @@
 
     One accept loop, one reader thread per connection, a fixed pool of
     worker threads draining the {!Admission} queue.  Each connection is a
-    {!Session} (prepared statements cached per statement text); queries
-    execute on the shared, thread-safe {!Tkr_middleware.Middleware} — the
-    pool of domains inside the middleware provides CPU parallelism, the
-    worker threads provide request concurrency and IO overlap.
+    {!Session} (prepared statements cached per statement text and
+    revalidated against {!Tkr_middleware.Middleware.epoch}, so DDL/DML
+    transparently re-prepares); queries execute on the shared,
+    thread-safe {!Tkr_middleware.Middleware} — the pool of domains inside
+    the middleware provides CPU parallelism, the worker threads provide
+    request concurrency and IO overlap.
+
+    Requests of one session execute one at a time, in arrival order: at
+    most one job per session enters the admission queue, and requests
+    arriving while it executes are chained behind it (the chain is
+    bounded by [queue_depth]; past that the session gets [SERVER_BUSY]).
+    A client that pipelines [INSERT ...] then [SELECT ...] on one
+    connection therefore observes program order, and responses come back
+    in request order.  Concurrency comes from having many sessions.
 
     Query results flow through the snapshot-aware {!Cache}: an entry is
     keyed on the normalized final plan and guarded by the

@@ -2,7 +2,10 @@ module Middleware = Tkr_middleware.Middleware
 
 type session = {
   sid : int;
-  stmts : (string, Middleware.prepared) Hashtbl.t;
+  stmts : (string, int * Middleware.prepared) Hashtbl.t;
+      (* statement text -> (middleware epoch at prepare time, plan);
+         entries from an older epoch are stale — the plan baked catalog
+         state (time bounds, schema arities) that has since changed *)
   s_lock : Mutex.t;
   mutable counted : bool;  (* still counted in the manager's [live] *)
 }
@@ -44,16 +47,22 @@ let active m = locked m.m_lock (fun () -> m.live)
 
 let prepared s mw stmt =
   (* fast path under the session lock; prepare outside it so slow
-     preparations don't serialize unrelated statements of the session *)
+     preparations don't serialize unrelated statements of the session.
+     Callers executing the plan run this under Middleware.read_locked, so
+     the epoch cannot move between the check and the execution; outside
+     that bracket a concurrent mutation at worst stores an entry that is
+     already stale, which the next lookup re-prepares. *)
+  let ep = Middleware.epoch mw in
   match locked s.s_lock (fun () -> Hashtbl.find_opt s.stmts stmt) with
-  | Some p -> p
-  | None ->
+  | Some (e, p) when e = ep -> p
+  | Some _ | None ->
       let p = Middleware.prepare mw stmt in
       locked s.s_lock (fun () ->
           match Hashtbl.find_opt s.stmts stmt with
-          | Some winner -> winner (* another thread of this session won *)
-          | None ->
-              Hashtbl.replace s.stmts stmt p;
+          | Some (e, winner) when e = ep ->
+              winner (* another thread of this session won *)
+          | _ ->
+              Hashtbl.replace s.stmts stmt (ep, p);
               p)
 
 let prepared_count s = locked s.s_lock (fun () -> Hashtbl.length s.stmts)

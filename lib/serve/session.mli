@@ -3,8 +3,12 @@
     A session holds the connection's prepared-statement table: statements
     are prepared once per (session, statement text) and re-executed on
     repetition, so clients replaying a workload skip the parse → analyze
-    → rewrite → optimize pipeline after the first round.  The manager
-    enforces the server's [max_sessions] admission limit.
+    → rewrite → optimize pipeline after the first round.  Entries are
+    validated against {!Middleware.epoch}: a plan bakes catalog state of
+    prepare time (snapshot time bounds, schema arities), so after any
+    DDL/DML or settings change the entry is stale and is transparently
+    re-prepared on next use.  The manager enforces the server's
+    [max_sessions] admission limit.
 
     Both are mutex-guarded and safe for concurrent callers. *)
 
@@ -29,7 +33,11 @@ val active : manager -> int
 
 val prepared : session -> Middleware.t -> string -> Middleware.prepared
 (** The session's prepared statement for [stmt], preparing (and caching)
-    it on first sight.  Raises whatever {!Middleware.prepare} raises;
-    failures are not cached. *)
+    it on first sight and re-preparing when the cached entry's
+    {!Middleware.epoch} is stale (the catalog or settings changed since).
+    Call under {!Middleware.read_locked} when executing the returned plan,
+    so no mutation can intervene between validation and execution.
+    Raises whatever {!Middleware.prepare} raises; failures are not
+    cached. *)
 
 val prepared_count : session -> int

@@ -105,14 +105,14 @@ let test_cache_hit_and_invalidation () =
   let c = Cache.create ~max_bytes:10_000 in
   let deps = [ ("works", 1); ("emp", 3) ] in
   check "miss on empty" true (Cache.find c ~key:"k" ~deps = None);
-  Cache.add c ~key:"k" ~deps "payload-bytes";
+  ignore (Cache.add c ~key:"k" ~deps "payload-bytes");
   check "hit on same versions" true
     (Cache.find c ~key:"k" ~deps = Some "payload-bytes");
   (* dependency order must not matter *)
   check "hit is order-insensitive" true
     (Cache.find c ~key:"k" ~deps:(List.rev deps) = Some "payload-bytes");
   (* a bumped version invalidates exactly this entry *)
-  Cache.add c ~key:"other" ~deps:[ ("salaries", 2) ] "other-bytes";
+  ignore (Cache.add c ~key:"other" ~deps:[ ("salaries", 2) ] "other-bytes");
   check "stale versions invalidate" true
     (Cache.find c ~key:"k" ~deps:[ ("works", 2); ("emp", 3) ] = None);
   check "unrelated entry survives" true
@@ -123,12 +123,16 @@ let test_cache_hit_and_invalidation () =
 
 let test_cache_lru_eviction () =
   let c = Cache.create ~max_bytes:30 in
-  Cache.add c ~key:"a" ~deps:[] (String.make 10 'a');
-  Cache.add c ~key:"b" ~deps:[] (String.make 10 'b');
-  Cache.add c ~key:"c" ~deps:[] (String.make 10 'c');
+  check_int "no eviction adding a" 0
+    (Cache.add c ~key:"a" ~deps:[] (String.make 10 'a'));
+  check_int "no eviction adding b" 0
+    (Cache.add c ~key:"b" ~deps:[] (String.make 10 'b'));
+  check_int "no eviction adding c" 0
+    (Cache.add c ~key:"c" ~deps:[] (String.make 10 'c'));
   (* touch a so b is the least recently used *)
   check "a hits" true (Cache.find c ~key:"a" ~deps:[] <> None);
-  Cache.add c ~key:"d" ~deps:[] (String.make 10 'd');
+  check_int "adding d evicts one" 1
+    (Cache.add c ~key:"d" ~deps:[] (String.make 10 'd'));
   check "LRU victim b evicted" true (Cache.find c ~key:"b" ~deps:[] = None);
   check "recently used a survives" true (Cache.find c ~key:"a" ~deps:[] <> None);
   check "newest d present" true (Cache.find c ~key:"d" ~deps:[] <> None);
@@ -136,20 +140,21 @@ let test_cache_lru_eviction () =
   check_int "one eviction" 1 s.Cache.evictions;
   check "byte budget holds" true (s.Cache.bytes <= 30);
   (* a payload alone above the budget is not stored *)
-  Cache.add c ~key:"huge" ~deps:[] (String.make 100 'h');
+  check_int "oversized add evicts nothing" 0
+    (Cache.add c ~key:"huge" ~deps:[] (String.make 100 'h'));
   check "oversized payload not stored" true
     (Cache.find c ~key:"huge" ~deps:[] = None);
   (* disabled cache: every lookup misses, add is a no-op *)
   let off = Cache.create ~max_bytes:0 in
-  Cache.add off ~key:"k" ~deps:[] "p";
+  check_int "disabled add is a no-op" 0 (Cache.add off ~key:"k" ~deps:[] "p");
   check "disabled cache never hits" true (Cache.find off ~key:"k" ~deps:[] = None);
   check "disabled reports disabled" false (Cache.enabled off)
 
 let test_cache_invalidate_table () =
   let c = Cache.create ~max_bytes:10_000 in
-  Cache.add c ~key:"q1" ~deps:[ ("works", 1) ] "p1";
-  Cache.add c ~key:"q2" ~deps:[ ("works", 1); ("emp", 1) ] "p2";
-  Cache.add c ~key:"q3" ~deps:[ ("emp", 1) ] "p3";
+  ignore (Cache.add c ~key:"q1" ~deps:[ ("works", 1) ] "p1");
+  ignore (Cache.add c ~key:"q2" ~deps:[ ("works", 1); ("emp", 1) ] "p2");
+  ignore (Cache.add c ~key:"q3" ~deps:[ ("emp", 1) ] "p3");
   check_int "two entries dropped" 2 (Cache.invalidate_table c "WORKS");
   check "q3 survives" true (Cache.find c ~key:"q3" ~deps:[ ("emp", 1) ] <> None);
   check_int "entries after" 1 (Cache.stats c).Cache.entries
@@ -172,6 +177,26 @@ let test_database_versions () =
   check_int "drop bumps, never resets" 4 (Database.version db "t");
   Database.add_table db "t" (Table.of_array schema [| row 1 |]);
   check_int "reload continues monotone" 5 (Database.version db "t")
+
+(* ---- middleware epoch (prepared-plan staleness signal) ---- *)
+
+let test_middleware_epoch () =
+  let m = M.create () in
+  let e0 = M.epoch m in
+  ignore (M.execute m "CREATE TABLE ee (x int)");
+  let e1 = M.epoch m in
+  check "DDL bumps the epoch" true (e1 > e0);
+  ignore (M.execute m "INSERT INTO ee VALUES (1)");
+  let e2 = M.epoch m in
+  check "DML bumps the epoch" true (e2 > e1);
+  ignore (M.query m "SELECT x FROM ee");
+  check_int "queries leave the epoch unchanged" e2 (M.epoch m);
+  M.set_optimize m true;
+  check "settings changes bump the epoch" true (M.epoch m > e2);
+  let e3 = M.epoch m in
+  let schema = Schema.make [ Schema.attr "x" Value.TInt ] in
+  Database.add_table (M.database m) "direct" (Table.of_array schema [||]);
+  check "direct database mutation bumps the epoch" true (M.epoch m > e3)
 
 (* ---- admission control ---- *)
 
@@ -429,6 +454,86 @@ let test_e2e_dml_invalidates () =
   check_int "one invalidation recorded" 1
     (Server.cache_stats srv).Cache.invalidations
 
+(* A session's cached prepared plan bakes catalog state: snapshot plans
+   bake the time bounds of prepare time, AS OF pushdown bakes schema
+   arities.  After DML that extends the time bounds, or DROP+CREATE that
+   changes a schema, re-executing the same statement text on the same
+   connection must return the bytes a fresh preparation computes — the
+   session must notice the stale plan and re-prepare. *)
+let test_e2e_session_reprepare () =
+  with_server @@ fun m srv ->
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  ignore (Client.run_exn c "CREATE TABLE ep (x int, b int, e int) PERIOD (b, e)");
+  ignore (Client.run_exn c "INSERT INTO ep VALUES (1, 0, 10)");
+  (* count-per-snapshot: the rewrite constructs whole-domain rows from
+     the tmin/tmax of prepare time, so a stale plan is visibly wrong *)
+  let agg = "SEQ VT (SELECT count(*) AS cnt FROM ep)" in
+  let slice = "SEQ VT AS OF 5 (SELECT x FROM ep)" in
+  check_str "snapshot agg before DML" (render (M.execute m agg))
+    (render_rsp (Client.run_exn c agg));
+  check_str "timeslice before DML" (render (M.execute m slice))
+    (render_rsp (Client.run_exn c slice));
+  (* extend the time domain well past the baked tmax *)
+  ignore (Client.run_exn c "INSERT INTO ep VALUES (2, 5, 5000)");
+  check_str "snapshot agg after time bounds moved (re-prepared)"
+    (render (M.execute m agg))
+    (render_rsp (Client.run_exn c agg));
+  (* change the table's schema arity underneath the cached plans *)
+  ignore (Client.run_exn c "DROP TABLE ep");
+  ignore
+    (Client.run_exn c "CREATE TABLE ep (x int, y int, b int, e int) PERIOD (b, e)");
+  ignore (Client.run_exn c "INSERT INTO ep VALUES (7, 8, 0, 20)");
+  check_str "snapshot agg after DROP+CREATE (re-prepared)"
+    (render (M.execute m agg))
+    (render_rsp (Client.run_exn c agg));
+  check_str "timeslice after DROP+CREATE (re-prepared)"
+    (render (M.execute m slice))
+    (render_rsp (Client.run_exn c slice))
+
+(* Pipelined requests on one connection: the server must execute them in
+   arrival order (an INSERT is visible to the SELECT behind it) and reply
+   in request order, even with a pool of workers *)
+let test_e2e_pipelined_ordering () =
+  with_server @@ fun _m srv ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally:close @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port srv));
+  (match Wire.read_frame fd with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no greeting");
+  let send id stmt =
+    Wire.write_frame fd
+      (Json.to_string (Wire.request_to_json (Wire.request ~id stmt)))
+  in
+  let inserts = 10 in
+  (* fire everything without reading a single response *)
+  send 1 "CREATE TABLE pipe (x int)";
+  for i = 1 to inserts do
+    send (1 + i) (Printf.sprintf "INSERT INTO pipe VALUES (%d)" i)
+  done;
+  send (inserts + 2) "SELECT x FROM pipe";
+  let read_rsp expect_id =
+    match Wire.read_frame fd with
+    | None -> Alcotest.fail "server closed mid-pipeline"
+    | Some frame ->
+        let rsp = Wire.response_of_string frame in
+        check_int "responses arrive in request order" expect_id rsp.Wire.rsp_id;
+        rsp
+  in
+  for i = 1 to inserts + 1 do
+    match (read_rsp i).Wire.body with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("pipelined statement failed: " ^ e.Wire.message)
+  done;
+  match (read_rsp (inserts + 2)).Wire.body with
+  | Ok (Wire.Rows t) ->
+      check_int "pipelined SELECT sees every prior INSERT" inserts
+        (Table.cardinality t)
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error e -> Alcotest.fail ("pipelined SELECT failed: " ^ e.Wire.message)
+
 let test_e2e_error_codes () =
   with_server @@ fun _m srv ->
   Client.with_client ~port:(Server.port srv) @@ fun c ->
@@ -487,6 +592,8 @@ let suite =
         test_cache_invalidate_table;
       Alcotest.test_case "database: version counters" `Quick
         test_database_versions;
+      Alcotest.test_case "middleware: epoch staleness signal" `Quick
+        test_middleware_epoch;
       Alcotest.test_case "admission: busy and drain" `Quick
         test_admission_busy_and_drain;
       Alcotest.test_case "admission: drain wakes takers" `Quick
@@ -504,6 +611,10 @@ let suite =
         test_e2e_concurrent_clients;
       Alcotest.test_case "e2e: DML invalidates cache" `Quick
         test_e2e_dml_invalidates;
+      Alcotest.test_case "e2e: stale session plans re-prepare" `Quick
+        test_e2e_session_reprepare;
+      Alcotest.test_case "e2e: pipelined per-session ordering" `Quick
+        test_e2e_pipelined_ordering;
       Alcotest.test_case "e2e: typed error codes" `Quick test_e2e_error_codes;
       Alcotest.test_case "e2e: session limit" `Quick test_e2e_session_limit;
       Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
