@@ -11,6 +11,8 @@
      serve                     TCP query server: sessions, admission
                                control, snapshot-aware result cache
      connect                   client for a running server
+     top                       live console view of a running server
+                               (QPS, latency quantiles, cache hit rate)
      bench run|compare|export|serve
                                perf trajectory: run the quick suite,
                                detect regressions between two BENCH
@@ -37,6 +39,8 @@ module Client = Tkr_serve.Client
 module Wire = Tkr_serve.Wire
 module Cache = Tkr_serve.Cache
 module Clock = Tkr_obs.Clock
+module Json = Tkr_obs.Json
+module Tel = Tkr_tel.Tel
 
 (* --- error hygiene: distinct exit codes per failure class --- *)
 
@@ -503,18 +507,29 @@ let lint_cmd =
 (* --- serve --- *)
 
 let serve data workload host port max_sessions queue_depth cache_mb jobs
-    workers metrics_out =
+    workers metrics_out log slow_ms =
   let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
   (match data with Some dir -> load_dir m dir | None -> ());
-  let config =
-    { Server.host; port; max_sessions; queue_depth; cache_mb; workers }
+  (* the JSONL event log: a file path, "stderr", or off entirely *)
+  let tel, tel_oc =
+    match log with
+    | None -> (Tel.disabled, None)
+    | Some "stderr" -> (Tel.create (Tel.Chan stderr), None)
+    | Some path ->
+        let oc = open_out path in
+        (Tel.create (Tel.Chan oc), Some oc)
   in
-  let srv = Server.start ~config m in
+  let config =
+    { Server.host; port; max_sessions; queue_depth; cache_mb; workers;
+      slow_ms }
+  in
+  let srv = Server.start ~config ~tel m in
   Printf.printf
     "tkr_serve listening on %s:%d (sessions %d, queue %d, cache %d MiB, \
-     workers %d, jobs %d)\n%!"
-    host (Server.port srv) max_sessions queue_depth cache_mb workers jobs;
+     workers %d, jobs %d%s)\n%!"
+    host (Server.port srv) max_sessions queue_depth cache_mb workers jobs
+    (match log with Some dst -> ", log " ^ dst | None -> "");
   (* SIGTERM/SIGINT request a graceful drain: accepted requests finish,
      then every thread joins and the process exits 0 *)
   let stop_requested = Atomic.make false in
@@ -527,7 +542,9 @@ let serve data workload host port max_sessions queue_depth cache_mb jobs
     Thread.delay 0.1
   done;
   Printf.eprintf "draining...\n%!";
-  Server.stop srv;
+  Server.stop ~reason:"sigterm" srv;
+  Tel.close tel;
+  (match tel_oc with Some oc -> close_out oc | None -> ());
   let s = Server.cache_stats srv in
   Printf.eprintf "cache: %d hits, %d misses, %d evictions, %d invalidations\n%!"
     s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.invalidations;
@@ -535,7 +552,7 @@ let serve data workload host port max_sessions queue_depth cache_mb jobs
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (Tkr_obs.Openmetrics.of_metrics (M.metrics m));
+      output_string oc (Server.metrics_text srv);
       close_out oc;
       Printf.eprintf "wrote metrics to %s\n%!" path
 
@@ -609,17 +626,38 @@ let serve_cmd =
             "on shutdown, write the full metrics registry (engine and \
              serve_* instruments) as an OpenMetrics document")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"PATH|stderr"
+          ~doc:
+            "write the structured JSONL event log (connections, requests \
+             with trace ids, cache traffic, invalidations, rejects, epoch \
+             bumps, slow queries) to $(docv); omitting it disables \
+             telemetry entirely")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt int 500
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "slow-query threshold: requests at or above $(docv) total \
+             latency emit a slow_query event with plan fingerprint, \
+             queue/execute split and cache disposition")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the TCP query server: per-connection sessions with prepared \
           statements, admission control with backpressure, snapshot-aware \
-          result cache; SIGTERM/SIGINT drain gracefully")
+          result cache, live telemetry (STATS/METRICS/HEALTH, event log); \
+          SIGTERM/SIGINT drain gracefully")
     Term.(
-      const (fun a b c d e f g h i j ->
-          guarded (fun () -> serve a b c d e f g h i j))
+      const (fun a b c d e f g h i j k l ->
+          guarded (fun () -> serve a b c d e f g h i j k l))
       $ data $ workload $ host_arg $ port_arg $ max_sessions $ queue_depth
-      $ cache_mb $ jobs $ workers $ metrics_out)
+      $ cache_mb $ jobs $ workers $ metrics_out $ log $ slow_ms)
 
 (* --- connect --- *)
 
@@ -761,6 +799,120 @@ let connect_cmd =
           guarded (fun () -> connect a b c d e f g h i))
       $ host_arg $ port_arg $ sql $ file $ workload $ connections
       $ deadline_ms $ trace $ max_rows)
+
+(* --- top --- *)
+
+(* the scrape commands answer with a Message whose text is JSON *)
+let json_payload (rsp : Wire.response) : Json.t =
+  match rsp.Wire.body with
+  | Ok (Wire.Message s) -> Json.of_string s
+  | Ok (Wire.Rows _) ->
+      raise (Fail (5, "unexpected rows payload from a scrape command"))
+  | Error e -> raise (Client.Server_error e)
+
+let top host port interval iterations =
+  let jint j key =
+    Option.value ~default:0 (Option.bind (Json.member key j) Json.to_int_opt)
+  in
+  let jstr j key =
+    Option.value ~default:""
+      (Option.bind (Json.member key j) Json.to_string_opt)
+  in
+  let jobj j key = Option.value ~default:(Json.Obj []) (Json.member key j) in
+  let mib b = float_of_int b /. (1024. *. 1024.) in
+  let truncate_stmt s =
+    let s = String.map (function '\n' | '\t' -> ' ' | c -> c) s in
+    if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+  in
+  let clear_screen = Unix.isatty Unix.stdout in
+  Client.with_client ~host ~port @@ fun c ->
+  let prev_requests = ref (-1) in
+  let tick () =
+    let stats = json_payload (Client.run_exn c "STATS") in
+    let health = json_payload (Client.run_exn c "HEALTH") in
+    let requests = jint stats "requests" in
+    let qps =
+      if !prev_requests < 0 then 0.0
+      else float_of_int (requests - !prev_requests) /. interval
+    in
+    prev_requests := requests;
+    let lat = jobj stats "latency_us" in
+    let cache = jobj stats "cache" in
+    let looked = jint cache "hits" + jint cache "misses" in
+    let hit_rate =
+      if looked = 0 then 0.0
+      else 100. *. float_of_int (jint cache "hits") /. float_of_int looked
+    in
+    if clear_screen then print_string "\027[2J\027[H";
+    Printf.printf "tkr top — %s:%d   %s   up %ds\n" host port
+      (jstr health "status") (jint stats "uptime_s");
+    Printf.printf
+      "requests  %d   (%.1f req/s)   errors %d   busy %d   deadline %d\n"
+      requests qps (jint stats "errors") (jint stats "busy")
+      (jint stats "deadline_exceeded");
+    Printf.printf
+      "sessions  %d   queue %d   inflight %d   pool domains %d\n"
+      (jint stats "sessions") (jint stats "queue_depth")
+      (jint stats "inflight") (jint stats "pool_domains");
+    Printf.printf
+      "latency   p50 %d us   p95 %d us   p99 %d us   (%d samples)\n"
+      (jint lat "p50") (jint lat "p95") (jint lat "p99") (jint lat "count");
+    Printf.printf
+      "cache     hit %.1f%%   entries %d   %.1f/%.1f MiB   evictions %d   \
+       invalidations %d\n"
+      hit_rate (jint cache "entries")
+      (mib (jint cache "bytes"))
+      (mib (jint cache "max_bytes"))
+      (jint cache "evictions") (jint cache "invalidations");
+    (match Json.member "slowest" stats with
+    | Some (Json.List (_ :: _ as slow)) ->
+        Printf.printf "slowest plans:\n";
+        Printf.printf "  %-14s %6s %9s %9s  %s\n" "fingerprint" "count"
+          "max ms" "avg ms" "stmt";
+        List.iter
+          (fun e ->
+            let count = max 1 (jint e "count") in
+            Printf.printf "  %-14s %6d %9.1f %9.1f  %s\n" (jstr e "fingerprint")
+              (jint e "count")
+              (float_of_int (jint e "max_us") /. 1000.)
+              (float_of_int (jint e "total_us") /. float_of_int count /. 1000.)
+              (truncate_stmt (jstr e "stmt")))
+          slow
+    | _ -> ());
+    flush stdout
+  in
+  let rec loop n =
+    if iterations = 0 || n < iterations then begin
+      tick ();
+      if iterations = 0 || n + 1 < iterations then Thread.delay interval;
+      loop (n + 1)
+    end
+  in
+  loop 0
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"seconds between refreshes")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations"; "n" ] ~docv:"N"
+          ~doc:"stop after $(docv) refreshes (0 = until interrupted)")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live console view of a running server: QPS, latency quantiles \
+          (p50/p95/p99), queue depth, in-flight requests, cache hit rate \
+          and the slowest plan fingerprints, polled over the wire via \
+          STATS/HEALTH")
+    Term.(
+      const (fun a b c d -> guarded (fun () -> top a b c d))
+      $ host_arg $ port_arg $ interval $ iterations)
 
 (* --- bench --- *)
 
@@ -1293,5 +1445,5 @@ let () =
        (Cmd.group (Cmd.info "tkr" ~doc)
           [
             demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd; serve_cmd;
-            connect_cmd; bench_cmd;
+            connect_cmd; top_cmd; bench_cmd;
           ]))

@@ -137,6 +137,10 @@ type t = {
       (** serializes pooled executions: a {!Pool.t} accepts one batch
           submitter at a time, so prepared statements that captured a
           pool run one by one (serial statements are unaffected) *)
+  mutable epoch_hook : (int -> unit) option;
+      (** observer notified with the new {!epoch} after every completed
+          {!write_locked} section — the query server's invalidation
+          telemetry *)
 }
 
 let locked mu f =
@@ -160,21 +164,26 @@ let create ?(options = Rewriter.optimized) ?(optimize = true)
     rw = Rwlock.create ();
     settings_epoch = Atomic.make 0;
     pool_lock = Mutex.create ();
+    epoch_hook = None;
   }
 
 let read_locked m f = Rwlock.with_read m.rw f
+
+(* both summands are monotone non-decreasing, so the sum changes whenever
+   either does; reading it under [read_locked] excludes writers, making
+   (epoch read, prepare, execute) atomic with respect to mutations *)
+let epoch m = Atomic.get m.settings_epoch + Database.generation m.db
+
+let set_epoch_hook m hook = m.epoch_hook <- hook
 
 let write_locked m f =
   Rwlock.with_write m.rw (fun () ->
       (* bump first: even if [f] raises mid-mutation, cached plans are
          (conservatively) treated as stale *)
       Atomic.incr m.settings_epoch;
-      f ())
-
-(* both summands are monotone non-decreasing, so the sum changes whenever
-   either does; reading it under [read_locked] excludes writers, making
-   (epoch read, prepare, execute) atomic with respect to mutations *)
-let epoch m = Atomic.get m.settings_epoch + Database.generation m.db
+      let r = f () in
+      (match m.epoch_hook with Some h -> h (epoch m) | None -> ());
+      r)
 
 let totals m = m.totals
 let totals_report m = locked m.lock (fun () -> Format.asprintf "%a" pp_phase_stats m.totals)

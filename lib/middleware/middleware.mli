@@ -102,6 +102,12 @@ val epoch : t -> int
     prepare time; compare under {!read_locked} to exclude concurrent
     mutations.  Monotone non-decreasing. *)
 
+val set_epoch_hook : t -> (int -> unit) option -> unit
+(** Observer notified with the new {!epoch} after every completed
+    {!write_locked} section (DDL, DML, settings), while the write lock is
+    still held — keep it cheap and non-reentrant.  [None] removes it.
+    The query server installs its epoch-bump telemetry here. *)
+
 (** Cumulative phase timings of one prepared statement (or, for
     {!totals}, of a whole middleware): the preparation pipeline
     (parse → analyze → rewrite → optimize) is timed once per statement,

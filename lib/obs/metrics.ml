@@ -15,6 +15,8 @@
 
 type counter = { count : int Atomic.t }
 
+type gauge = { level : int Atomic.t }
+
 type timer = {
   clock : Clock.t;
   tm_lock : Mutex.t;
@@ -32,6 +34,7 @@ type histogram = {
 
 type metric =
   | Counter of counter
+  | Gauge of gauge
   | Timer of timer
   | Histogram of histogram
 
@@ -65,6 +68,11 @@ let counter t name : counter =
   match find_or_add t name (fun () -> Counter { count = Atomic.make 0 }) with
   | Counter c -> c
   | _ -> invalid_arg ("metric " ^ name ^ " is not a counter")
+
+let gauge t name : gauge =
+  match find_or_add t name (fun () -> Gauge { level = Atomic.make 0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg ("metric " ^ name ^ " is not a gauge")
 
 let timer t name : timer =
   match
@@ -104,6 +112,12 @@ let incr (c : counter) = Atomic.incr c.count
 let add (c : counter) n = ignore (Atomic.fetch_and_add c.count n)
 
 let value (c : counter) = Atomic.get c.count
+
+let set (g : gauge) v = Atomic.set g.level v
+
+let gauge_add (g : gauge) n = ignore (Atomic.fetch_and_add g.level n)
+
+let gauge_value (g : gauge) = Atomic.get g.level
 
 let record_ns (tm : timer) ns =
   locked tm.tm_lock @@ fun () ->
@@ -180,6 +194,7 @@ let reset t =
     (fun name ->
       match Hashtbl.find t.tbl name with
       | Counter c -> Atomic.set c.count 0
+      | Gauge g -> Atomic.set g.level 0
       | Timer tm ->
           locked tm.tm_lock @@ fun () ->
           tm.total_ns <- 0L;
@@ -199,12 +214,14 @@ let names t = locked t.reg_lock (fun () -> List.rev t.order)
     dispatch on the metric kind without find-or-create side effects. *)
 type view =
   | V_counter of int
+  | V_gauge of int
   | V_timer of int64 * int  (** total ns, samples *)
   | V_histogram of histogram
 
 let view t name : view option =
   match locked t.reg_lock (fun () -> Hashtbl.find_opt t.tbl name) with
   | Some (Counter c) -> Some (V_counter (Atomic.get c.count))
+  | Some (Gauge g) -> Some (V_gauge (Atomic.get g.level))
   | Some (Timer tm) ->
       Some (locked tm.tm_lock (fun () -> V_timer (tm.total_ns, tm.samples)))
   | Some (Histogram h) -> Some (V_histogram h)
@@ -214,6 +231,9 @@ let metric_json = function
   | Counter c ->
       Json.Obj
         [ ("type", Json.Str "counter"); ("value", Json.Int (Atomic.get c.count)) ]
+  | Gauge g ->
+      Json.Obj
+        [ ("type", Json.Str "gauge"); ("value", Json.Int (Atomic.get g.level)) ]
   | Timer tm ->
       let total_ns, samples =
         locked tm.tm_lock (fun () -> (tm.total_ns, tm.samples))
@@ -251,6 +271,7 @@ let pp ppf t =
     (fun name ->
       match locked t.reg_lock (fun () -> Hashtbl.find t.tbl name) with
       | Counter c -> Format.fprintf ppf "%-40s %12d@," name (Atomic.get c.count)
+      | Gauge g -> Format.fprintf ppf "%-40s %12d@," name (Atomic.get g.level)
       | Timer tm ->
           let total_ns, samples =
             locked tm.tm_lock (fun () -> (tm.total_ns, tm.samples))

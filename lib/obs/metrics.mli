@@ -1,11 +1,13 @@
-(** A lightweight metrics registry: named counters, monotonic-clock
-    timers and fixed-bucket histograms, find-or-create by name.
+(** A lightweight metrics registry: named counters, gauges,
+    monotonic-clock timers and fixed-bucket histograms, find-or-create by
+    name.
 
-    Thread-safe: counters are atomics, timers/histograms take a
-    per-instrument mutex and registration is serialized, so one registry
-    can be shared by concurrent threads or domains. *)
+    Thread-safe: counters and gauges are atomics, timers/histograms take
+    a per-instrument mutex and registration is serialized, so one
+    registry can be shared by concurrent threads or domains. *)
 
 type counter
+type gauge
 type timer
 type histogram
 type t
@@ -17,12 +19,23 @@ val global : t
 val counter : t -> string -> counter
 (** Find-or-create. @raise Invalid_argument on a kind mismatch. *)
 
+val gauge : t -> string -> gauge
+(** Find-or-create.  A gauge is a level that can go up and down —
+    queue depths, in-flight requests, cache residency — exported without
+    the [_total] suffix counters get. *)
+
 val timer : t -> string -> timer
 val histogram : ?bounds:int array -> t -> string -> histogram
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+(** [gauge_add g n] moves the level by [n] (negative to decrease). *)
+
+val gauge_value : gauge -> int
 
 val record_ns : timer -> int64 -> unit
 val time : timer -> (unit -> 'a) -> 'a
@@ -56,6 +69,7 @@ val names : t -> string list
     dispatch on the metric kind without find-or-create side effects. *)
 type view =
   | V_counter of int
+  | V_gauge of int
   | V_timer of int64 * int  (** total ns, samples *)
   | V_histogram of histogram
 

@@ -1,8 +1,9 @@
 (** OpenMetrics / Prometheus text exposition of a {!Metrics} registry.
 
-    Counters become [<name>_total] counters, timers a pair of
-    [<name>_ns_total] / [<name>_samples_total] counters, histograms the
-    classic cumulative-bucket encoding ([<name>_bucket{le="..."}] up to
+    Counters become [<name>_total] counters, gauges bare [<name>]
+    gauges, timers a pair of [<name>_ns_total] / [<name>_samples_total]
+    counters, histograms the classic cumulative-bucket encoding
+    ([<name>_bucket{le="..."}] up to
     [le="+Inf"], plus [_sum] and [_count]).  Metric names are sanitized
     to the OpenMetrics grammar; the document ends with the mandatory
     [# EOF] marker. *)
@@ -85,6 +86,9 @@ let render_metric buf name (v : Metrics.view) =
   | Metrics.V_counter c ->
       Buffer.add_string buf (type_line (name ^ "_total") "counter");
       Buffer.add_string buf (sample (name ^ "_total") (float_of_int c))
+  | Metrics.V_gauge g ->
+      Buffer.add_string buf (type_line name "gauge");
+      Buffer.add_string buf (sample name (float_of_int g))
   | Metrics.V_timer (total_ns, samples) ->
       Buffer.add_string buf (type_line (name ^ "_ns_total") "counter");
       Buffer.add_string buf (sample (name ^ "_ns_total") (Int64.to_float total_ns));
@@ -111,8 +115,11 @@ let render_metric buf name (v : Metrics.view) =
         (sample (name ^ "_count")
            (float_of_int (Metrics.histogram_observations h)))
 
-(** The whole registry as an OpenMetrics document (with [# EOF]). *)
-let of_metrics (m : Metrics.t) : string =
+(** The whole registry as an OpenMetrics document (with [# EOF]).
+    [extra] families (pre-rendered with {!gauge}) are appended before the
+    terminator — the hook for info-style metrics that live outside any
+    registry (build info, environment). *)
+let of_metrics ?(extra = []) (m : Metrics.t) : string =
   let buf = Buffer.create 1024 in
   List.iter
     (fun name ->
@@ -120,6 +127,7 @@ let of_metrics (m : Metrics.t) : string =
       | Some v -> render_metric buf name v
       | None -> ())
     (Metrics.names m);
+  List.iter (Buffer.add_string buf) extra;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 

@@ -21,8 +21,10 @@ val gauge :
   ?help:string -> string -> ((string * string) list * float) list -> string
 (** A gauge family, one sample per (labels, value) row. *)
 
-val of_metrics : Metrics.t -> string
-(** A whole registry as an OpenMetrics document (ending in [# EOF]). *)
+val of_metrics : ?extra:string list -> Metrics.t -> string
+(** A whole registry as an OpenMetrics document (ending in [# EOF]).
+    [extra] pre-rendered families ({!gauge} output) are appended before
+    the terminator. *)
 
 val document : string list -> string
 (** Concatenate pre-rendered families ({!gauge} output) and terminate

@@ -80,26 +80,39 @@ let remove c n =
 let normalize_deps deps =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) deps
 
-let find (c : t) ~key ~deps =
-  if not (enabled c) then None
+type outcome =
+  | Hit of string
+  | Miss
+  | Stale of (string * int) list
+      (* the dependencies that moved, at their current versions *)
+
+let lookup (c : t) ~key ~deps : outcome =
+  if not (enabled c) then Miss
   else
     locked c @@ fun () ->
     match Hashtbl.find_opt c.tbl key with
     | None ->
         c.misses <- c.misses + 1;
-        None
+        Miss
     | Some n ->
-        if n.deps = normalize_deps deps then (
+        let now = normalize_deps deps in
+        if n.deps = now then (
           unlink n;
           push_front c n;
           c.hits <- c.hits + 1;
-          Some n.payload)
+          Hit n.payload)
         else (
           (* a dependency moved on: the entry can never hit again *)
+          let changed =
+            List.filter (fun d -> not (List.mem d n.deps)) now
+          in
           remove c n;
           c.invalidations <- c.invalidations + 1;
           c.misses <- c.misses + 1;
-          None)
+          Stale changed)
+
+let find (c : t) ~key ~deps =
+  match lookup c ~key ~deps with Hit p -> Some p | Miss | Stale _ -> None
 
 let add (c : t) ~key ~deps payload =
   let size = String.length payload in

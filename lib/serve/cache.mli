@@ -32,10 +32,21 @@ val create : max_bytes:int -> t
 
 val enabled : t -> bool
 
-val find : t -> key:string -> deps:(string * int) list -> string option
-(** The stored payload iff an entry for [key] exists and its recorded
+type outcome =
+  | Hit of string  (** the stored payload *)
+  | Miss  (** no entry for the key *)
+  | Stale of (string * int) list
+      (** entry dropped: these dependencies moved (at current versions) *)
+
+val lookup : t -> key:string -> deps:(string * int) list -> outcome
+(** [Hit payload] iff an entry for [key] exists and its recorded
     dependency versions equal [deps] (compared order-insensitively).
-    A stale entry is removed and counted as an invalidation. *)
+    A stale entry is removed, counted as an invalidation, and reported
+    with its changed dependencies — the hook for invalidation
+    telemetry. *)
+
+val find : t -> key:string -> deps:(string * int) list -> string option
+(** [lookup] collapsed to an option. *)
 
 val add : t -> key:string -> deps:(string * int) list -> string -> int
 (** Insert (or replace) an entry, then evict least-recently-used entries

@@ -54,14 +54,14 @@ let request_unlocked t (req : Wire.request) : Wire.response =
 
 let request t req = locked t (fun () -> request_unlocked t req)
 
-let run ?deadline_ms ?trace t stmt =
+let run ?deadline_ms ?trace ?trace_id t stmt =
   locked t @@ fun () ->
   let id = t.next_id in
   t.next_id <- id + 1;
-  request_unlocked t (Wire.request ~id ?deadline_ms ?trace stmt)
+  request_unlocked t (Wire.request ~id ?deadline_ms ?trace ?trace_id stmt)
 
-let run_exn ?deadline_ms ?trace t stmt =
-  let rsp = run ?deadline_ms ?trace t stmt in
+let run_exn ?deadline_ms ?trace ?trace_id t stmt =
+  let rsp = run ?deadline_ms ?trace ?trace_id t stmt in
   match rsp.Wire.body with
   | Ok _ -> rsp
   | Error e -> raise (Server_error e)

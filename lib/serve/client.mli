@@ -23,10 +23,16 @@ val request : t -> Wire.request -> Wire.response
     @raise Wire.Protocol_error when the response id does not match the
     request id (desynchronized stream). *)
 
-val run : ?deadline_ms:int -> ?trace:bool -> t -> string -> Wire.response
-(** {!request} with an auto-assigned id. *)
+val run :
+  ?deadline_ms:int -> ?trace:bool -> ?trace_id:string -> t -> string ->
+  Wire.response
+(** {!request} with an auto-assigned id.  [trace_id] is the correlation
+    id the server stamps on its event-log lines for this request and
+    echoes on the response. *)
 
-val run_exn : ?deadline_ms:int -> ?trace:bool -> t -> string -> Wire.response
+val run_exn :
+  ?deadline_ms:int -> ?trace:bool -> ?trace_id:string -> t -> string ->
+  Wire.response
 (** Like {!run} but raises {!Server_error} on error responses. *)
 
 val close : t -> unit

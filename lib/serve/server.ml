@@ -1,6 +1,7 @@
 (** The Tkr_serve TCP query server: accept loop, per-connection reader
     threads, worker threads draining the admission queue, snapshot-aware
-    result cache.  See the interface for the architecture overview. *)
+    result cache, live telemetry.  See the interface for the architecture
+    overview. *)
 
 module Middleware = Tkr_middleware.Middleware
 module Database = Tkr_engine.Database
@@ -10,6 +11,8 @@ module Trace = Tkr_obs.Trace
 module Clock = Tkr_obs.Clock
 module Json = Tkr_obs.Json
 module Metrics = Tkr_obs.Metrics
+module Openmetrics = Tkr_obs.Openmetrics
+module Tel = Tkr_tel.Tel
 open Tkr_relation
 
 type config = {
@@ -19,6 +22,7 @@ type config = {
   queue_depth : int;
   cache_mb : int;
   workers : int;
+  slow_ms : int;
 }
 
 let default_config =
@@ -29,6 +33,7 @@ let default_config =
     queue_depth = 128;
     cache_mb = 64;
     workers = 8;
+    slow_ms = 500;
   }
 
 (* a connection endpoint: workers and the reader thread both write
@@ -40,7 +45,23 @@ type job = {
   j_sess : Session.session;
   j_req : Wire.request;
   j_enq_ns : int64;
+  j_trace : string option;
+      (* the request's correlation id: the client's trace_id, or a
+         server-generated one when telemetry is on (None when off — the
+         response then carries no trace_id field at all) *)
 }
+
+(* per-fingerprint slow-query accounting, feeding STATS and [tkr_cli top];
+   tracked unconditionally — a Hashtbl update per request — independent of
+   the event log *)
+type slow_entry = {
+  sl_stmt : string;
+  mutable sl_count : int;
+  mutable sl_total_us : int;
+  mutable sl_max_us : int;
+}
+
+let slow_table_cap = 512
 
 type t = {
   cfg : config;
@@ -64,6 +85,13 @@ type t = {
   mutable accept_thread : Thread.t option;
   mutable worker_threads : Thread.t list;
   mutable conn_threads : Thread.t list;
+  (* telemetry *)
+  tel : Tel.t;
+  trace_seq : int Atomic.t;  (* server-generated trace-id counter *)
+  start_ns : int64;
+  env : Tkr_perf.Env.t;  (* build info for the METRICS exposition *)
+  slow : (string, slow_entry) Hashtbl.t;  (* fingerprint -> accounting *)
+  slow_lock : Mutex.t;
   (* server metrics, registered in the middleware's registry so one
      OpenMetrics export covers engine and server *)
   m_requests : Metrics.counter;
@@ -74,6 +102,15 @@ type t = {
   m_cache_misses : Metrics.counter;
   m_cache_evictions : Metrics.counter;
   m_latency : Metrics.histogram;
+  (* live levels; [sync_gauges] refreshes the sampled ones at scrape
+     time, [g_inflight] is maintained by the workers *)
+  g_queue : Metrics.gauge;
+  g_inflight : Metrics.gauge;
+  g_sessions : Metrics.gauge;
+  g_cache_entries : Metrics.gauge;
+  g_cache_bytes : Metrics.gauge;
+  g_pool : Metrics.gauge;
+  g_uptime : Metrics.gauge;
 }
 
 let locked mu f =
@@ -84,6 +121,10 @@ let port t = t.bound_port
 let config t = t.cfg
 let cache_stats t = Cache.stats t.cache
 let stopping t = Atomic.get t.stop_flag
+let telemetry t = t.tel
+
+let uptime_s srv =
+  Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) srv.start_ns) 1_000_000_000L)
 
 (* ---- replies ---- *)
 
@@ -92,9 +133,9 @@ let send_raw conn frame =
   try locked conn.wlock (fun () -> Wire.write_frame conn.fd frame)
   with Unix.Unix_error _ | Wire.Protocol_error _ -> ()
 
-let send_error srv conn ~id code message =
+let send_error srv conn ~id ?trace_id code message =
   Metrics.incr srv.m_errors;
-  send_raw conn (Wire.error_frame ~id { Wire.code; message })
+  send_raw conn (Wire.error_frame ~id ?trace_id { Wire.code; message })
 
 (* ---- query execution ---- *)
 
@@ -114,35 +155,82 @@ let plan_key (p : Middleware.prepared) =
       (match p.Middleware.as_of with Some v -> string_of_int v | None -> "");
     ]
 
+(* the short digest of a cache key: the identity that the slow-query log
+   and [top] aggregate on — statements normalizing to the same plan
+   share one fingerprint *)
+let fingerprint (key : string) : string =
+  String.sub (Digest.to_hex (Digest.string key)) 0 12
+
 let trace_json obs =
   match Trace.roots obs with
   | [] -> None
   | roots -> Some (Json.List (List.map Trace.to_json_value roots))
 
-(* Run one plain query with the cache: (payload, cached, trace).  The
-   read_locked bracket makes (version read, execute, cache fill) atomic
-   with respect to DDL/DML — versions observed here are the versions the
-   result was computed from. *)
-let run_query srv sess (req : Wire.request) =
+(* what [execute] reports back to the worker loop for telemetry *)
+type outcome = {
+  o_status : string;  (* "ok" or the wire error code *)
+  o_cached : bool;
+  o_fp : string;  (* plan fingerprint (digest of statement for non-queries) *)
+  o_disposition : string;  (* hit | miss | bypass | off | error *)
+}
+
+(* Run one plain query with the cache: (payload, cached, trace, fp,
+   disposition).  The read_locked bracket makes (version read, execute,
+   cache fill) atomic with respect to DDL/DML — versions observed here
+   are the versions the result was computed from. *)
+let run_query srv sess (req : Wire.request) trace_id =
   Middleware.read_locked srv.mw @@ fun () ->
   let p = Session.prepared sess srv.mw req.Wire.stmt in
   let db = Middleware.database srv.mw in
   let key = plan_key p in
+  let fp = fingerprint key in
   let deps =
     List.map (fun tb -> (tb, Database.version db tb)) p.Middleware.tables
   in
-  match Cache.find srv.cache ~key ~deps with
-  | Some payload ->
-      Metrics.incr srv.m_cache_hits;
-      (payload, true, None)
-  | None ->
-      if Cache.enabled srv.cache then Metrics.incr srv.m_cache_misses;
-      let obs = if req.Wire.trace then Trace.create () else Trace.disabled in
-      let tbl = Middleware.run_prepared ~obs srv.mw p in
-      let payload = Wire.body_to_payload (Wire.Rows tbl) in
-      let evicted = Cache.add srv.cache ~key ~deps payload in
-      if evicted > 0 then Metrics.add srv.m_cache_evictions evicted;
-      (payload, false, trace_json obs)
+  let tel = srv.tel in
+  let execute_fresh disposition =
+    let obs = if req.Wire.trace then Trace.create () else Trace.disabled in
+    let tbl =
+      (* tie the execution trace to the request's correlation id: the
+         extra root span only appears when the response carries a
+         trace_id, so trace output without one is unchanged *)
+      match trace_id with
+      | Some tid when req.Wire.trace ->
+          Trace.with_span obs "request" (fun sp ->
+              Trace.set_str sp "trace_id" tid;
+              Middleware.run_prepared ~obs srv.mw p)
+      | _ -> Middleware.run_prepared ~obs srv.mw p
+    in
+    let payload = Wire.body_to_payload (Wire.Rows tbl) in
+    let evicted = Cache.add srv.cache ~key ~deps payload in
+    if evicted > 0 then begin
+      Metrics.add srv.m_cache_evictions evicted;
+      if Tel.enabled tel then Tel.emit tel (Tel.Cache_evict { count = evicted })
+    end;
+    (payload, false, trace_json obs, fp, disposition)
+  in
+  if not (Cache.enabled srv.cache) then execute_fresh "off"
+  else
+    match Cache.lookup srv.cache ~key ~deps with
+    | Cache.Hit payload ->
+        Metrics.incr srv.m_cache_hits;
+        if Tel.enabled tel then Tel.emit tel (Tel.Cache_hit { fingerprint = fp });
+        (payload, true, None, fp, "hit")
+    | Cache.Miss ->
+        Metrics.incr srv.m_cache_misses;
+        if Tel.enabled tel then
+          Tel.emit tel (Tel.Cache_miss { fingerprint = fp });
+        execute_fresh "miss"
+    | Cache.Stale changed ->
+        Metrics.incr srv.m_cache_misses;
+        if Tel.enabled tel then begin
+          List.iter
+            (fun (table, version) ->
+              Tel.emit tel (Tel.Invalidation { table; version }))
+            changed;
+          Tel.emit tel (Tel.Cache_miss { fingerprint = fp })
+        end;
+        execute_fresh "miss"
 
 (* DDL/DML and the meta statements (EXPLAIN, CHECK) bypass the cache;
    execute_statement takes the right middleware lock side itself *)
@@ -151,37 +239,79 @@ let run_statement srv stmt =
   | Middleware.Rows tbl -> Wire.body_to_payload (Wire.Rows tbl)
   | Middleware.Done msg -> Wire.body_to_payload (Wire.Message msg)
 
-let execute srv (j : job) =
+let execute srv (j : job) : outcome =
   let req = j.j_req in
   let id = req.Wire.id in
-  let reply_ok (payload, cached, trace) =
+  let trace_id = j.j_trace in
+  let stmt_fp () = fingerprint req.Wire.stmt in
+  let reply_ok (payload, cached, trace, fp, disposition) =
     let elapsed_us =
       Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) j.j_enq_ns) 1000L)
     in
     Metrics.observe srv.m_latency elapsed_us;
-    send_raw j.j_conn (Wire.ok_frame ~id ~cached ~elapsed_us ?trace payload)
+    send_raw j.j_conn
+      (Wire.ok_frame ~id ~cached ~elapsed_us ?trace ?trace_id payload);
+    { o_status = "ok"; o_cached = cached; o_fp = fp; o_disposition = disposition }
+  in
+  let fail code message =
+    send_error srv j.j_conn ~id ?trace_id code message;
+    {
+      o_status = Wire.error_code_to_string code;
+      o_cached = false;
+      o_fp = stmt_fp ();
+      o_disposition = "error";
+    }
   in
   match
     (* plain queries go through the session's prepared table and the
        cache; EXPLAIN/CHECK/DDL/DML take the execute_statement path *)
     match Tkr_sql.Parser.statement req.Wire.stmt with
-    | Ast.Query _ -> run_query srv j.j_sess req
-    | stmt -> (run_statement srv stmt, false, None)
+    | Ast.Query _ -> run_query srv j.j_sess req trace_id
+    | stmt -> (run_statement srv stmt, false, None, stmt_fp (), "bypass")
   with
   | result -> reply_ok result
   | exception Tkr_sql.Parser.Error d | exception Tkr_sql.Lexer.Error d ->
-      send_error srv j.j_conn ~id Wire.Parse_error (Diagnostic.to_string d)
+      fail Wire.Parse_error (Diagnostic.to_string d)
   | exception Middleware.Rejected diags ->
-      send_error srv j.j_conn ~id Wire.Check_error
-        (Diagnostic.report_to_text diags)
+      fail Wire.Check_error (Diagnostic.report_to_text diags)
   | exception Middleware.Error d ->
-      send_error srv j.j_conn ~id Wire.Runtime_error (Diagnostic.to_string d)
+      fail Wire.Runtime_error (Diagnostic.to_string d)
   | exception Tkr_sql.Analyzer.Error d ->
-      send_error srv j.j_conn ~id Wire.Runtime_error (Diagnostic.to_string d)
+      fail Wire.Runtime_error (Diagnostic.to_string d)
   | exception Schema.Unknown name ->
-      send_error srv j.j_conn ~id Wire.Runtime_error ("unknown name " ^ name)
-  | exception exn ->
-      send_error srv j.j_conn ~id Wire.Runtime_error (Printexc.to_string exn)
+      fail Wire.Runtime_error ("unknown name " ^ name)
+  | exception exn -> fail Wire.Runtime_error (Printexc.to_string exn)
+
+(* ---- slow-query accounting ---- *)
+
+let record_slow srv ~fp ~stmt ~total_us =
+  locked srv.slow_lock @@ fun () ->
+  match Hashtbl.find_opt srv.slow fp with
+  | Some e ->
+      e.sl_count <- e.sl_count + 1;
+      e.sl_total_us <- e.sl_total_us + total_us;
+      if total_us > e.sl_max_us then e.sl_max_us <- total_us
+  | None ->
+      if Hashtbl.length srv.slow < slow_table_cap then
+        Hashtbl.replace srv.slow fp
+          { sl_stmt = stmt; sl_count = 1; sl_total_us = total_us;
+            sl_max_us = total_us }
+
+let slowest srv n : (string * slow_entry) list =
+  let all =
+    locked srv.slow_lock (fun () ->
+        Hashtbl.fold
+          (fun fp e acc ->
+            ( fp,
+              { sl_stmt = e.sl_stmt; sl_count = e.sl_count;
+                sl_total_us = e.sl_total_us; sl_max_us = e.sl_max_us } )
+            :: acc)
+          srv.slow [])
+  in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare b.sl_max_us a.sl_max_us) all
+  in
+  List.filteri (fun i _ -> i < n) sorted
 
 (* ---- per-session ordering ---- *)
 
@@ -237,20 +367,68 @@ let session_next srv (job : job) =
 
 let run_one srv (job : job) =
   Metrics.incr srv.m_requests;
-  match job.j_req.Wire.deadline_ms with
+  Metrics.gauge_add srv.g_inflight 1;
+  Fun.protect ~finally:(fun () -> Metrics.gauge_add srv.g_inflight (-1))
+  @@ fun () ->
+  let req = job.j_req in
+  let sid = Session.id job.j_sess in
+  let tel = srv.tel in
+  let exec_start_ns = Clock.now_ns () in
+  let queue_us =
+    Int64.to_int (Int64.div (Int64.sub exec_start_ns job.j_enq_ns) 1000L)
+  in
+  (if Tel.enabled tel then
+     match job.j_trace with
+     | Some trace_id ->
+         Tel.emit tel
+           (Tel.Request_start
+              { session = sid; req_id = req.Wire.id; trace_id;
+                stmt = req.Wire.stmt })
+     | None -> ());
+  let finish (o : outcome) =
+    let total_us =
+      Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1000L)
+    in
+    record_slow srv ~fp:o.o_fp ~stmt:req.Wire.stmt ~total_us;
+    if Tel.enabled tel then begin
+      (match job.j_trace with
+      | Some trace_id ->
+          Tel.emit tel
+            (Tel.Request_finish
+               { session = sid; req_id = req.Wire.id; trace_id;
+                 status = o.o_status; cached = o.o_cached;
+                 elapsed_us = total_us })
+      | None -> ());
+      if total_us >= srv.cfg.slow_ms * 1000 then
+        Tel.emit tel
+          (Tel.Slow_query
+             { trace_id = Option.value ~default:"" job.j_trace;
+               fingerprint = o.o_fp; stmt = req.Wire.stmt; queue_us;
+               exec_us = total_us - queue_us; total_us;
+               disposition = o.o_disposition })
+    end
+  in
+  match req.Wire.deadline_ms with
   | Some budget_ms
     when Int64.to_int
-           (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1_000_000L)
+           (Int64.div (Int64.sub exec_start_ns job.j_enq_ns) 1_000_000L)
          >= budget_ms ->
       Metrics.incr srv.m_deadline;
       send_raw job.j_conn
-        (Wire.error_frame ~id:job.j_req.Wire.id
+        (Wire.error_frame ~id:req.Wire.id ?trace_id:job.j_trace
            {
              Wire.code = Wire.Deadline_exceeded;
              message =
                Printf.sprintf "deadline of %d ms exceeded in queue" budget_ms;
-           })
-  | _ -> execute srv job
+           });
+      finish
+        {
+          o_status = Wire.error_code_to_string Wire.Deadline_exceeded;
+          o_cached = false;
+          o_fp = fingerprint req.Wire.stmt;
+          o_disposition = "error";
+        }
+  | _ -> finish (execute srv job)
 
 let worker_loop srv () =
   (* every job handed out by the admission queue carries its session's
@@ -270,12 +448,104 @@ let worker_loop srv () =
   in
   loop ()
 
+(* ---- scrape surface: STATS / METRICS / HEALTH ---- *)
+
+(* refresh the sampled gauges; called at scrape time so an export always
+   shows current levels without the hot path touching every gauge *)
+let sync_gauges srv =
+  Metrics.set srv.g_queue (Admission.length srv.queue);
+  Metrics.set srv.g_sessions (Session.active srv.sessions);
+  let cs = Cache.stats srv.cache in
+  Metrics.set srv.g_cache_entries cs.Cache.entries;
+  Metrics.set srv.g_cache_bytes cs.Cache.bytes;
+  Metrics.set srv.g_pool (Middleware.parallelism srv.mw);
+  Metrics.set srv.g_uptime (uptime_s srv)
+
+let build_info_family srv : string =
+  let e = srv.env in
+  Openmetrics.gauge ~help:"build and runtime environment" "tkr_build_info"
+    [
+      ( [
+          ("git_sha", e.Tkr_perf.Env.git_sha
+                      ^ if e.Tkr_perf.Env.dirty then "+dirty" else "");
+          ("ocaml_version", e.Tkr_perf.Env.ocaml_version);
+          ("os_type", e.Tkr_perf.Env.os_type);
+        ],
+        1.0 );
+    ]
+
+let metrics_text srv : string =
+  sync_gauges srv;
+  Openmetrics.of_metrics ~extra:[ build_info_family srv ]
+    (Middleware.metrics srv.mw)
+
+let health_json srv : Json.t =
+  let draining = Atomic.get srv.stop_flag || Admission.draining srv.queue in
+  Json.Obj
+    [
+      ("status", Json.Str (if draining then "draining" else "ready"));
+      ("uptime_s", Json.Int (uptime_s srv));
+      ("sessions", Json.Int (Session.active srv.sessions));
+      ("queue_depth", Json.Int (Admission.length srv.queue));
+      ("inflight", Json.Int (Metrics.gauge_value srv.g_inflight));
+    ]
+
+let stats_json srv : Json.t =
+  sync_gauges srv;
+  let q p = Metrics.histogram_quantile srv.m_latency p in
+  Json.Obj
+    [
+      ("uptime_s", Json.Int (uptime_s srv));
+      ("requests", Json.Int (Metrics.value srv.m_requests));
+      ("errors", Json.Int (Metrics.value srv.m_errors));
+      ("busy", Json.Int (Metrics.value srv.m_busy));
+      ("deadline_exceeded", Json.Int (Metrics.value srv.m_deadline));
+      ("sessions", Json.Int (Metrics.gauge_value srv.g_sessions));
+      ("queue_depth", Json.Int (Metrics.gauge_value srv.g_queue));
+      ("inflight", Json.Int (Metrics.gauge_value srv.g_inflight));
+      ("pool_domains", Json.Int (Metrics.gauge_value srv.g_pool));
+      ( "latency_us",
+        Json.Obj
+          [
+            ("count", Json.Int (Metrics.histogram_observations srv.m_latency));
+            ("p50", Json.Int (q 0.50));
+            ("p95", Json.Int (q 0.95));
+            ("p99", Json.Int (q 0.99));
+          ] );
+      ("cache", Cache.stats_json srv.cache);
+      ( "slowest",
+        Json.List
+          (List.map
+             (fun (fp, e) ->
+               Json.Obj
+                 [
+                   ("fingerprint", Json.Str fp);
+                   ("count", Json.Int e.sl_count);
+                   ("max_us", Json.Int e.sl_max_us);
+                   ("total_us", Json.Int e.sl_total_us);
+                   ("stmt", Json.Str e.sl_stmt);
+                 ])
+             (slowest srv 5)) );
+    ]
+
+(* the scrape commands answer from the reader thread, ahead of admission:
+   they stay responsive under a full queue and HEALTH keeps answering
+   (as "draining") during a drain, when the queue admits nothing *)
+let scrape srv (req : Wire.request) : string option =
+  match String.uppercase_ascii (String.trim req.Wire.stmt) with
+  | "STATS" -> Some (Json.to_string (stats_json srv))
+  | "METRICS" -> Some (metrics_text srv)
+  | "HEALTH" -> Some (Json.to_string (health_json srv))
+  | _ -> None
+
 (* ---- connection threads ---- *)
 
 let conn_loop srv conn sess () =
   let sid = Session.id sess in
   let finally () =
     Session.close srv.sessions sess;
+    if Tel.enabled srv.tel then
+      Tel.emit srv.tel (Tel.Conn_close { session = sid });
     (* deregister and prune this thread from the server's bookkeeping so
        a long-running server doesn't accumulate a Thread.t per connection
        ever accepted; the accept loop inserts the thread into
@@ -289,6 +559,7 @@ let conn_loop srv conn sess () =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   in
   Fun.protect ~finally @@ fun () ->
+  if Tel.enabled srv.tel then Tel.emit srv.tel (Tel.Conn_open { session = sid });
   send_raw conn (Wire.greeting_frame ~session_id:sid);
   let rec loop () =
     match Wire.read_frame conn.fd with
@@ -296,19 +567,45 @@ let conn_loop srv conn sess () =
     | Some frame ->
         (match Wire.request_of_json (Json.of_string frame) with
         | req -> (
-            let job =
-              { j_conn = conn; j_sess = sess; j_req = req;
-                j_enq_ns = Clock.now_ns () }
-            in
-            match enqueue srv job with
-            | `Accepted | `Deferred -> ()
-            | `Busy ->
-                Metrics.incr srv.m_busy;
-                send_error srv conn ~id:req.Wire.id Wire.Server_busy
-                  "admission queue full, retry later"
-            | `Draining ->
-                send_error srv conn ~id:req.Wire.id Wire.Server_shutdown
-                  "server is draining")
+            match scrape srv req with
+            | Some payload ->
+                send_raw conn
+                  (Wire.ok_frame ~id:req.Wire.id ~cached:false ~elapsed_us:0
+                     ?trace_id:req.Wire.trace_id
+                     (Wire.body_to_payload (Wire.Message payload)))
+            | None -> (
+                let j_trace =
+                  match req.Wire.trace_id with
+                  | Some _ as tid -> tid
+                  | None ->
+                      if Tel.enabled srv.tel then
+                        Some
+                          (Printf.sprintf "t%d-%d" sid
+                             (Atomic.fetch_and_add srv.trace_seq 1))
+                      else None
+                in
+                let job =
+                  { j_conn = conn; j_sess = sess; j_req = req;
+                    j_enq_ns = Clock.now_ns (); j_trace }
+                in
+                match enqueue srv job with
+                | `Accepted | `Deferred -> ()
+                | `Busy ->
+                    Metrics.incr srv.m_busy;
+                    if Tel.enabled srv.tel then
+                      Tel.emit srv.tel
+                        (Tel.Admission_reject { session = sid; reason = "busy" });
+                    send_error srv conn ~id:req.Wire.id
+                      ?trace_id:req.Wire.trace_id Wire.Server_busy
+                      "admission queue full, retry later"
+                | `Draining ->
+                    if Tel.enabled srv.tel then
+                      Tel.emit srv.tel
+                        (Tel.Admission_reject
+                           { session = sid; reason = "draining" });
+                    send_error srv conn ~id:req.Wire.id
+                      ?trace_id:req.Wire.trace_id Wire.Server_shutdown
+                      "server is draining"))
         | exception (Wire.Protocol_error msg | Json.Parse_error msg) ->
             send_error srv conn ~id:0 Wire.Protocol_violation msg);
         loop ()
@@ -334,6 +631,10 @@ let accept_loop srv () =
               let conn = { fd; wlock = Mutex.create () } in
               match Session.open_session srv.sessions with
               | None ->
+                  if Tel.enabled srv.tel then
+                    Tel.emit srv.tel
+                      (Tel.Admission_reject
+                         { session = 0; reason = "session_limit" });
                   send_raw conn
                     (Wire.error_frame ~id:0
                        {
@@ -363,7 +664,7 @@ let accept_loop srv () =
 
 (* ---- lifecycle ---- *)
 
-let start ?(config = default_config) mw =
+let start ?(config = default_config) ?(tel = Tel.disabled) mw =
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -396,6 +697,12 @@ let start ?(config = default_config) mw =
       accept_thread = None;
       worker_threads = [];
       conn_threads = [];
+      tel;
+      trace_seq = Atomic.make 1;
+      start_ns = Clock.now_ns ();
+      env = Tkr_perf.Env.capture ();
+      slow = Hashtbl.create 64;
+      slow_lock = Mutex.create ();
       m_requests = Metrics.counter reg "serve_requests_total";
       m_busy = Metrics.counter reg "serve_busy_total";
       m_deadline = Metrics.counter reg "serve_deadline_exceeded_total";
@@ -404,15 +711,26 @@ let start ?(config = default_config) mw =
       m_cache_misses = Metrics.counter reg "serve_cache_misses_total";
       m_cache_evictions = Metrics.counter reg "serve_cache_evictions_total";
       m_latency = Metrics.histogram reg "serve_latency_us";
+      g_queue = Metrics.gauge reg "serve_queue_depth";
+      g_inflight = Metrics.gauge reg "serve_inflight_requests";
+      g_sessions = Metrics.gauge reg "serve_sessions";
+      g_cache_entries = Metrics.gauge reg "serve_cache_entries";
+      g_cache_bytes = Metrics.gauge reg "serve_cache_bytes";
+      g_pool = Metrics.gauge reg "serve_pool_domains";
+      g_uptime = Metrics.gauge reg "uptime_seconds";
     }
   in
+  if Tel.enabled tel then
+    Middleware.set_epoch_hook mw
+      (Some (fun epoch -> Tel.emit tel (Tel.Epoch_bump { epoch })));
   srv.worker_threads <-
     List.init (max 1 config.workers) (fun _ -> Thread.create (worker_loop srv) ());
   srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
   srv
 
-let stop srv =
+let stop ?(reason = "stop") srv =
   if Atomic.compare_and_set srv.stop_flag false true then begin
+    if Tel.enabled srv.tel then Tel.emit srv.tel (Tel.Drain { reason });
     (* 1. stop accepting connections *)
     (match srv.accept_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
@@ -429,5 +747,8 @@ let stop srv =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conn_fds;
     let threads = locked srv.conns_lock (fun () -> srv.conn_threads) in
-    List.iter Thread.join threads
+    List.iter Thread.join threads;
+    (* the middleware outlives the server: detach the epoch observer so
+       later DDL doesn't write into a log the caller may close *)
+    if Tel.enabled srv.tel then Middleware.set_epoch_hook srv.mw None
   end

@@ -27,9 +27,28 @@
     the queue's high-water mark, [DEADLINE_EXCEEDED] for requests still
     queued past their budget, [SERVER_SHUTDOWN] once draining, and
     [SESSION_LIMIT] for connections beyond [max_sessions].  {!stop}
-    drains gracefully: accepted requests finish, then threads join. *)
+    drains gracefully: accepted requests finish, then threads join.
+
+    {2 Telemetry}
+
+    A server started with a live {!Tkr_tel.Tel.t} logs typed JSONL
+    events — connection open/close, request start/finish, cache
+    hit/miss/evict, dependency invalidations, admission rejects, epoch
+    bumps, drains, slow queries — each request line stamped with its
+    trace id: the client's [trace_id] if one came on the wire, else a
+    server-generated one, echoed back on the response.  With telemetry
+    off and no client trace id, responses are byte-identical to an
+    uninstrumented server.
+
+    Three statements are answered by the reader thread itself, ahead of
+    admission (so they stay responsive under a full queue and during a
+    drain): [STATS] (a JSON summary: counters, latency quantiles, cache,
+    slowest plan fingerprints), [METRICS] (the OpenMetrics exposition of
+    the middleware registry — engine and server counters, live gauges,
+    build info) and [HEALTH] ([ready]/[draining]). *)
 
 module Middleware = Tkr_middleware.Middleware
+module Tel = Tkr_tel.Tel
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -38,15 +57,22 @@ type config = {
   queue_depth : int;  (** admission high-water mark *)
   cache_mb : int;  (** result-cache byte budget; 0 disables the cache *)
   workers : int;  (** worker threads draining the admission queue *)
+  slow_ms : int;
+      (** slow-query threshold: requests whose total latency reaches this
+          emit a [slow_query] event (fingerprint, phase split, cache
+          disposition) when telemetry is on *)
 }
 
 val default_config : config
-(** 127.0.0.1:7643, 64 sessions, queue 128, 64 MiB cache, 8 workers. *)
+(** 127.0.0.1:7643, 64 sessions, queue 128, 64 MiB cache, 8 workers,
+    500 ms slow threshold. *)
 
 type t
 
-val start : ?config:config -> Middleware.t -> t
-(** Bind, listen and spawn the accept loop and workers.
+val start : ?config:config -> ?tel:Tel.t -> Middleware.t -> t
+(** Bind, listen and spawn the accept loop and workers.  [tel] (default
+    {!Tkr_tel.Tel.disabled}) receives the event log; the caller owns it
+    and closes it after {!stop}.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int
@@ -55,8 +81,24 @@ val port : t -> int
 val config : t -> config
 val cache_stats : t -> Cache.stats
 val stopping : t -> bool
+val telemetry : t -> Tel.t
 
-val stop : t -> unit
+val stats_json : t -> Tkr_obs.Json.t
+(** The [STATS] payload: uptime, request/error counters, live gauges,
+    latency quantiles (p50/p95/p99 of [serve_latency_us]), cache stats
+    and the top slow-query fingerprints. *)
+
+val metrics_text : t -> string
+(** The [METRICS] payload: the OpenMetrics exposition of the middleware
+    registry with the live gauges freshly sampled, plus the
+    [tkr_build_info] family (git SHA, OCaml version). *)
+
+val health_json : t -> Tkr_obs.Json.t
+(** The [HEALTH] payload: [{"status": "ready" | "draining", ...}]. *)
+
+val stop : ?reason:string -> t -> unit
 (** Graceful drain: stop accepting connections and requests, let workers
-    finish every accepted request, wake and join all threads.  Idempotent
-    and safe to call from a signal-triggered context. *)
+    finish every accepted request, wake and join all threads.  [reason]
+    (default ["stop"]) tags the drain event in the log — the CLI passes
+    ["sigterm"].  Idempotent and safe to call from a signal-triggered
+    context. *)

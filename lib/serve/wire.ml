@@ -148,10 +148,13 @@ type request = {
       (** time budget from receipt; expired requests are cancelled while
           queued and answered with [Deadline_exceeded] *)
   trace : bool;  (** attach the Tkr_obs execution trace to the response *)
+  trace_id : string option;
+      (** client-supplied correlation id, echoed on the response and
+          stamped on every server-side event-log line for this request *)
 }
 
-let request ?(id = 0) ?deadline_ms ?(trace = false) stmt =
-  { id; stmt; deadline_ms; trace }
+let request ?(id = 0) ?deadline_ms ?(trace = false) ?trace_id stmt =
+  { id; stmt; deadline_ms; trace; trace_id }
 
 let request_to_json (r : request) : Json.t =
   Json.Obj
@@ -159,7 +162,10 @@ let request_to_json (r : request) : Json.t =
     :: ((match r.deadline_ms with
         | Some ms -> [ ("deadline_ms", Json.Int ms) ]
         | None -> [])
-       @ if r.trace then [ ("trace", Json.Bool true) ] else []))
+       @ (if r.trace then [ ("trace", Json.Bool true) ] else [])
+       @ (match r.trace_id with
+         | Some tid -> [ ("trace_id", Json.Str tid) ]
+         | None -> [])))
 
 let request_of_json (j : Json.t) : request =
   let stmt =
@@ -174,6 +180,7 @@ let request_of_json (j : Json.t) : request =
     stmt;
     deadline_ms = Option.bind (Json.member "deadline_ms" j) Json.to_int_opt;
     trace = (match Json.member "trace" j with Some (Json.Bool b) -> b | _ -> false);
+    trace_id = Option.bind (Json.member "trace_id" j) Json.to_string_opt;
   }
 
 (* ---- responses ---- *)
@@ -219,6 +226,10 @@ type response = {
   elapsed_us : int;  (** server-side queue wait + execution *)
   body : (body, error) result;
   rsp_trace : Json.t option;  (** execution trace when the request opted in *)
+  rsp_trace_id : string option;
+      (** the correlation id the server logged this request under:
+          echoes the request's [trace_id], or a server-generated id when
+          telemetry is on and the client sent none *)
 }
 
 (** The result payload as JSON text — this exact string is what the
@@ -240,12 +251,20 @@ let body_of_payload (payload : Json.t) : body =
   | _ -> raise (Protocol_error "bad payload kind")
 
 (* the payload travels pre-rendered (possibly straight from the cache):
-   splice it into the envelope as-is *)
-let ok_frame ~id ~cached ~elapsed_us ?trace (payload : string) : string =
+   splice it into the envelope as-is.  [trace_id] is omitted entirely
+   when [None], keeping frames byte-identical to a telemetry-free
+   server for clients that never send one. *)
+let ok_frame ~id ~cached ~elapsed_us ?trace ?trace_id (payload : string) :
+    string =
   let buf = Buffer.create (String.length payload + 96) in
   Buffer.add_string buf
     (Printf.sprintf {|{"id":%d,"status":"ok","cached":%b,"elapsed_us":%d|} id
        cached elapsed_us);
+  (match trace_id with
+  | Some tid ->
+      Buffer.add_string buf {|,"trace_id":|};
+      Buffer.add_string buf (Json.to_string (Json.Str tid))
+  | None -> ());
   (match trace with
   | Some t ->
       Buffer.add_string buf {|,"trace":|};
@@ -256,15 +275,18 @@ let ok_frame ~id ~cached ~elapsed_us ?trace (payload : string) : string =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let error_frame ~id (e : error) : string =
+let error_frame ~id ?trace_id (e : error) : string =
   Json.to_string
     (Json.Obj
-       [
-         ("id", Json.Int id);
-         ("status", Json.Str "error");
-         ("code", Json.Str (error_code_to_string e.code));
-         ("message", Json.Str e.message);
-       ])
+       ([
+          ("id", Json.Int id);
+          ("status", Json.Str "error");
+          ("code", Json.Str (error_code_to_string e.code));
+          ("message", Json.Str e.message);
+        ]
+       @ match trace_id with
+         | Some tid -> [ ("trace_id", Json.Str tid) ]
+         | None -> []))
 
 let response_of_string (s : string) : response =
   let j = Json.of_string s in
@@ -287,6 +309,7 @@ let response_of_string (s : string) : response =
             (Option.bind (Json.member "elapsed_us" j) Json.to_int_opt);
         body = Ok (body_of_payload payload);
         rsp_trace = Json.member "trace" j;
+        rsp_trace_id = Option.bind (Json.member "trace_id" j) Json.to_string_opt;
       }
   | Some "error" ->
       let code =
@@ -304,6 +327,7 @@ let response_of_string (s : string) : response =
         elapsed_us = 0;
         body = Error { code; message };
         rsp_trace = None;
+        rsp_trace_id = Option.bind (Json.member "trace_id" j) Json.to_string_opt;
       }
   | _ -> raise (Protocol_error "response without status")
 

@@ -45,9 +45,18 @@ type request = {
       (** time budget from receipt; requests still queued past it are
           cancelled with [Deadline_exceeded] *)
   trace : bool;  (** attach the Tkr_obs execution trace to the response *)
+  trace_id : string option;
+      (** client-supplied correlation id, echoed on the response and
+          stamped on every server-side event-log line for this request *)
 }
 
-val request : ?id:int -> ?deadline_ms:int -> ?trace:bool -> string -> request
+val request :
+  ?id:int ->
+  ?deadline_ms:int ->
+  ?trace:bool ->
+  ?trace_id:string ->
+  string ->
+  request
 val request_to_json : request -> Json.t
 val request_of_json : Json.t -> request
 
@@ -76,6 +85,10 @@ type response = {
   elapsed_us : int;
   body : (body, error) result;
   rsp_trace : Json.t option;
+  rsp_trace_id : string option;
+      (** the correlation id the server logged this request under:
+          echoes the request's [trace_id], or a server-generated id when
+          telemetry is on and the client sent none *)
 }
 
 val body_to_payload : body -> string
@@ -85,10 +98,19 @@ val body_to_payload : body -> string
 val body_of_payload : Json.t -> body
 
 val ok_frame :
-  id:int -> cached:bool -> elapsed_us:int -> ?trace:Json.t -> string -> string
-(** Assemble an ok envelope around a pre-rendered payload string. *)
+  id:int ->
+  cached:bool ->
+  elapsed_us:int ->
+  ?trace:Json.t ->
+  ?trace_id:string ->
+  string ->
+  string
+(** Assemble an ok envelope around a pre-rendered payload string.  The
+    [trace_id] field is omitted entirely when [None], so frames stay
+    byte-identical to a telemetry-free server for clients that never
+    send one. *)
 
-val error_frame : id:int -> error -> string
+val error_frame : id:int -> ?trace_id:string -> error -> string
 val response_of_string : string -> response
 
 (* ---- greeting ---- *)

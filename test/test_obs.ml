@@ -34,11 +34,42 @@ let test_metrics () =
   Alcotest.(check int) "histogram sum" 5055 (Metrics.histogram_sum h);
   Alcotest.(check (array int)) "buckets" [| 1; 1; 1 |]
     (Metrics.histogram_buckets h);
+  let g = Metrics.gauge r "depth" in
+  Metrics.set g 7;
+  Metrics.gauge_add g 5;
+  Metrics.gauge_add g (-2);
+  Alcotest.(check int) "gauge level" 10 (Metrics.gauge_value g);
+  Alcotest.(check int) "gauge find-or-create" 10
+    Metrics.(gauge_value (gauge r "depth"));
+  (match Metrics.view r "depth" with
+  | Some (Metrics.V_gauge 10) -> ()
+  | _ -> Alcotest.fail "gauge view");
   Metrics.reset r;
   Alcotest.(check int) "reset counter" 0 (Metrics.value c);
   Alcotest.(check int) "reset timer" 0 (Metrics.timer_samples t);
-  Alcotest.(check (list string)) "names survive reset" [ "rows"; "t"; "h" ]
+  Alcotest.(check int) "reset gauge" 0 (Metrics.gauge_value g);
+  Alcotest.(check (list string))
+    "names survive reset"
+    [ "rows"; "t"; "h"; "depth" ]
     (Metrics.names r)
+
+(* quantile estimation at the degenerate ends: nothing observed, a
+   single populated bucket, and a boundless histogram *)
+let test_quantile_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 8 |] r "one_bucket" in
+  Alcotest.(check int) "empty histogram" 0 (Metrics.histogram_quantile h 0.5);
+  Metrics.observe h 3;
+  (* the single observation sits in (0,8]; rank q interpolates inside *)
+  Alcotest.(check int) "single obs p50" 4 (Metrics.histogram_quantile h 0.5);
+  Alcotest.(check int) "single obs p100" 8 (Metrics.histogram_quantile h 1.0);
+  (* out-of-range q clamps rather than faulting *)
+  Alcotest.(check int) "q below 0 clamps" 0 (Metrics.histogram_quantile h (-1.));
+  Alcotest.(check int) "q above 1 clamps" 8 (Metrics.histogram_quantile h 2.);
+  (* only the overflow bucket populated: report the largest finite bound *)
+  let ho = Metrics.histogram ~bounds:[| 8 |] r "overflow_only" in
+  Metrics.observe ho 99;
+  Alcotest.(check int) "overflow clamps" 8 (Metrics.histogram_quantile ho 0.5)
 
 let test_spans () =
   let obs = Trace.create ~clock:Clock.frozen () in
@@ -189,6 +220,7 @@ let suite =
   ( "observability",
     [
       Alcotest.test_case "metrics arithmetic" `Quick test_metrics;
+      Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
       Alcotest.test_case "span trees" `Quick test_spans;
       Alcotest.test_case "disabled collector" `Quick test_disabled;
       Alcotest.test_case "join strategy in EXPLAIN ANALYZE" `Quick

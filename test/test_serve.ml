@@ -17,6 +17,7 @@ module Admission = Tkr_serve.Admission
 module Server = Tkr_serve.Server
 module Client = Tkr_serve.Client
 module Json = Tkr_obs.Json
+module Tel = Tkr_tel.Tel
 module W = Tkr_workload.Employees
 module Q = Tkr_workload.Queries
 
@@ -80,17 +81,43 @@ let test_wire_request_response () =
     Wire.request_of_json (Json.of_string (Json.to_string (Wire.request_to_json req)))
   in
   check "request round-trips" true (req' = req);
+  (* the trace-id field round-trips when present and is absent otherwise *)
+  let traced = Wire.request ~id:8 ~trace_id:"t1-9" "SELECT 2" in
+  let traced' =
+    Wire.request_of_json
+      (Json.of_string (Json.to_string (Wire.request_to_json traced)))
+  in
+  check "trace id round-trips" true (traced'.Wire.trace_id = Some "t1-9");
+  check "no trace id by default" true (req.Wire.trace_id = None);
   let t = sample_table () in
   let payload = Wire.body_to_payload (Wire.Rows t) in
   let frame = Wire.ok_frame ~id:7 ~cached:true ~elapsed_us:12 payload in
   let rsp = Wire.response_of_string frame in
   check_int "response id" 7 rsp.Wire.rsp_id;
   check "response cached flag" true rsp.Wire.cached;
+  check "response without trace id" true (rsp.Wire.rsp_trace_id = None);
+  let traced_frame =
+    Wire.ok_frame ~id:7 ~cached:true ~elapsed_us:12 ~trace_id:"t1-9" payload
+  in
+  check "response trace id" true
+    ((Wire.response_of_string traced_frame).Wire.rsp_trace_id = Some "t1-9");
+  (* the splice leaves the payload bytes untouched: minus the trace_id
+     field the frames are identical, so cached responses stay
+     byte-identical whether or not telemetry is on *)
+  check "traced frame is the plain frame plus one field" true
+    (String.length traced_frame
+     = String.length frame + String.length ",\"trace_id\":\"t1-9\"");
   (match rsp.Wire.body with
   | Ok (Wire.Rows t') ->
       check "response rows" true
         (Array.for_all2 Tuple.equal (Table.rows t) (Table.rows t'))
   | _ -> Alcotest.fail "expected rows");
+  let ef_traced =
+    Wire.error_frame ~id:3 ~trace_id:"t2-4"
+      { Wire.code = Wire.Server_busy; message = "queue full" }
+  in
+  check "error frame trace id" true
+    ((Wire.response_of_string ef_traced).Wire.rsp_trace_id = Some "t2-4");
   let ef =
     Wire.error_frame ~id:3
       { Wire.code = Wire.Server_busy; message = "queue full" }
@@ -355,7 +382,7 @@ let e2e_queries =
     (fun n -> (n, Q.lookup n Q.employee))
     [ "join-1"; "agg-1"; "agg-3"; "diff-1"; "diff-2" ]
 
-let with_server ?(cache_mb = 16) f =
+let with_server ?(cache_mb = 16) ?(tel = Tel.disabled) f =
   let m = M.create ~db:(W.generate { (W.scaled 40) with W.tmax = 600 }) () in
   let srv =
     Server.start
@@ -367,7 +394,7 @@ let with_server ?(cache_mb = 16) f =
           max_sessions = 16;
           workers = 4;
         }
-      m
+      ~tel m
   in
   Fun.protect
     ~finally:(fun () ->
@@ -578,6 +605,123 @@ let test_e2e_graceful_stop () =
   Client.close c;
   M.shutdown m
 
+(* ---- telemetry e2e: every request's log lines carry the trace id the
+   response echoed, cache dispositions and invalidations are logged, and
+   the scrape commands answer on a live connection ---- *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let jstr j key =
+  match Option.bind (Json.member key j) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "missing string field %s" key)
+
+let msg_body (rsp : Wire.response) =
+  match rsp.Wire.body with
+  | Ok (Wire.Message m) -> m
+  | _ -> Alcotest.fail "expected a message body"
+
+let test_e2e_telemetry () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let tel =
+    Tel.create
+      (Tel.Fn
+         (fun j ->
+           Mutex.lock lock;
+           events := j :: !events;
+           Mutex.unlock lock))
+  in
+  let miss_id = ref "" and hit_id = ref "" in
+  (with_server ~tel @@ fun _m srv ->
+   Client.with_client ~port:(Server.port srv) @@ fun c ->
+   (* a client-supplied trace id echoes on the response *)
+   let r1 = Client.run_exn ~trace_id:"cli-1" c "CREATE TABLE kv (x int)" in
+   check "client trace id echoed" true (r1.Wire.rsp_trace_id = Some "cli-1");
+   ignore (Client.run_exn c "INSERT INTO kv VALUES (1), (2)");
+   let q = "SELECT x FROM kv" in
+   let miss = Client.run_exn c q in
+   let hit = Client.run_exn c q in
+   check "warm replay cached" true hit.Wire.cached;
+   (* the server mints ids when the client sends none *)
+   (match (miss.Wire.rsp_trace_id, hit.Wire.rsp_trace_id) with
+   | Some a, Some b ->
+       miss_id := a;
+       hit_id := b;
+       check "generated ids distinct" true (a <> b)
+   | _ -> Alcotest.fail "expected server-generated trace ids");
+   (* invalidate the cached entry so the log sees it *)
+   ignore (Client.run_exn c "INSERT INTO kv VALUES (3)");
+   check "post-DML replay recomputes" false (Client.run_exn c q).Wire.cached;
+   (* scrape surface, all on the same connection *)
+   let metrics = msg_body (Client.run_exn c "METRICS") in
+   List.iter
+     (fun needle -> check ("metrics has " ^ needle) true (contains metrics needle))
+     [
+       "# TYPE serve_queue_depth gauge";
+       "serve_inflight_requests";
+       "serve_sessions 1";
+       "serve_cache_entries";
+       "serve_cache_bytes";
+       "serve_pool_domains";
+       "uptime_seconds";
+       "tkr_build_info";
+       "# EOF\n";
+     ];
+   let health = Json.of_string (msg_body (Client.run_exn c "health")) in
+   check_str "health ready" "ready" (jstr health "status");
+   let stats = Json.of_string (msg_body (Client.run_exn c "STATS")) in
+   let requests =
+     match Option.bind (Json.member "requests" stats) Json.to_int_opt with
+     | Some n -> n
+     | None -> Alcotest.fail "stats missing requests"
+   in
+   check "stats counted the requests" true (requests >= 5);
+   check "stats have latency quantiles" true
+     (Json.member "latency_us" stats <> None));
+  (* the server is stopped: the log is complete *)
+  let evs = List.rev !events in
+  let by name = List.filter (fun j -> jstr j "event" = name) evs in
+  let ids name = List.sort_uniq compare (List.map (fun j -> jstr j "trace_id") (by name)) in
+  check "conn_open logged" true (by "conn_open" <> []);
+  check "conn_close logged" true (by "conn_close" <> []);
+  (* every request_start pairs with a request_finish on the same id, and
+     the ids the responses carried are among them *)
+  Alcotest.(check (list string))
+    "start/finish ids pair" (ids "request_start") (ids "request_finish");
+  let finish_ids = ids "request_finish" in
+  List.iter
+    (fun id -> check ("response id " ^ id ^ " logged") true (List.mem id finish_ids))
+    [ "cli-1"; !miss_id; !hit_id ];
+  (* cache disposition events share one plan fingerprint *)
+  (match (by "cache_miss", by "cache_hit") with
+  | miss :: _, [ hit ] ->
+      check_str "fingerprints match" (jstr miss "fingerprint")
+        (jstr hit "fingerprint")
+  | _ -> Alcotest.fail "expected cache_miss and exactly one cache_hit");
+  (* the post-cache INSERT shows up as an invalidation on the dep table *)
+  check "invalidation logged for kv" true
+    (List.exists (fun j -> jstr j "table" = "kv") (by "invalidation"));
+  check "ddl bumped the epoch" true (by "epoch_bump" <> []);
+  (match by "drain" with
+  | [ d ] -> check_str "drain reason" "stop" (jstr d "reason")
+  | _ -> Alcotest.fail "expected one drain event")
+
+let test_e2e_no_trace_when_tel_off () =
+  with_server @@ fun _m srv ->
+  Client.with_client ~port:(Server.port srv) @@ fun c ->
+  ignore (Client.run_exn c "CREATE TABLE plain (x int)");
+  let r = Client.run_exn c "SELECT x FROM plain" in
+  check "no trace id minted when telemetry is off" true
+    (r.Wire.rsp_trace_id = None);
+  (* a client-supplied id still echoes, telemetry or not *)
+  let r2 = Client.run_exn ~trace_id:"want-this" c "SELECT x FROM plain" in
+  check "client id echoes without telemetry" true
+    (r2.Wire.rsp_trace_id = Some "want-this")
+
 let suite =
   ( "serve",
     [
@@ -618,4 +762,8 @@ let suite =
       Alcotest.test_case "e2e: typed error codes" `Quick test_e2e_error_codes;
       Alcotest.test_case "e2e: session limit" `Quick test_e2e_session_limit;
       Alcotest.test_case "e2e: graceful stop" `Quick test_e2e_graceful_stop;
+      Alcotest.test_case "e2e: telemetry, trace ids, scrapes" `Quick
+        test_e2e_telemetry;
+      Alcotest.test_case "e2e: no trace ids when telemetry off" `Quick
+        test_e2e_no_trace_when_tel_off;
     ] )
