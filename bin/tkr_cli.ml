@@ -207,12 +207,15 @@ let workload_queries = function
   | `Employee -> Tkr_workload.Queries.employee
   | `Tpch -> Tkr_workload.Queries.tpch
 
-let run data workload jobs sql file explain stats max_rows =
+let run data workload jobs no_prune sql file explain stats max_rows =
   (match (sql, file, workload) with
   | Some _, Some _, _ -> usage "provide at most one of -e SQL or -f FILE"
   | None, None, None -> usage "provide -e SQL, -f FILE or --workload NAME"
   | _ -> ());
-  let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
+  let m =
+    M.create ~parallelism:jobs ~prune:(not no_prune)
+      ~db:(workload_db workload) ()
+  in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
   (match data with Some dir -> load_dir m dir | None -> ());
   (* a built-in workload runs its whole query suite; the output is
@@ -304,17 +307,26 @@ let run_cmd =
       value & opt int 100
       & info [ "max-rows" ] ~docv:"N" ~doc:"print at most $(docv) result rows")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:"disable analysis-driven plan pruning (results are \
+                byte-identical either way; useful for differential testing)")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
     Term.(
-      const (fun a b c d e f g h -> guarded (fun () -> run a b c d e f g h))
-      $ data $ workload $ jobs $ sql $ file $ explain $ stats $ max_rows)
+      const (fun a b c d e f g h i ->
+          guarded (fun () -> run a b c d e f g h i))
+      $ data $ workload $ jobs $ no_prune $ sql $ file $ explain $ stats
+      $ max_rows)
 
 (* --- explain --- *)
 
-let explain data analyze jobs sql =
-  let m = M.create ~parallelism:jobs () in
+let explain data analyze jobs no_prune sql =
+  let m = M.create ~parallelism:jobs ~prune:(not no_prune) () in
   (match data with Some dir -> load_dir m dir | None -> ());
   print_endline (if analyze then M.explain_analyze m sql else M.explain m sql);
   M.shutdown m
@@ -344,11 +356,19 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:"disable analysis-driven plan pruning before explaining")
+  in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the optimized, rewritten plan of a query")
+    (Cmd.info "explain"
+       ~doc:"Show the optimized, rewritten plan of a query with the \
+             abstract interpreter's inferred per-operator facts")
     Term.(
-      const (fun a b c d -> guarded (fun () -> explain a b c d))
-      $ data $ analyze $ jobs $ sql)
+      const (fun a b c d e -> guarded (fun () -> explain a b c d e))
+      $ data $ analyze $ jobs $ no_prune $ sql)
 
 (* --- lint --- *)
 
@@ -382,7 +402,7 @@ let lint_script m profile name text : (string * Diagnostic.t list) list =
           (nm, diags))
         stmts
 
-let lint data workload sql files profile werror json_out =
+let lint_run data workload sql files profile werror json_out =
   match Lint.of_name profile with
   | None ->
       usage
@@ -452,6 +472,30 @@ let lint data workload sql files profile werror json_out =
                  Printf.sprintf "lint: %d of %d statements failed" bad
                    (List.length reports) ))
 
+let lint data workload sql files profile werror json_out format list_codes
+    describe =
+  if list_codes then
+    (* expose the stable diagnostic registry: every TKR code with its
+       one-line description *)
+    List.iter
+      (fun (code, desc) -> Printf.printf "%s  %s\n" code desc)
+      Diagnostic.registry
+  else
+    match describe with
+    | Some code -> (
+        match Diagnostic.describe code with
+        | Some desc -> Printf.printf "%s  %s\n" code desc
+        | None ->
+            raise
+              (Fail
+                 ( 124,
+                   Printf.sprintf
+                     "unknown diagnostic code %s (see lint --list-codes)" code
+                 )))
+    | None ->
+        let json_out = json_out || format = `Json in
+        lint_run data workload sql files profile werror json_out
+
 let lint_cmd =
   let data =
     Arg.(
@@ -495,14 +539,37 @@ let lint_cmd =
     Arg.(
       value & flag & info [ "json" ] ~doc:"print diagnostics as JSON")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"output format: text (default) or json (same as --json)")
+  in
+  let list_codes =
+    Arg.(
+      value & flag
+      & info [ "list-codes" ]
+          ~doc:"print every registered TKR diagnostic code with its \
+                description and exit")
+  in
+  let describe =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "describe" ] ~docv:"TKRnnn"
+          ~doc:"print the description of one diagnostic code and exit")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze SQL without executing it: type check, \
-             validate plan invariants and lint for snapshot-semantics bugs \
-             (AG/BD)")
+             validate plan invariants, run the abstract interpreter \
+             (TKR4xx) and lint for snapshot-semantics bugs (AG/BD)")
     Term.(
-      const (fun a b c d e f g -> guarded (fun () -> lint a b c d e f g))
-      $ data $ workload $ sql $ files $ profile $ werror $ json_out)
+      const (fun a b c d e f g h i j ->
+          guarded (fun () -> lint a b c d e f g h i j))
+      $ data $ workload $ sql $ files $ profile $ werror $ json_out $ format
+      $ list_codes $ describe)
 
 (* --- serve --- *)
 

@@ -7,14 +7,28 @@
 
 open Tkr_relation
 
-(** Type-check plus logical plan invariants. *)
-let logical ~(lookup : Typecheck.lookup) (q : Algebra.t) : Diagnostic.t list =
-  Typecheck.algebra ~lookup q @ Plan_check.logical q
+(** Type-check plus logical plan invariants plus abstract
+    interpretation.  [absint] defaults to a bare non-temporal
+    environment derived from [lookup]. *)
+let logical ?absint ~(lookup : Typecheck.lookup) (q : Algebra.t) :
+    Diagnostic.t list =
+  let env =
+    match absint with Some e -> e | None -> Absint.env lookup
+  in
+  Typecheck.algebra ~lookup q @ Plan_check.logical q @ Absint.diagnose env q
 
-(** Type-check plus physical (period-encoding) plan invariants.
-    [lookup] must give the encoded base-table schemas. *)
-let physical ~(lookup : Typecheck.lookup) (q : Algebra.t) : Diagnostic.t list =
-  Typecheck.algebra ~lookup q @ Plan_check.physical ~lookup q
+(** Type-check plus physical (period-encoding) plan invariants plus
+    abstract interpretation.  [lookup] must give the encoded base-table
+    schemas; [absint] defaults to a temporal environment derived from
+    [lookup] (no period seeding — pass a real environment for bounds). *)
+let physical ?absint ~(lookup : Typecheck.lookup) (q : Algebra.t) :
+    Diagnostic.t list =
+  let env =
+    match absint with Some e -> e | None -> Absint.env ~temporal:true lookup
+  in
+  Typecheck.algebra ~lookup q
+  @ Plan_check.physical ~lookup q
+  @ Absint.diagnose env q
 
 (** [verdict ~werror ds] is [Error ds] when [ds] contains an error (or,
     with [~werror:true], any warning), [Ok ds] otherwise. *)

@@ -2,12 +2,18 @@
 
 open Tkr_relation
 
-val logical : lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
-(** Type checking plus logical plan invariants (no physical operators). *)
+val logical :
+  ?absint:Absint.env -> lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
+(** Type checking plus logical plan invariants (no physical operators)
+    plus abstract interpretation ({!Absint}, the TKR4xx family).
+    [absint] defaults to a bare non-temporal environment over [lookup]. *)
 
-val physical : lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
-(** Type checking plus period-encoding plan invariants.  [lookup] must
-    give the encoded base-table schemas (data plus [__b]/[__e]). *)
+val physical :
+  ?absint:Absint.env -> lookup:Typecheck.lookup -> Algebra.t -> Diagnostic.t list
+(** Type checking plus period-encoding plan invariants plus abstract
+    interpretation.  [lookup] must give the encoded base-table schemas
+    (data plus [__b]/[__e]); [absint] defaults to a temporal environment
+    over [lookup] — pass a seeded one for period/time-bounds facts. *)
 
 val verdict :
   ?werror:bool ->

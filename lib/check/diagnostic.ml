@@ -72,10 +72,22 @@ let count_errors ?(werror = false) (ds : t list) =
 
 let sort (ds : t list) : t list =
   let sev_rank = function Error -> 0 | Warning -> 1 | Info -> 2 in
+  (* positioned diagnostics first (in source order), unpositioned last,
+     so multi-statement lint reports are deterministic and readable *)
+  let pos_key = function
+    | Some { line; col } -> (0, line, col)
+    | None -> (1, 0, 0)
+  in
   List.stable_sort
     (fun a b ->
       match Int.compare (sev_rank a.severity) (sev_rank b.severity) with
-      | 0 -> String.compare a.code b.code
+      | 0 -> (
+          match String.compare a.code b.code with
+          | 0 -> (
+              match compare (pos_key a.pos) (pos_key b.pos) with
+              | 0 -> String.compare a.msg b.msg
+              | c -> c)
+          | c -> c)
       | c -> c)
     ds
 
@@ -153,6 +165,14 @@ let registry : (string * string) list =
     ("TKR302", "BD bug: difference compiled as NOT EXISTS / set semantics");
     ("TKR303", "snapshot difference unsupported in this style");
     ("TKR304", "output encoding is not coalesced (no unique encoding)");
+    (* abstract interpretation (pass 4, {!Absint}) *)
+    ("TKR401", "selection predicate is unsatisfiable");
+    ("TKR402", "query provably returns no rows");
+    ("TKR403", "selection conjunct implied by inferred bounds");
+    ("TKR404", "DISTINCT over provably duplicate-free input");
+    ("TKR405", "COALESCE over provably coalesced input");
+    ("TKR406", "join predicate is unsatisfiable");
+    ("TKR407", "selection admits only degenerate periods");
   ]
 
 let describe code = List.assoc_opt code registry

@@ -48,7 +48,8 @@ val count_errors : ?werror:bool -> t list -> int
 (** Number of error diagnostics; with [~werror:true] warnings count too. *)
 
 val sort : t list -> t list
-(** Errors first, then warnings/infos, each group ordered by code. *)
+(** Errors first, then warnings/infos, each group ordered by code, then
+    by source position (positioned before unpositioned). *)
 
 val report_to_text : t list -> string
 val report_to_json : t list -> Tkr_obs.Json.t

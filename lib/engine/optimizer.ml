@@ -60,9 +60,7 @@ let rec estimate (stats : stats) (q : Algebra.t) : float =
 
 type item = { alg : Algebra.t; arity : int; offset : int }
 
-let conjuncts_of (e : Expr.t) : Expr.t list =
-  let rec go acc = function Expr.And (a, b) -> go (go acc a) b | e -> e :: acc in
-  List.rev (go [] e)
+let conjuncts_of = Expr.conjuncts
 
 let conj = function
   | [] -> Expr.Const (Value.Bool true)
@@ -193,9 +191,13 @@ let rebuild ~schema (items : item list) (ordered : item list)
   Algebra.Project (projs, tree)
 
 (** Optimize a logical query: reorder flattened join trees greedily by
-    estimated cardinality.  Output multisets are identical to the input's
-    on every database consistent with the schemas. *)
-let optimize ~(stats : stats) ~(lookup : string -> Schema.t) (q : Algebra.t) :
+    estimated cardinality, then apply the optional analysis-driven
+    [prune] hook (supplied by the middleware from [Tkr_check.Absint];
+    the engine does not depend on the checker).  Output multisets are
+    identical to the input's on every database consistent with the
+    schemas; [prune] must preserve rows {e and} their order. *)
+let optimize ?(prune : (Algebra.t -> Algebra.t) option)
+    ~(stats : stats) ~(lookup : string -> Schema.t) (q : Algebra.t) :
     Algebra.t =
   let arity_of q = Schema.arity (Algebra.schema_of ~lookup q) in
   let rec go (q : Algebra.t) : Algebra.t =
@@ -233,4 +235,5 @@ let optimize ~(stats : stats) ~(lookup : string -> Schema.t) (q : Algebra.t) :
         else Split (g, go l, go r)
     | Split_agg sa -> Split_agg { sa with sa_child = go sa.sa_child }
   in
-  go q
+  let q = go q in
+  match prune with Some f -> f q | None -> q

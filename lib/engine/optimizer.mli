@@ -15,6 +15,13 @@ val estimate : stats -> Algebra.t -> float
 (** Crude, monotone cardinality estimate used for greedy ordering. *)
 
 val optimize :
-  stats:stats -> lookup:(string -> Schema.t) -> Algebra.t -> Algebra.t
+  ?prune:(Algebra.t -> Algebra.t) ->
+  stats:stats ->
+  lookup:(string -> Schema.t) ->
+  Algebra.t ->
+  Algebra.t
 (** Reorder join trees; restores the original column order and names with
-    a final projection when a reorder happens. *)
+    a final projection when a reorder happens.  [prune] is applied to the
+    result — the middleware supplies the analysis-driven pruner from
+    [Tkr_check.Absint] (the engine does not depend on the checker); it
+    must preserve the produced rows and their order exactly. *)

@@ -27,6 +27,7 @@ module Metrics = Tkr_obs.Metrics
 module Diagnostic = Tkr_check.Diagnostic
 module Check = Tkr_check.Check
 module Lint = Tkr_check.Lint
+module Absint = Tkr_check.Absint
 module Pool = Tkr_par.Pool
 module Rwlock = Tkr_par.Rwlock
 
@@ -108,6 +109,10 @@ type t = {
       (** execute plans by AST interpretation or as compiled closures *)
   mutable strict : bool;
       (** --Werror: the check phase rejects on warnings too *)
+  mutable prune : bool;
+      (** apply {!Tkr_check.Absint}-driven plan pruning (drop provably
+          empty subplans and provably idempotent Distinct/Coalesce);
+          byte-identity-preserving, on by default *)
   mutable pool : Pool.t option;
       (** worker pool for the temporal operators; [None] = the serial
           engine, whose output parallel plans reproduce byte-for-byte *)
@@ -148,14 +153,15 @@ let locked mu f =
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
-    ?(backend = Interpreted) ?(strict = false) ?(parallelism = 1)
-    ?(db = Database.create ()) () =
+    ?(prune = true) ?(backend = Interpreted) ?(strict = false)
+    ?(parallelism = 1) ?(db = Database.create ()) () =
   {
     db;
     options;
     optimize;
     backend;
     strict;
+    prune;
     pool = (if parallelism > 1 then Some (Pool.create ~jobs:parallelism ()) else None);
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
@@ -190,6 +196,8 @@ let totals_report m = locked m.lock (fun () -> Format.asprintf "%a" pp_phase_sta
 let metrics m = m.metrics
 
 let set_optimize m b = write_locked m (fun () -> m.optimize <- b)
+let set_prune m b = write_locked m (fun () -> m.prune <- b)
+let prune m = m.prune
 let set_backend m b = write_locked m (fun () -> m.backend <- b)
 let set_strict m b = write_locked m (fun () -> m.strict <- b)
 let strict m = m.strict
@@ -252,6 +260,10 @@ type prepared = {
   diags : Diagnostic.t list;
       (** diagnostics of the static [check] phase (warnings only: a
           statement with errors raises {!Rejected} instead) *)
+  analysis : string;
+      (** {!Tkr_check.Absint} rendering of the final plan with the
+          inferred per-operator facts (time windows, emptiness,
+          duplicate-freeness), shown by [EXPLAIN] *)
   tables : string list;
       (** base tables the final plan reads, sorted and deduplicated —
           with {!Tkr_engine.Database.version} these form the dependency
@@ -309,9 +321,42 @@ let rec setify (q : Algebra.t) : Algebra.t =
   | Coalesce _ | Split _ | Split_agg _ ->
       err "TKR201" "setify: physical operator in logical query"
 
+(* plan-level diagnostics lose the AST once analyzed: stamp them with the
+   statement's origin position so CHECK/LINT output stays clickable *)
+let stamp_pos (origin : Diagnostic.pos option) (ds : Diagnostic.t list) :
+    Diagnostic.t list =
+  match origin with
+  | None -> ds
+  | Some _ ->
+      List.map
+        (fun (d : Diagnostic.t) ->
+          match d.Diagnostic.pos with
+          | Some _ -> d
+          | None -> { d with Diagnostic.pos = origin })
+        ds
+
+(* the analysis pass re-runs per check stage (analyzed / optimized /
+   physical plans differ in shape but describe one statement): keep only
+   the first stage's instance of each TKR4xx code *)
+let drop_dup4 ~(prior : Diagnostic.t list) (ds : Diagnostic.t list) :
+    Diagnostic.t list =
+  let is4 (d : Diagnostic.t) =
+    String.length d.Diagnostic.code >= 4
+    && String.equal (String.sub d.Diagnostic.code 0 4) "TKR4"
+  in
+  List.filter
+    (fun d ->
+      (not (is4 d))
+      || not
+           (List.exists
+              (fun (p : Diagnostic.t) ->
+                String.equal p.Diagnostic.code d.Diagnostic.code)
+              prior))
+    ds
+
 let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
   match stmt with
-  | Ast.Query { q; order_by; limit } -> (
+  | Ast.Query { q; order_by; limit; origin } -> (
       let stats = fresh_stats () in
       let finish (p : prepared) =
         locked m.lock (fun () -> add_stats ~into:m.totals p.stats);
@@ -323,7 +368,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
       let checked (f : unit -> Diagnostic.t list) : Diagnostic.t list =
         let ns, ds = Clock.elapsed f in
         stats.check_ns <- Int64.add stats.check_ns ns;
-        match Check.verdict ~werror:m.strict ds with
+        match Check.verdict ~werror:m.strict (stamp_pos origin ds) with
         | Ok ds -> ds
         | Error ds -> raise (Rejected (Diagnostic.sort ds))
       in
@@ -368,7 +413,11 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
             phase (fun ns -> stats.optimize_ns <- ns) @@ fun () ->
             let logical = Simplify.simplify analyzed.algebra in
             if m.optimize then
-              Tkr_engine.Optimizer.optimize
+              let prune_hook =
+                if m.prune then Some (Absint.prune (Absint.env data_lookup))
+                else None
+              in
+              Tkr_engine.Optimizer.optimize ?prune:prune_hook
                 ~stats:
                   {
                     card =
@@ -380,7 +429,8 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
           (* check: the optimizer's semantics-preservation claim as a
              machine-checked postcondition *)
           let diags_optimized =
-            checked @@ fun () -> Check.logical ~lookup:data_lookup logical
+            drop_dup4 ~prior:diags_analyzed
+              (checked @@ fun () -> Check.logical ~lookup:data_lookup logical)
           in
           let plan =
             phase (fun ns -> stats.rewrite_ns <- ns) @@ fun () ->
@@ -424,15 +474,24 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
                 in
                 push plan
           in
-          (* check: period-encoding invariants on the rewritten plan *)
-          let diags_physical =
-            checked @@ fun () ->
-            let enc_lookup n =
-              if Database.mem m.db n then Some (Database.schema_of m.db n)
-              else None
-            in
-            Check.physical ~lookup:enc_lookup plan
+          (* check: period-encoding invariants on the rewritten plan, with
+             the abstract interpreter seeded from the period catalog and
+             the database time bounds *)
+          let enc_lookup n =
+            if Database.mem m.db n then Some (Database.schema_of m.db n)
+            else None
           in
+          let env_phys =
+            Absint.env ~temporal:true
+              ~is_period:(fun n -> Database.is_period m.db n)
+              ~time_bounds:(tmin, tmax) enc_lookup
+          in
+          let diags_physical =
+            drop_dup4 ~prior:(diags_analyzed @ diags_optimized)
+              ( checked @@ fun () ->
+                Check.physical ~absint:env_phys ~lookup:enc_lookup plan )
+          in
+          let plan = if m.prune then Absint.prune env_phys plan else plan in
           let diags =
             List.sort_uniq compare
               (diags_analyzed @ diags_optimized @ diags_physical)
@@ -452,6 +511,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
           finish
             { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of;
               order_by; limit; stats; diags;
+              analysis = Absint.render env_phys plan;
               tables = List.sort_uniq String.compare (collect_rels [] plan);
               pooled = Option.is_some m.pool }
       | `Plain inner ->
@@ -459,21 +519,33 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
             phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
             Analyzer.analyze_query (plain_catalog m) inner
           in
+          let plain_lookup n =
+            if Database.mem m.db n then Some (Database.schema_of m.db n)
+            else None
+          in
+          (* plain queries see period tables with their encoding exposed,
+             so seed the period columns from the stored time bounds *)
+          let env_plain =
+            Absint.env
+              ~is_period:(fun n -> Database.is_period m.db n)
+              ~time_bounds:(Database.time_bounds m.db) plain_lookup
+          in
           let diags =
             checked @@ fun () ->
-            Check.logical
-              ~lookup:(fun n ->
-                if Database.mem m.db n then Some (Database.schema_of m.db n)
-                else None)
+            Check.logical ~absint:env_plain ~lookup:plain_lookup
               analyzed.algebra
+          in
+          let plan =
+            if m.prune then Absint.prune env_plain analyzed.algebra
+            else analyzed.algebra
           in
           let order_by =
             List.map (Analyzer.resolve_order analyzed.schema) order_by
           in
           finish
             {
-              plan = analyzed.algebra;
-              exec = make_exec m analyzed.algebra;
+              plan;
+              exec = make_exec m plan;
               out_schema = analyzed.schema;
               snapshot = false;
               as_of = None;
@@ -481,8 +553,8 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               limit;
               stats;
               diags;
-              tables =
-                List.sort_uniq String.compare (collect_rels [] analyzed.algebra);
+              analysis = Absint.render env_plain plan;
+              tables = List.sort_uniq String.compare (collect_rels [] plan);
               pooled = Option.is_some m.pool;
             })
   | _ -> err "TKR021" "not a query"
@@ -591,10 +663,20 @@ let const_value (e : Ast.expr) : Value.t =
 
 (** The final (optimized, rewritten) plan of a prepared query as text. *)
 let render_plan (p : prepared) : string =
-  Format.asprintf "@[<v>%s query%s@,output: %a@,plan:@,  @[%a@]@]"
-    (if p.snapshot then "snapshot" else "plain")
-    (match p.as_of with Some t -> Printf.sprintf " (AS OF %d)" t | None -> "")
-    Schema.pp p.out_schema Algebra.pp p.plan
+  let head =
+    Format.asprintf "@[<v>%s query%s@,output: %a@,plan:@,  @[%a@]@]"
+      (if p.snapshot then "snapshot" else "plain")
+      (match p.as_of with Some t -> Printf.sprintf " (AS OF %d)" t | None -> "")
+      Schema.pp p.out_schema Algebra.pp p.plan
+  in
+  let buf = Buffer.create (String.length head + String.length p.analysis + 32) in
+  Buffer.add_string buf head;
+  Buffer.add_string buf "\nanalysis:";
+  String.split_on_char '\n' p.analysis
+  |> List.iter (fun line ->
+         Buffer.add_string buf "\n  ";
+         Buffer.add_string buf line);
+  Buffer.contents buf
 
 (** EXPLAIN ANALYZE output: the plan, the executed trace tree annotated
     with per-operator counters, timings and (the collector being GC-
@@ -652,12 +734,12 @@ let render_analyze m (p : prepared) (obs : Trace.t) (result : Table.t) : string 
     have nothing to check statically. *)
 let rec check_statement m (stmt : Ast.statement) : Diagnostic.t list =
   match stmt with
-  | Ast.Query _ -> (
+  | Ast.Query { origin; _ } -> (
       match prepare_statement m stmt with
       | p -> p.diags
       | exception Rejected ds -> ds
-      | exception Error d -> [ d ]
-      | exception Analyzer.Error d -> [ d ])
+      | exception Error d -> stamp_pos origin [ d ]
+      | exception Analyzer.Error d -> stamp_pos origin [ d ])
   | Ast.Explain { target; _ } | Ast.Check { target } -> check_statement m target
   | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ | Ast.Update _
   | Ast.Delete _ ->

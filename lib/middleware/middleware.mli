@@ -43,6 +43,7 @@ type backend = Interpreted | Compiled
 val create :
   ?options:Rewriter.options ->
   ?optimize:bool ->
+  ?prune:bool ->
   ?backend:backend ->
   ?strict:bool ->
   ?parallelism:int ->
@@ -50,8 +51,11 @@ val create :
   unit ->
   t
 (** A middleware over a (possibly pre-populated) engine database.  Default
-    options: {!Rewriter.optimized}.  [strict] (--Werror, default false)
-    makes the check phase reject statements on warnings too.
+    options: {!Rewriter.optimized}.  [prune] (default true) applies the
+    {!Tkr_check.Absint} analysis-driven plan pruning (provably-empty
+    subplans, provably-idempotent Distinct/Coalesce) — byte-identity
+    preserving, so results are unchanged.  [strict] (--Werror, default
+    false) makes the check phase reject statements on warnings too.
     [parallelism] (default 1) > 1 creates a {!Tkr_par.Pool.t} of that many
     domains on which the temporal operators run their sweeps; at 1 the
     serial engine runs unchanged, and parallel plans produce byte-identical
@@ -60,6 +64,13 @@ val create :
 val database : t -> Database.t
 val set_options : t -> Rewriter.options -> unit
 val set_optimize : t -> bool -> unit
+
+val set_prune : t -> bool -> unit
+(** Toggle {!Tkr_check.Absint}-driven plan pruning (default on).
+    Pruning is byte-identity preserving: toggling never changes any
+    query's rows or their order, only the plan shape. *)
+
+val prune : t -> bool
 val set_backend : t -> backend -> unit
 val set_strict : t -> bool -> unit
 (** --Werror: reject statements whose check phase reports warnings. *)
@@ -140,6 +151,10 @@ type prepared = {
   diags : Diagnostic.t list;
       (** diagnostics of the static [check] phase (warnings only: a
           statement with errors raises {!Rejected} instead) *)
+  analysis : string;
+      (** {!Tkr_check.Absint} rendering of the final plan with the
+          inferred per-operator facts (time windows, emptiness,
+          duplicate-freeness), shown by [EXPLAIN] *)
   tables : string list;
       (** base tables the final plan reads, sorted and deduplicated —
           with {!Tkr_engine.Database.version} these form the dependency

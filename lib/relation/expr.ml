@@ -175,6 +175,11 @@ let rec infer_ty (schema : Schema.t) (e : t) : Value.ty =
       | [] -> ( match default with Some d -> infer_ty schema d | None -> Value.TInt))
   | Greatest (a, _) | Least (a, _) -> infer_ty schema a
 
+(* Split a conjunction into its conjuncts, left-to-right. *)
+let conjuncts e =
+  let rec go acc = function And (a, b) -> go (go acc a) b | e -> e :: acc in
+  List.rev (go [] e)
+
 (* Extract equi-join keys from a conjunctive predicate over a concatenated
    schema whose left part has [left_arity] columns.  Returns key pairs
    (left column, right column in right-local numbering) and the residual

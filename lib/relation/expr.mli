@@ -42,6 +42,10 @@ val cols : t -> int list
 val infer_ty : Schema.t -> t -> Value.ty
 (** Result type relative to a schema; numeric operators unify int/float. *)
 
+val conjuncts : t -> t list
+(** Split a conjunction into its conjuncts, left-to-right; a non-[And]
+    expression is its own single conjunct. *)
+
 val equi_keys : left_arity:int -> t -> (int * int) list * t option
 (** Extract equi-join key pairs from a conjunctive predicate over a
     concatenated schema whose left part has [left_arity] columns.  Returns

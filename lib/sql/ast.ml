@@ -74,7 +74,13 @@ and query =
 type order_item = { ord_expr : expr; ord_desc : bool }
 
 type statement =
-  | Query of { q : query; order_by : order_item list; limit : int option }
+  | Query of {
+      q : query;
+      order_by : order_item list;
+      limit : int option;
+      origin : pos option;
+          (** source position of the statement, for plan-level diagnostics *)
+    }
   | Create_table of {
       tbl_name : string;
       cols : (string * Tkr_relation.Value.ty) list;

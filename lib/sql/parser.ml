@@ -508,6 +508,7 @@ let rec parse_statement st =
       let del_where = if eat_kw st "where" then Some (parse_expr st) else None in
       Delete { del_name; del_portion; del_where }
   | _ ->
+      let origin = Some (cur_pos st) in
       let q = parse_query st in
       let order_by =
         if kw st "order" then (
@@ -538,7 +539,7 @@ let rec parse_statement st =
           | _ -> fail st "LIMIT expects an integer"
         else None
       in
-      Query { q; order_by; limit }
+      Query { q; order_by; limit; origin }
 
 (** Parse a single statement (a trailing semicolon is allowed). *)
 let statement (sql : string) : statement =

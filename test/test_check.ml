@@ -161,6 +161,26 @@ let golden : (string * (unit -> D.t list)) list =
     ("TKR302", fun () -> Lint.plan Lint.alignment (Algebra.Diff (Rel "t", Rel "t")));
     ("TKR303", fun () -> Lint.plan Lint.teradata (Algebra.Diff (Rel "t", Rel "t")));
     ("TKR304", fun () -> Lint.plan Lint.alignment (Rel "t"));
+    (* abstract interpretation (Tkr_check.Absint) *)
+    ("TKR401", chk "SELECT x FROM plain WHERE x > 5 AND x < 3");
+    ("TKR402", chk "SELECT x FROM plain WHERE x > 5 AND x < 3");
+    (* period columns of a plain query over a period table are seeded
+       from the stored time bounds ([0,24] in [fresh]) *)
+    ("TKR403", chk "SELECT name FROM works WHERE b >= 0");
+    ("TKR404",
+     chk "SELECT DISTINCT skill, count(*) AS c FROM works GROUP BY skill");
+    ("TKR405", fun () ->
+        Check.physical ~lookup:enc_lookup
+          (Algebra.Coalesce (Algebra.Coalesce (Rel "enc"))));
+    ("TKR406", fun () ->
+        Check.logical ~lookup:enc_lookup
+          (Algebra.Join
+             ( Expr.(
+                 And
+                   ( Cmp (Eq, Col 0, Const (Value.Int 1)),
+                     Cmp (Eq, Col 0, Const (Value.Int 2)) )),
+               Rel "enc", Rel "enc" )));
+    ("TKR407", chk "SELECT name FROM works WHERE e <= 0");
   ]
 
 let test_golden () =
