@@ -9,15 +9,19 @@
                                static analysis only: type check, validate
                                plan invariants and lint for snapshot bugs
      serve                     TCP query server: sessions, admission
-                               control, snapshot-aware result cache
+                               control, snapshot-aware result cache,
+                               optional flight recording (--record)
+     replay RECORDING          deterministically re-execute a flight
+                               recording and byte-diff every response
      connect                   client for a running server
      top                       live console view of a running server
-                               (QPS, latency quantiles, cache hit rate)
-     bench run|compare|export|serve
+                               (QPS, latency quantiles, cache hit rate,
+                               per-fingerprint resource ledger)
+     bench run|compare|export|serve|replay
                                perf trajectory: run the quick suite,
                                detect regressions between two BENCH
                                files, export to OpenMetrics/flamegraphs,
-                               benchmark the query server
+                               benchmark the query server or a recording
 
    Exit codes: 0 ok, 2 parse/lex error, 3 static check failure, 4
    semantic/runtime error, 5 I/O or transport error, 124 usage error. *)
@@ -41,6 +45,9 @@ module Cache = Tkr_serve.Cache
 module Clock = Tkr_obs.Clock
 module Json = Tkr_obs.Json
 module Tel = Tkr_tel.Tel
+module Record = Tkr_rec.Record
+module Replay = Tkr_replay.Replay
+module Console = Tkr_serve.Console
 
 (* --- error hygiene: distinct exit codes per failure class --- *)
 
@@ -573,8 +580,13 @@ let lint_cmd =
 
 (* --- serve --- *)
 
+let workload_name = function
+  | Some `Employee -> Some "employee"
+  | Some `Tpch -> Some "tpch"
+  | None -> None
+
 let serve data workload host port max_sessions queue_depth cache_mb jobs
-    workers metrics_out log slow_ms =
+    workers metrics_out log log_rate slow_ms record =
   let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
   (match data with Some dir -> load_dir m dir | None -> ());
@@ -582,21 +594,35 @@ let serve data workload host port max_sessions queue_depth cache_mb jobs
   let tel, tel_oc =
     match log with
     | None -> (Tel.disabled, None)
-    | Some "stderr" -> (Tel.create (Tel.Chan stderr), None)
+    | Some "stderr" -> (Tel.create ~rate_limit:log_rate (Tel.Chan stderr), None)
     | Some path ->
         let oc = open_out path in
-        (Tel.create (Tel.Chan oc), Some oc)
+        (Tel.create ~rate_limit:log_rate (Tel.Chan oc), Some oc)
+  in
+  (* the flight recorder: one JSONL entry per finished request *)
+  let recorder, rec_oc =
+    match record with
+    | None -> (Record.disabled, None)
+    | Some path ->
+        let oc = open_out path in
+        let header =
+          Record.header
+            ?workload:(workload_name workload)
+            ~source:"tkr_cli serve" ()
+        in
+        (Record.create ~header (Record.Chan oc), Some oc)
   in
   let config =
     { Server.host; port; max_sessions; queue_depth; cache_mb; workers;
       slow_ms }
   in
-  let srv = Server.start ~config ~tel m in
+  let srv = Server.start ~config ~tel ~recorder m in
   Printf.printf
     "tkr_serve listening on %s:%d (sessions %d, queue %d, cache %d MiB, \
-     workers %d, jobs %d%s)\n%!"
+     workers %d, jobs %d%s%s)\n%!"
     host (Server.port srv) max_sessions queue_depth cache_mb workers jobs
-    (match log with Some dst -> ", log " ^ dst | None -> "");
+    (match log with Some dst -> ", log " ^ dst | None -> "")
+    (match record with Some dst -> ", record " ^ dst | None -> "");
   (* SIGTERM/SIGINT request a graceful drain: accepted requests finish,
      then every thread joins and the process exits 0 *)
   let stop_requested = Atomic.make false in
@@ -612,6 +638,10 @@ let serve data workload host port max_sessions queue_depth cache_mb jobs
   Server.stop ~reason:"sigterm" srv;
   Tel.close tel;
   (match tel_oc with Some oc -> close_out oc | None -> ());
+  (if Record.enabled recorder then
+     Printf.eprintf "recorded %d request(s)\n%!" (Record.recorded recorder));
+  Record.close recorder;
+  (match rec_oc with Some oc -> close_out oc | None -> ());
   let s = Server.cache_stats srv in
   Printf.eprintf "cache: %d hits, %d misses, %d evictions, %d invalidations\n%!"
     s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.invalidations;
@@ -704,6 +734,16 @@ let serve_cmd =
              bumps, slow queries) to $(docv); omitting it disables \
              telemetry entirely")
   in
+  let log_rate =
+    Arg.(
+      value
+      & opt int Tel.default_rate_limit
+      & info [ "log-rate" ] ~docv:"N"
+          ~doc:
+            "event-log rate limit in events per second (0 = unlimited); \
+             drops are counted in the tkr_tel_events_dropped_total metric \
+             and announced in the log itself")
+  in
   let slow_ms =
     Arg.(
       value & opt int 500
@@ -713,18 +753,184 @@ let serve_cmd =
              latency emit a slow_query event with plan fingerprint, \
              queue/execute split and cache disposition")
   in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"PATH"
+          ~doc:
+            "flight recorder: append one versioned JSONL entry per \
+             finished request (statement, session, arrival order, table \
+             versions and epoch, cache disposition, resource usage, \
+             response digest) to $(docv), for [tkr replay]")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the TCP query server: per-connection sessions with prepared \
           statements, admission control with backpressure, snapshot-aware \
-          result cache, live telemetry (STATS/METRICS/HEALTH, event log); \
-          SIGTERM/SIGINT drain gracefully")
+          result cache, live telemetry (STATS/METRICS/HEALTH/LEDGER, event \
+          log), optional flight recording; SIGTERM/SIGINT drain gracefully")
     Term.(
-      const (fun a b c d e f g h i j k l ->
-          guarded (fun () -> serve a b c d e f g h i j k l))
+      const (fun a b c d e f g h i j k l m n ->
+          guarded (fun () -> serve a b c d e f g h i j k l m n))
       $ data $ workload $ host_arg $ port_arg $ max_sessions $ queue_depth
-      $ cache_mb $ jobs $ workers $ metrics_out $ log $ slow_ms)
+      $ cache_mb $ jobs $ workers $ metrics_out $ log $ log_rate $ slow_ms
+      $ record)
+
+(* --- replay --- *)
+
+let workload_of_name = function
+  | "employee" -> `Employee
+  | "tpch" -> `Tpch
+  | other ->
+      usage (Printf.sprintf "unknown workload %S in recording header" other)
+
+let shorten_stmt s =
+  let s = String.map (function '\n' | '\t' -> ' ' | c -> c) s in
+  if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
+
+(* Rebuild the catalog a recording was captured against and funnel its
+   entries through a fresh in-process server.  Determinism argument: the
+   initial database is a pure function of the workload name (or the same
+   --data directory), per-session program order is preserved by the
+   replay engine and the server's FIFO guarantee, and every response is
+   pinned by the (plan fingerprint, table versions, epoch) key the
+   recording carries — so the recorded digests must reproduce. *)
+let replay_pass ~data ~workload ~cache_mb ~jobs ~paced path =
+  let header, entries = Record.read_file path in
+  let wl =
+    match workload with
+    | Some _ -> workload
+    | None -> Option.map workload_of_name header.Record.h_workload
+  in
+  if wl = None && data = None then
+    usage "recording has no workload header: provide --workload or --data";
+  let m = M.create ~parallelism:jobs ~db:(workload_db wl) () in
+  Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
+  (match data with Some dir -> load_dir m dir | None -> ());
+  let sessions =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (e : Record.entry) -> e.Record.e_session) entries))
+  in
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      max_sessions = sessions + 4;
+      queue_depth = max Server.default_config.Server.queue_depth (sessions * 4);
+      cache_mb;
+    }
+  in
+  let srv = Server.start ~config m in
+  let outcome =
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    Replay.run ~paced ~port:(Server.port srv) entries
+  in
+  (header, outcome, Server.cache_stats srv)
+
+let replay data workload cache_mb jobs paced fast show path =
+  if paced && fast then usage "--paced excludes --as-fast-as-possible";
+  let _header, o, _stats =
+    replay_pass ~data ~workload ~cache_mb ~jobs ~paced path
+  in
+  Printf.printf
+    "replayed %d request(s) over %d session(s) in %.1f ms (%s)\n" o.Replay.total
+    o.Replay.sessions
+    (o.Replay.wall_ns /. 1e6)
+    (if paced then "paced" else "as fast as possible");
+  Printf.printf
+    "  compared %d   matched %d   mismatched %d   skipped %d   failed %d   \
+     cached %d\n"
+    o.Replay.compared o.Replay.matched
+    (List.length o.Replay.mismatches)
+    o.Replay.skipped o.Replay.failed o.Replay.cached;
+  List.iteri
+    (fun i (mm : Replay.mismatch) ->
+      if i < show then
+        Printf.printf "  mismatch seq %d session %d: expected %s got %s  %s\n"
+          mm.Replay.mm_seq mm.Replay.mm_session mm.Replay.mm_expected
+          mm.Replay.mm_got
+          (shorten_stmt mm.Replay.mm_stmt))
+    o.Replay.mismatches;
+  if Replay.identical o then
+    Printf.printf "recording replayed byte-identically\n"
+  else
+    raise
+      (Fail
+         ( 4,
+           Printf.sprintf "replay diverged: %d mismatch(es), %d failure(s)"
+             (List.length o.Replay.mismatches)
+             o.Replay.failed ))
+
+let replay_path_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"RECORDING")
+
+let replay_data_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data" ] ~docv:"DIR"
+        ~doc:
+          "directory of CSV tables the recording was captured against \
+           (when it was not a built-in workload)")
+
+let replay_workload_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("employee", `Employee); ("tpch", `Tpch) ])) None
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          "override the catalog to replay against (defaults to the \
+           recording header's workload)")
+
+let replay_cache_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "result-cache budget of the replay server; byte-identity must \
+           hold at any setting, 0 included")
+
+let replay_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc:"engine worker domains")
+
+let replay_cmd =
+  let paced =
+    Arg.(
+      value & flag
+      & info [ "paced" ]
+          ~doc:
+            "reproduce the recorded arrival tempo (sleep to each \
+             request's recorded offset) instead of replaying as fast as \
+             admission allows")
+  in
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "as-fast-as-possible" ]
+          ~doc:"replay at full speed (the default; excludes --paced)")
+  in
+  let show =
+    Arg.(
+      value & opt int 5
+      & info [ "show-mismatches" ] ~docv:"N"
+          ~doc:"print at most $(docv) mismatched entries")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute a flight recording against a fresh \
+          in-process server — one connection per recorded session, global \
+          send order preserved — and byte-diff every response digest \
+          against the recording; exits non-zero on any divergence")
+    Term.(
+      const (fun a b c d e f g h -> guarded (fun () -> replay a b c d e f g h))
+      $ replay_data_arg $ replay_workload_arg $ replay_cache_mb_arg
+      $ replay_jobs_arg $ paced $ fast $ show $ replay_path_arg)
 
 (* --- connect --- *)
 
@@ -877,75 +1083,33 @@ let json_payload (rsp : Wire.response) : Json.t =
       raise (Fail (5, "unexpected rows payload from a scrape command"))
   | Error e -> raise (Client.Server_error e)
 
+(* frame rendering lives in Tkr_serve.Console (pure, golden-tested);
+   this loop only scrapes, tracks the request delta and paints *)
 let top host port interval iterations =
-  let jint j key =
-    Option.value ~default:0 (Option.bind (Json.member key j) Json.to_int_opt)
-  in
-  let jstr j key =
-    Option.value ~default:""
-      (Option.bind (Json.member key j) Json.to_string_opt)
-  in
-  let jobj j key = Option.value ~default:(Json.Obj []) (Json.member key j) in
-  let mib b = float_of_int b /. (1024. *. 1024.) in
-  let truncate_stmt s =
-    let s = String.map (function '\n' | '\t' -> ' ' | c -> c) s in
-    if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
-  in
   let clear_screen = Unix.isatty Unix.stdout in
   Client.with_client ~host ~port @@ fun c ->
   let prev_requests = ref (-1) in
   let tick () =
     let stats = json_payload (Client.run_exn c "STATS") in
     let health = json_payload (Client.run_exn c "HEALTH") in
-    let requests = jint stats "requests" in
-    let qps =
-      if !prev_requests < 0 then 0.0
-      else float_of_int (requests - !prev_requests) /. interval
+    (* LEDGER is scraped leniently: an older server parses the bare word
+       as SQL and answers with an error — the panel is simply omitted *)
+    let ledger =
+      match (Client.run c "LEDGER").Wire.body with
+      | Ok (Wire.Message s) -> (
+          try Some (Json.of_string s) with Json.Parse_error _ -> None)
+      | Ok (Wire.Rows _) | Error _ -> None
+      | exception Client.Server_error _ -> None
     in
-    prev_requests := requests;
-    let lat = jobj stats "latency_us" in
-    let cache = jobj stats "cache" in
-    let looked = jint cache "hits" + jint cache "misses" in
-    let hit_rate =
-      if looked = 0 then 0.0
-      else 100. *. float_of_int (jint cache "hits") /. float_of_int looked
+    let frame =
+      Console.frame ~host ~port ~interval ~prev_requests:!prev_requests ~stats
+        ~health ~ledger ()
     in
+    prev_requests :=
+      Option.value ~default:0
+        (Option.bind (Json.member "requests" stats) Json.to_int_opt);
     if clear_screen then print_string "\027[2J\027[H";
-    Printf.printf "tkr top — %s:%d   %s   up %ds\n" host port
-      (jstr health "status") (jint stats "uptime_s");
-    Printf.printf
-      "requests  %d   (%.1f req/s)   errors %d   busy %d   deadline %d\n"
-      requests qps (jint stats "errors") (jint stats "busy")
-      (jint stats "deadline_exceeded");
-    Printf.printf
-      "sessions  %d   queue %d   inflight %d   pool domains %d\n"
-      (jint stats "sessions") (jint stats "queue_depth")
-      (jint stats "inflight") (jint stats "pool_domains");
-    Printf.printf
-      "latency   p50 %d us   p95 %d us   p99 %d us   (%d samples)\n"
-      (jint lat "p50") (jint lat "p95") (jint lat "p99") (jint lat "count");
-    Printf.printf
-      "cache     hit %.1f%%   entries %d   %.1f/%.1f MiB   evictions %d   \
-       invalidations %d\n"
-      hit_rate (jint cache "entries")
-      (mib (jint cache "bytes"))
-      (mib (jint cache "max_bytes"))
-      (jint cache "evictions") (jint cache "invalidations");
-    (match Json.member "slowest" stats with
-    | Some (Json.List (_ :: _ as slow)) ->
-        Printf.printf "slowest plans:\n";
-        Printf.printf "  %-14s %6s %9s %9s  %s\n" "fingerprint" "count"
-          "max ms" "avg ms" "stmt";
-        List.iter
-          (fun e ->
-            let count = max 1 (jint e "count") in
-            Printf.printf "  %-14s %6d %9.1f %9.1f  %s\n" (jstr e "fingerprint")
-              (jint e "count")
-              (float_of_int (jint e "max_us") /. 1000.)
-              (float_of_int (jint e "total_us") /. float_of_int count /. 1000.)
-              (truncate_stmt (jstr e "stmt")))
-          slow
-    | _ -> ());
+    print_string frame;
     flush stdout
   in
   let rec loop n =
@@ -1363,10 +1527,7 @@ let serve_bench_pass ~scale ~connections ~requests ~jobs ~cache_mb =
   Server.stop srv;
   (lat_us, total_ns, stats, Atomic.get errors)
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+let percentile = Perf_runner.percentile
 
 let bench_serve out append scale connections requests jobs cache_mb =
   Printf.printf
@@ -1497,13 +1658,122 @@ let bench_serve_cmd =
           guarded (fun () -> bench_serve a b c d e f g))
       $ out $ append $ scale $ connections $ requests $ jobs $ cache_mb)
 
+(* --- bench replay --- *)
+
+(* a recording as a benchmark: replay it at full speed through a fresh
+   in-process server and write the result in the canonical Perf schema,
+   so recordings of real workloads join the BENCH_PR<n>.json trajectory
+   and [bench compare] works on them *)
+let bench_replay out append data workload cache_mb jobs path =
+  let _header, o, stats =
+    replay_pass ~data ~workload ~cache_mb ~jobs ~paced:false path
+  in
+  if not (Replay.identical o) then
+    raise
+      (Fail
+         ( 4,
+           Printf.sprintf
+             "replay diverged (%d mismatch(es), %d failure(s)): fix the \
+              recording or catalog before benchmarking it"
+             (List.length o.Replay.mismatches)
+             o.Replay.failed ));
+  let lat = Array.copy o.Replay.lat_us in
+  Array.sort compare lat;
+  let n = max 1 o.Replay.total in
+  let mean =
+    Array.fold_left ( +. ) 0.0 lat /. float_of_int (max 1 (Array.length lat))
+  in
+  let rps = float_of_int o.Replay.total /. (o.Replay.wall_ns /. 1e9) in
+  let looked = stats.Cache.hits + stats.Cache.misses in
+  let hit_rate =
+    if looked = 0 then 0.0
+    else float_of_int stats.Cache.hits /. float_of_int looked
+  in
+  let name = Filename.remove_extension (Filename.basename path) in
+  Printf.printf
+    "replay bench %s: %d requests, %d sessions, %8.0f req/s, p50 %8.0f us, \
+     p95 %8.0f us, hit rate %.2f\n%!"
+    name o.Replay.total o.Replay.sessions rps (percentile lat 0.50)
+    (percentile lat 0.95) hit_rate;
+  let results =
+    [
+      Bench_result.result ~suite:"replay" ~name ~runs:n
+        ~counters:
+          [
+            ("requests", float_of_int o.Replay.total);
+            ("sessions", float_of_int o.Replay.sessions);
+            ("matched", float_of_int o.Replay.matched);
+            ("mismatches", float_of_int (List.length o.Replay.mismatches));
+            ("cached", float_of_int o.Replay.cached);
+            ("jobs", float_of_int jobs);
+            ("rps", rps);
+            ("p50_us", percentile lat 0.50);
+            ("p95_us", percentile lat 0.95);
+            ("p99_us", percentile lat 0.99);
+            ("cache_hit_rate", hit_rate);
+          ]
+        (mean *. 1e3)
+    ]
+  in
+  match append with
+  | Some path ->
+      let r = Bench_result.read path in
+      let keep =
+        List.filter
+          (fun (x : Bench_result.result) -> x.Bench_result.suite <> "replay")
+          r.Bench_result.results
+      in
+      Bench_result.write path { r with Bench_result.results = keep @ results };
+      Printf.printf "appended replay suite to %s\n" path
+  | None ->
+      let path =
+        match out with Some p -> p | None -> Bench_result.default_filename ()
+      in
+      Bench_result.write path
+        (Bench_result.make ~source:"tkr_cli bench replay" results);
+      Printf.printf "wrote %s (%d results)\n" path (List.length results)
+
+let bench_replay_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"output file (defaults like [bench run])")
+  in
+  let append =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "append" ] ~docv:"PATH"
+          ~doc:
+            "append/replace the replay suite inside an existing bench \
+             report instead of writing a fresh file")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Benchmark a flight recording: replay it at full speed through a \
+          fresh in-process server (verifying byte-identity first) and \
+          write latency/throughput counters in the canonical bench \
+          schema, compatible with [bench compare]")
+    Term.(
+      const (fun a b c d e f g ->
+          guarded (fun () -> bench_replay a b c d e f g))
+      $ out $ append $ replay_data_arg $ replay_workload_arg
+      $ replay_cache_mb_arg $ replay_jobs_arg $ replay_path_arg)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
        ~doc:
          "Performance trajectory: run the quick suite, detect regressions, \
-          export to external tooling, benchmark the query server")
-    [ bench_run_cmd; bench_compare_cmd; bench_export_cmd; bench_serve_cmd ]
+          export to external tooling, benchmark the query server, \
+          benchmark flight recordings")
+    [
+      bench_run_cmd; bench_compare_cmd; bench_export_cmd; bench_serve_cmd;
+      bench_replay_cmd;
+    ]
 
 let () =
   let doc = "snapshot-semantics temporal query middleware" in
@@ -1512,5 +1782,5 @@ let () =
        (Cmd.group (Cmd.info "tkr" ~doc)
           [
             demo_cmd; gen_cmd; run_cmd; explain_cmd; lint_cmd; serve_cmd;
-            connect_cmd; top_cmd; bench_cmd;
+            replay_cmd; connect_cmd; top_cmd; bench_cmd;
           ]))

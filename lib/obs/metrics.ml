@@ -162,6 +162,15 @@ let histogram_bounds (h : histogram) = Array.copy h.bounds
     Prometheus [histogram_quantile] estimator.  The overflow bucket has
     no upper bound, so ranks landing there report the largest finite
     bound; an empty histogram reports 0. *)
+(* zero one histogram in place, keeping its bounds: ring-buffer consumers
+   (the serve ledger) recycle per-slot histograms when a slot is
+   reassigned to a new owner *)
+let histogram_reset (h : histogram) =
+  locked h.h_lock @@ fun () ->
+  Array.fill h.buckets 0 (Array.length h.buckets) 0;
+  h.observations <- 0;
+  h.sum <- 0
+
 let histogram_quantile (h : histogram) (q : float) : int =
   let observations, buckets =
     locked h.h_lock (fun () -> (h.observations, Array.copy h.buckets))

@@ -53,6 +53,11 @@ val histogram_sum : histogram -> int
 val histogram_buckets : histogram -> int array
 val histogram_bounds : histogram -> int array
 
+val histogram_reset : histogram -> unit
+(** Zero this histogram's buckets, observations and sum, keeping its
+    bounds — for consumers that recycle instruments (e.g. a ring-buffer
+    ledger reassigning a slot's histogram to a new owner). *)
+
 val histogram_quantile : histogram -> float -> int
 (** The [q]-quantile (q in [0,1]) estimated by linear interpolation
     inside the covering bucket (the Prometheus [histogram_quantile]

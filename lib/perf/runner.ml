@@ -55,3 +55,11 @@ let gc_counters (s : sample) : (string * float) list =
     ("gc_minor_collections", float_of_int s.minor_collections);
     ("gc_major_collections", float_of_int s.major_collections);
   ]
+
+(** Nearest-rank quantile of a pre-sorted latency array; [0.0] on an
+    empty array.  Shared by the serve and replay benches so their
+    p50/p95/p99 counters are computed identically. *)
+let percentile (sorted : float array) (q : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))

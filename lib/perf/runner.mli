@@ -19,3 +19,7 @@ val gc_counters : sample -> (string * float) list
 (** The sample's GC numbers as schema counters
     ([gc_minor_words], [gc_major_words], [gc_minor_collections],
     [gc_major_collections]). *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank quantile of a pre-sorted array ([percentile lat 0.95]);
+    [0.0] on an empty array. *)

@@ -8,6 +8,7 @@ type node = {
   key : string;
   deps : (string * int) list;  (* sorted by table name *)
   payload : string;
+  rows : int;  (* result cardinality, carried so hits can report rows_out *)
   size : int;
   mutable prev : node;
   mutable next : node;
@@ -36,7 +37,9 @@ type stats = {
 }
 
 let make_sentinel () =
-  let rec s = { key = ""; deps = []; payload = ""; size = 0; prev = s; next = s } in
+  let rec s =
+    { key = ""; deps = []; payload = ""; rows = 0; size = 0; prev = s; next = s }
+  in
   s
 
 let create ~max_bytes =
@@ -81,7 +84,7 @@ let normalize_deps deps =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) deps
 
 type outcome =
-  | Hit of string
+  | Hit of string * int  (* payload, result cardinality *)
   | Miss
   | Stale of (string * int) list
       (* the dependencies that moved, at their current versions *)
@@ -100,7 +103,7 @@ let lookup (c : t) ~key ~deps : outcome =
           unlink n;
           push_front c n;
           c.hits <- c.hits + 1;
-          Hit n.payload)
+          Hit (n.payload, n.rows))
         else (
           (* a dependency moved on: the entry can never hit again *)
           let changed =
@@ -112,9 +115,11 @@ let lookup (c : t) ~key ~deps : outcome =
           Stale changed)
 
 let find (c : t) ~key ~deps =
-  match lookup c ~key ~deps with Hit p -> Some p | Miss | Stale _ -> None
+  match lookup c ~key ~deps with
+  | Hit (p, _) -> Some p
+  | Miss | Stale _ -> None
 
-let add (c : t) ~key ~deps payload =
+let add (c : t) ?(rows = 0) ~key ~deps payload =
   let size = String.length payload in
   if (not (enabled c)) || size > c.max_bytes then 0
   else
@@ -124,7 +129,15 @@ let add (c : t) ~key ~deps payload =
     | None -> ());
     let n =
       let rec n =
-        { key; deps = normalize_deps deps; payload; size; prev = n; next = n }
+        {
+          key;
+          deps = normalize_deps deps;
+          payload;
+          rows;
+          size;
+          prev = n;
+          next = n;
+        }
       in
       n
     in

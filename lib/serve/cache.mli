@@ -33,22 +33,26 @@ val create : max_bytes:int -> t
 val enabled : t -> bool
 
 type outcome =
-  | Hit of string  (** the stored payload *)
+  | Hit of string * int
+      (** the stored payload and its result cardinality (as passed to
+          {!add} — lets hit paths report rows served without reparsing
+          the payload) *)
   | Miss  (** no entry for the key *)
   | Stale of (string * int) list
       (** entry dropped: these dependencies moved (at current versions) *)
 
 val lookup : t -> key:string -> deps:(string * int) list -> outcome
-(** [Hit payload] iff an entry for [key] exists and its recorded
+(** [Hit (payload, rows)] iff an entry for [key] exists and its recorded
     dependency versions equal [deps] (compared order-insensitively).
     A stale entry is removed, counted as an invalidation, and reported
     with its changed dependencies — the hook for invalidation
     telemetry. *)
 
 val find : t -> key:string -> deps:(string * int) list -> string option
-(** [lookup] collapsed to an option. *)
+(** [lookup] collapsed to an option (rows dropped). *)
 
-val add : t -> key:string -> deps:(string * int) list -> string -> int
+val add :
+  t -> ?rows:int -> key:string -> deps:(string * int) list -> string -> int
 (** Insert (or replace) an entry, then evict least-recently-used entries
     until the byte budget holds; returns how many entries were evicted,
     so callers can feed a live eviction metric.  A payload alone above

@@ -1,0 +1,33 @@
+(** Pure rendering for [tkr_cli top].
+
+    [frame] turns one round of scrape payloads ([STATS], [HEALTH] and
+    optionally [LEDGER]) into the text frame the console prints.  It is
+    deliberately side-effect free so the output — including the
+    zero-window edge cases — can be golden-tested: a first frame
+    ([prev_requests < 0]) or a degenerate [interval] renders the request
+    rate as ["-"], and an untouched cache renders a [0.0%%] hit rate;
+    neither ever prints [nan] or [inf]. *)
+
+module Json = Tkr_obs.Json
+
+val qps_text : interval:float -> prev_requests:int -> requests:int -> string
+(** ["-"] before the first full window or when [interval <= 0];
+    otherwise the rate over the window with one decimal. *)
+
+val hit_rate_pct : hits:int -> misses:int -> float
+(** Hit percentage; [0.0] when there were no lookups (never [nan]). *)
+
+val frame :
+  host:string ->
+  port:int ->
+  interval:float ->
+  prev_requests:int ->
+  stats:Json.t ->
+  health:Json.t ->
+  ledger:Json.t option ->
+  unit ->
+  string
+(** Render one frame.  [stats]/[health] are the parsed scrape payloads;
+    [ledger] is the parsed [LEDGER] payload when the server supports it
+    ([None] omits the panel — older servers answer the statement with a
+    parse error).  Missing JSON fields render as zero. *)

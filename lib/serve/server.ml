@@ -5,6 +5,7 @@
 
 module Middleware = Tkr_middleware.Middleware
 module Database = Tkr_engine.Database
+module Table = Tkr_engine.Table
 module Ast = Tkr_sql.Ast
 module Diagnostic = Tkr_check.Diagnostic
 module Trace = Tkr_obs.Trace
@@ -13,6 +14,8 @@ module Json = Tkr_obs.Json
 module Metrics = Tkr_obs.Metrics
 module Openmetrics = Tkr_obs.Openmetrics
 module Tel = Tkr_tel.Tel
+module Record = Tkr_rec.Record
+module Ledger = Tkr_rec.Ledger
 open Tkr_relation
 
 type config = {
@@ -45,23 +48,13 @@ type job = {
   j_sess : Session.session;
   j_req : Wire.request;
   j_enq_ns : int64;
+  j_seq : int;  (* global arrival order, stamped at admission *)
+  j_arrive_ms : int;  (* wall-clock arrival, for the flight recorder *)
   j_trace : string option;
       (* the request's correlation id: the client's trace_id, or a
          server-generated one when telemetry is on (None when off — the
          response then carries no trace_id field at all) *)
 }
-
-(* per-fingerprint slow-query accounting, feeding STATS and [tkr_cli top];
-   tracked unconditionally — a Hashtbl update per request — independent of
-   the event log *)
-type slow_entry = {
-  sl_stmt : string;
-  mutable sl_count : int;
-  mutable sl_total_us : int;
-  mutable sl_max_us : int;
-}
-
-let slow_table_cap = 512
 
 type t = {
   cfg : config;
@@ -90,8 +83,12 @@ type t = {
   trace_seq : int Atomic.t;  (* server-generated trace-id counter *)
   start_ns : int64;
   env : Tkr_perf.Env.t;  (* build info for the METRICS exposition *)
-  slow : (string, slow_entry) Hashtbl.t;  (* fingerprint -> accounting *)
-  slow_lock : Mutex.t;
+  (* flight recorder (disabled unless [serve --record]) and the
+     per-fingerprint resource ledger (always on: it also backs the
+     slow-query view in STATS and [tkr_cli top]) *)
+  recorder : Record.t;
+  ledger : Ledger.t;
+  arrive_seq : int Atomic.t;  (* stamps [j_seq] *)
   (* server metrics, registered in the middleware's registry so one
      OpenMetrics export covers engine and server *)
   m_requests : Metrics.counter;
@@ -122,6 +119,8 @@ let config t = t.cfg
 let cache_stats t = Cache.stats t.cache
 let stopping t = Atomic.get t.stop_flag
 let telemetry t = t.tel
+let recorder t = t.recorder
+let ledger t = t.ledger
 
 let uptime_s srv =
   Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) srv.start_ns) 1_000_000_000L)
@@ -166,19 +165,38 @@ let trace_json obs =
   | [] -> None
   | roots -> Some (Json.List (List.map Trace.to_json_value roots))
 
-(* what [execute] reports back to the worker loop for telemetry *)
+(* what [execute] reports back to the worker loop for telemetry, the
+   resource ledger and the flight recorder *)
 type outcome = {
   o_status : string;  (* "ok" or the wire error code *)
   o_cached : bool;
   o_fp : string;  (* plan fingerprint (digest of statement for non-queries) *)
   o_disposition : string;  (* hit | miss | bypass | off | error *)
+  o_epoch : int;  (* catalog epoch observed at execution *)
+  o_deps : (string * int) list;  (* table-version vector at execution *)
+  o_rows_in : int;  (* total cardinality of the dependency tables *)
+  o_rows_out : int;
+  o_digest : string;  (* response digest; "" when recording is off *)
 }
 
-(* Run one plain query with the cache: (payload, cached, trace, fp,
-   disposition).  The read_locked bracket makes (version read, execute,
-   cache fill) atomic with respect to DDL/DML — versions observed here
-   are the versions the result was computed from. *)
-let run_query srv sess (req : Wire.request) trace_id =
+(* one executed query, before the envelope is assembled *)
+type qres = {
+  q_payload : string;
+  q_cached : bool;
+  q_trace : Json.t option;
+  q_fp : string;
+  q_disposition : string;
+  q_epoch : int;
+  q_deps : (string * int) list;
+  q_rows_in : int;
+  q_rows_out : int;
+}
+
+(* Run one plain query with the cache.  The read_locked bracket makes
+   (version read, execute, cache fill) atomic with respect to DDL/DML —
+   versions observed here are the versions the result was computed
+   from. *)
+let run_query srv sess (req : Wire.request) trace_id : qres =
   Middleware.read_locked srv.mw @@ fun () ->
   let p = Session.prepared sess srv.mw req.Wire.stmt in
   let db = Middleware.database srv.mw in
@@ -186,6 +204,12 @@ let run_query srv sess (req : Wire.request) trace_id =
   let fp = fingerprint key in
   let deps =
     List.map (fun tb -> (tb, Database.version db tb)) p.Middleware.tables
+  in
+  let epoch = Middleware.epoch srv.mw in
+  let rows_in =
+    List.fold_left
+      (fun acc tb -> acc + Table.cardinality (Database.find db tb))
+      0 p.Middleware.tables
   in
   let tel = srv.tel in
   let execute_fresh disposition =
@@ -201,21 +225,42 @@ let run_query srv sess (req : Wire.request) trace_id =
               Middleware.run_prepared ~obs srv.mw p)
       | _ -> Middleware.run_prepared ~obs srv.mw p
     in
+    let rows_out = Table.cardinality tbl in
     let payload = Wire.body_to_payload (Wire.Rows tbl) in
-    let evicted = Cache.add srv.cache ~key ~deps payload in
+    let evicted = Cache.add srv.cache ~rows:rows_out ~key ~deps payload in
     if evicted > 0 then begin
       Metrics.add srv.m_cache_evictions evicted;
       if Tel.enabled tel then Tel.emit tel (Tel.Cache_evict { count = evicted })
     end;
-    (payload, false, trace_json obs, fp, disposition)
+    {
+      q_payload = payload;
+      q_cached = false;
+      q_trace = trace_json obs;
+      q_fp = fp;
+      q_disposition = disposition;
+      q_epoch = epoch;
+      q_deps = deps;
+      q_rows_in = rows_in;
+      q_rows_out = rows_out;
+    }
   in
   if not (Cache.enabled srv.cache) then execute_fresh "off"
   else
     match Cache.lookup srv.cache ~key ~deps with
-    | Cache.Hit payload ->
+    | Cache.Hit (payload, rows) ->
         Metrics.incr srv.m_cache_hits;
         if Tel.enabled tel then Tel.emit tel (Tel.Cache_hit { fingerprint = fp });
-        (payload, true, None, fp, "hit")
+        {
+          q_payload = payload;
+          q_cached = true;
+          q_trace = None;
+          q_fp = fp;
+          q_disposition = "hit";
+          q_epoch = epoch;
+          q_deps = deps;
+          q_rows_in = rows_in;
+          q_rows_out = rows;
+        }
     | Cache.Miss ->
         Metrics.incr srv.m_cache_misses;
         if Tel.enabled tel then
@@ -234,24 +279,41 @@ let run_query srv sess (req : Wire.request) trace_id =
 
 (* DDL/DML and the meta statements (EXPLAIN, CHECK) bypass the cache;
    execute_statement takes the right middleware lock side itself *)
-let run_statement srv stmt =
+let run_statement srv stmt : string * int =
   match Middleware.execute_statement srv.mw stmt with
-  | Middleware.Rows tbl -> Wire.body_to_payload (Wire.Rows tbl)
-  | Middleware.Done msg -> Wire.body_to_payload (Wire.Message msg)
+  | Middleware.Rows tbl ->
+      (Wire.body_to_payload (Wire.Rows tbl), Table.cardinality tbl)
+  | Middleware.Done msg -> (Wire.body_to_payload (Wire.Message msg), 0)
 
 let execute srv (j : job) : outcome =
   let req = j.j_req in
   let id = req.Wire.id in
   let trace_id = j.j_trace in
   let stmt_fp () = fingerprint req.Wire.stmt in
-  let reply_ok (payload, cached, trace, fp, disposition) =
+  (* digesting the response costs an MD5 over the payload: only when the
+     flight recorder will consume it *)
+  let digest_ok payload =
+    if Record.enabled srv.recorder then Record.digest payload else ""
+  in
+  let reply_ok (q : qres) =
     let elapsed_us =
       Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) j.j_enq_ns) 1000L)
     in
     Metrics.observe srv.m_latency elapsed_us;
     send_raw j.j_conn
-      (Wire.ok_frame ~id ~cached ~elapsed_us ?trace ?trace_id payload);
-    { o_status = "ok"; o_cached = cached; o_fp = fp; o_disposition = disposition }
+      (Wire.ok_frame ~id ~cached:q.q_cached ~elapsed_us ?trace:q.q_trace
+         ?trace_id q.q_payload);
+    {
+      o_status = "ok";
+      o_cached = q.q_cached;
+      o_fp = q.q_fp;
+      o_disposition = q.q_disposition;
+      o_epoch = q.q_epoch;
+      o_deps = q.q_deps;
+      o_rows_in = q.q_rows_in;
+      o_rows_out = q.q_rows_out;
+      o_digest = digest_ok q.q_payload;
+    }
   in
   let fail code message =
     send_error srv j.j_conn ~id ?trace_id code message;
@@ -260,6 +322,14 @@ let execute srv (j : job) : outcome =
       o_cached = false;
       o_fp = stmt_fp ();
       o_disposition = "error";
+      o_epoch = Middleware.epoch srv.mw;
+      o_deps = [];
+      o_rows_in = 0;
+      o_rows_out = 0;
+      o_digest =
+        (if Record.enabled srv.recorder then
+           Record.digest_error ~code:(Wire.error_code_to_string code) ~message
+         else "");
     }
   in
   match
@@ -267,7 +337,19 @@ let execute srv (j : job) : outcome =
        cache; EXPLAIN/CHECK/DDL/DML take the execute_statement path *)
     match Tkr_sql.Parser.statement req.Wire.stmt with
     | Ast.Query _ -> run_query srv j.j_sess req trace_id
-    | stmt -> (run_statement srv stmt, false, None, stmt_fp (), "bypass")
+    | stmt ->
+        let payload, rows_out = run_statement srv stmt in
+        {
+          q_payload = payload;
+          q_cached = false;
+          q_trace = None;
+          q_fp = stmt_fp ();
+          q_disposition = "bypass";
+          q_epoch = Middleware.epoch srv.mw;
+          q_deps = [];
+          q_rows_in = 0;
+          q_rows_out = rows_out;
+        }
   with
   | result -> reply_ok result
   | exception Tkr_sql.Parser.Error d | exception Tkr_sql.Lexer.Error d ->
@@ -281,37 +363,6 @@ let execute srv (j : job) : outcome =
   | exception Schema.Unknown name ->
       fail Wire.Runtime_error ("unknown name " ^ name)
   | exception exn -> fail Wire.Runtime_error (Printexc.to_string exn)
-
-(* ---- slow-query accounting ---- *)
-
-let record_slow srv ~fp ~stmt ~total_us =
-  locked srv.slow_lock @@ fun () ->
-  match Hashtbl.find_opt srv.slow fp with
-  | Some e ->
-      e.sl_count <- e.sl_count + 1;
-      e.sl_total_us <- e.sl_total_us + total_us;
-      if total_us > e.sl_max_us then e.sl_max_us <- total_us
-  | None ->
-      if Hashtbl.length srv.slow < slow_table_cap then
-        Hashtbl.replace srv.slow fp
-          { sl_stmt = stmt; sl_count = 1; sl_total_us = total_us;
-            sl_max_us = total_us }
-
-let slowest srv n : (string * slow_entry) list =
-  let all =
-    locked srv.slow_lock (fun () ->
-        Hashtbl.fold
-          (fun fp e acc ->
-            ( fp,
-              { sl_stmt = e.sl_stmt; sl_count = e.sl_count;
-                sl_total_us = e.sl_total_us; sl_max_us = e.sl_max_us } )
-            :: acc)
-          srv.slow [])
-  in
-  let sorted =
-    List.sort (fun (_, a) (_, b) -> compare b.sl_max_us a.sl_max_us) all
-  in
-  List.filteri (fun i _ -> i < n) sorted
 
 (* ---- per-session ordering ---- *)
 
@@ -377,6 +428,10 @@ let run_one srv (job : job) =
   let queue_us =
     Int64.to_int (Int64.div (Int64.sub exec_start_ns job.j_enq_ns) 1000L)
   in
+  (* allocation attribution: words this domain allocates while the job
+     runs.  Parallel operator segments allocate on pool domains and are
+     not counted — the ledger tracks the serial (worker-side) cost. *)
+  let gc0 = Gc.quick_stat () in
   (if Tel.enabled tel then
      match job.j_trace with
      | Some trace_id ->
@@ -389,7 +444,43 @@ let run_one srv (job : job) =
     let total_us =
       Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) job.j_enq_ns) 1000L)
     in
-    record_slow srv ~fp:o.o_fp ~stmt:req.Wire.stmt ~total_us;
+    let exec_us = max 0 (total_us - queue_us) in
+    let gc1 = Gc.quick_stat () in
+    let gc_minor_w =
+      int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words)
+    in
+    let gc_major_w =
+      int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words)
+    in
+    Ledger.observe srv.ledger ~fp:o.o_fp ~stmt:req.Wire.stmt
+      ~ok:(o.o_status = "ok") ~disposition:o.o_disposition ~queue_us ~exec_us
+      ~total_us ~rows_out:o.o_rows_out ~gc_minor_w ~gc_major_w;
+    (if Record.enabled srv.recorder then
+       Record.write srv.recorder
+         {
+           Record.e_seq = job.j_seq;
+           e_session = sid;
+           e_req_id = req.Wire.id;
+           e_trace_id = job.j_trace;
+           e_stmt = req.Wire.stmt;
+           e_deadline_ms = req.Wire.deadline_ms;
+           e_arrive_ms = job.j_arrive_ms;
+           e_arrive_ns = job.j_enq_ns;
+           e_queue_us = queue_us;
+           e_exec_us = exec_us;
+           e_total_us = total_us;
+           e_status = o.o_status;
+           e_cached = o.o_cached;
+           e_disposition = o.o_disposition;
+           e_fp = o.o_fp;
+           e_epoch = o.o_epoch;
+           e_deps = o.o_deps;
+           e_rows_in = o.o_rows_in;
+           e_rows_out = o.o_rows_out;
+           e_gc_minor_w = gc_minor_w;
+           e_gc_major_w = gc_major_w;
+           e_digest = o.o_digest;
+         });
     if Tel.enabled tel then begin
       (match job.j_trace with
       | Some trace_id ->
@@ -414,19 +505,27 @@ let run_one srv (job : job) =
            (Int64.div (Int64.sub exec_start_ns job.j_enq_ns) 1_000_000L)
          >= budget_ms ->
       Metrics.incr srv.m_deadline;
+      let message =
+        Printf.sprintf "deadline of %d ms exceeded in queue" budget_ms
+      in
       send_raw job.j_conn
         (Wire.error_frame ~id:req.Wire.id ?trace_id:job.j_trace
-           {
-             Wire.code = Wire.Deadline_exceeded;
-             message =
-               Printf.sprintf "deadline of %d ms exceeded in queue" budget_ms;
-           });
+           { Wire.code = Wire.Deadline_exceeded; message });
+      let code = Wire.error_code_to_string Wire.Deadline_exceeded in
       finish
         {
-          o_status = Wire.error_code_to_string Wire.Deadline_exceeded;
+          o_status = code;
           o_cached = false;
           o_fp = fingerprint req.Wire.stmt;
           o_disposition = "error";
+          o_epoch = Middleware.epoch srv.mw;
+          o_deps = [];
+          o_rows_in = 0;
+          o_rows_out = 0;
+          o_digest =
+            (if Record.enabled srv.recorder then
+               Record.digest_error ~code ~message
+             else "");
         }
   | _ -> finish (execute srv job)
 
@@ -474,9 +573,23 @@ let build_info_family srv : string =
         1.0 );
     ]
 
+(* telemetry drop accounting, exported even though the event log itself
+   lives outside the metrics registry *)
+let tel_family srv : string list =
+  if Tel.enabled srv.tel then
+    [
+      Openmetrics.type_line "tkr_tel_events_dropped_total" "counter"
+      ^ Openmetrics.sample "tkr_tel_events_dropped_total"
+          (float_of_int (Tel.dropped srv.tel));
+    ]
+  else []
+
 let metrics_text srv : string =
   sync_gauges srv;
-  Openmetrics.of_metrics ~extra:[ build_info_family srv ]
+  Openmetrics.of_metrics
+    ~extra:
+      ((build_info_family srv :: tel_family srv)
+      @ Ledger.openmetrics srv.ledger)
     (Middleware.metrics srv.mw)
 
 let health_json srv : Json.t =
@@ -514,18 +627,22 @@ let stats_json srv : Json.t =
           ] );
       ("cache", Cache.stats_json srv.cache);
       ( "slowest",
+        (* derived from the resource ledger, worst single execution
+           first; same shape as the pre-ledger slow-query table *)
         Json.List
-          (List.map
-             (fun (fp, e) ->
-               Json.Obj
-                 [
-                   ("fingerprint", Json.Str fp);
-                   ("count", Json.Int e.sl_count);
-                   ("max_us", Json.Int e.sl_max_us);
-                   ("total_us", Json.Int e.sl_total_us);
-                   ("stmt", Json.Str e.sl_stmt);
-                 ])
-             (slowest srv 5)) );
+          (Ledger.rows srv.ledger
+          |> List.sort (fun a b ->
+                 compare b.Ledger.r_max_us a.Ledger.r_max_us)
+          |> List.filteri (fun i _ -> i < 5)
+          |> List.map (fun (r : Ledger.row) ->
+                 Json.Obj
+                   [
+                     ("fingerprint", Json.Str r.Ledger.r_fp);
+                     ("count", Json.Int r.Ledger.r_count);
+                     ("max_us", Json.Int r.Ledger.r_max_us);
+                     ("total_us", Json.Int r.Ledger.r_total_us);
+                     ("stmt", Json.Str r.Ledger.r_stmt);
+                   ])) );
     ]
 
 (* the scrape commands answer from the reader thread, ahead of admission:
@@ -536,6 +653,7 @@ let scrape srv (req : Wire.request) : string option =
   | "STATS" -> Some (Json.to_string (stats_json srv))
   | "METRICS" -> Some (metrics_text srv)
   | "HEALTH" -> Some (Json.to_string (health_json srv))
+  | "LEDGER" -> Some (Json.to_string (Ledger.to_json ~top:50 srv.ledger))
   | _ -> None
 
 (* ---- connection threads ---- *)
@@ -586,7 +704,13 @@ let conn_loop srv conn sess () =
                 in
                 let job =
                   { j_conn = conn; j_sess = sess; j_req = req;
-                    j_enq_ns = Clock.now_ns (); j_trace }
+                    j_enq_ns = Clock.now_ns ();
+                    j_seq = Atomic.fetch_and_add srv.arrive_seq 1;
+                    j_arrive_ms =
+                      (if Record.enabled srv.recorder then
+                         int_of_float (Unix.gettimeofday () *. 1000.)
+                       else 0);
+                    j_trace }
                 in
                 match enqueue srv job with
                 | `Accepted | `Deferred -> ()
@@ -664,7 +788,8 @@ let accept_loop srv () =
 
 (* ---- lifecycle ---- *)
 
-let start ?(config = default_config) ?(tel = Tel.disabled) mw =
+let start ?(config = default_config) ?(tel = Tel.disabled)
+    ?(recorder = Record.disabled) mw =
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -701,8 +826,9 @@ let start ?(config = default_config) ?(tel = Tel.disabled) mw =
       trace_seq = Atomic.make 1;
       start_ns = Clock.now_ns ();
       env = Tkr_perf.Env.capture ();
-      slow = Hashtbl.create 64;
-      slow_lock = Mutex.create ();
+      recorder;
+      ledger = Ledger.create ();
+      arrive_seq = Atomic.make 0;
       m_requests = Metrics.counter reg "serve_requests_total";
       m_busy = Metrics.counter reg "serve_busy_total";
       m_deadline = Metrics.counter reg "serve_deadline_exceeded_total";

@@ -40,15 +40,31 @@
     off and no client trace id, responses are byte-identical to an
     uninstrumented server.
 
-    Three statements are answered by the reader thread itself, ahead of
+    Four statements are answered by the reader thread itself, ahead of
     admission (so they stay responsive under a full queue and during a
     drain): [STATS] (a JSON summary: counters, latency quantiles, cache,
     slowest plan fingerprints), [METRICS] (the OpenMetrics exposition of
     the middleware registry — engine and server counters, live gauges,
-    build info) and [HEALTH] ([ready]/[draining]). *)
+    build info, [tkr_ledger_*] families, telemetry drop counter),
+    [HEALTH] ([ready]/[draining]) and [LEDGER] (the per-plan-fingerprint
+    resource ledger: see {!Tkr_rec.Ledger.to_json}).
+
+    {2 Flight recording}
+
+    A server started with a live {!Tkr_rec.Record.t} appends one
+    versioned JSONL entry per finished request — canonical statement,
+    session, arrival order, the [(table, version)] vector and catalog
+    epoch observed at execution, cache disposition, queue/exec split, GC
+    word deltas, rows in/out, and an MD5 digest of the exact response
+    payload bytes.  Because the dependency vector is read under the same
+    lock bracket the cache uses, a recording pins exactly the state a
+    deterministic replay must reproduce.  Recording off (the default) is
+    a physical-equality check per request. *)
 
 module Middleware = Tkr_middleware.Middleware
 module Tel = Tkr_tel.Tel
+module Record = Tkr_rec.Record
+module Ledger = Tkr_rec.Ledger
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -69,10 +85,12 @@ val default_config : config
 
 type t
 
-val start : ?config:config -> ?tel:Tel.t -> Middleware.t -> t
+val start :
+  ?config:config -> ?tel:Tel.t -> ?recorder:Record.t -> Middleware.t -> t
 (** Bind, listen and spawn the accept loop and workers.  [tel] (default
-    {!Tkr_tel.Tel.disabled}) receives the event log; the caller owns it
-    and closes it after {!stop}.
+    {!Tkr_tel.Tel.disabled}) receives the event log; [recorder] (default
+    {!Tkr_rec.Record.disabled}) receives flight-recording entries.  The
+    caller owns both and closes them after {!stop}.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int
@@ -82,6 +100,11 @@ val config : t -> config
 val cache_stats : t -> Cache.stats
 val stopping : t -> bool
 val telemetry : t -> Tel.t
+val recorder : t -> Record.t
+
+val ledger : t -> Ledger.t
+(** The live resource ledger (always on); [LEDGER] serves its
+    {!Tkr_rec.Ledger.to_json}. *)
 
 val stats_json : t -> Tkr_obs.Json.t
 (** The [STATS] payload: uptime, request/error counters, live gauges,
@@ -91,7 +114,9 @@ val stats_json : t -> Tkr_obs.Json.t
 val metrics_text : t -> string
 (** The [METRICS] payload: the OpenMetrics exposition of the middleware
     registry with the live gauges freshly sampled, plus the
-    [tkr_build_info] family (git SHA, OCaml version). *)
+    [tkr_build_info] family (git SHA, OCaml version), the
+    [tkr_tel_events_dropped_total] counter (when telemetry is on) and
+    the [tkr_ledger_*] per-fingerprint families. *)
 
 val health_json : t -> Tkr_obs.Json.t
 (** The [HEALTH] payload: [{"status": "ready" | "draining", ...}]. *)

@@ -275,6 +275,25 @@ let ok_frame ~id ~cached ~elapsed_us ?trace ?trace_id (payload : string) :
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* invert [ok_frame]: the payload is everything between the first
+   result-key marker and the closing brace.  The marker's quotes are
+   unescaped, and any quote inside a serialized JSON string (trace_id,
+   trace) travels backslash-escaped, so the first occurrence is always
+   the envelope's own key. *)
+let ok_frame_payload (frame : string) : string option =
+  let marker = {|,"result":|} in
+  let mlen = String.length marker in
+  let flen = String.length frame in
+  let rec find i =
+    if i + mlen > flen then None
+    else if String.sub frame i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some start when flen > start && frame.[flen - 1] = '}' ->
+      Some (String.sub frame start (flen - start - 1))
+  | _ -> None
+
 let error_frame ~id ?trace_id (e : error) : string =
   Json.to_string
     (Json.Obj

@@ -110,6 +110,12 @@ val ok_frame :
     byte-identical to a telemetry-free server for clients that never
     send one. *)
 
+val ok_frame_payload : string -> string option
+(** Recover the exact payload bytes from an assembled ok frame — the
+    inverse of {!ok_frame}, used by replay to digest responses the way
+    the recorder digested them (no reparse, no re-render).  [None] if
+    the frame is not an ok envelope. *)
+
 val error_frame : id:int -> ?trace_id:string -> error -> string
 val response_of_string : string -> response
 

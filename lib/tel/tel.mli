@@ -64,14 +64,19 @@ val disabled : t
 (** The shared no-op log: [enabled disabled = false] and {!emit} returns
     immediately. *)
 
+val default_rate_limit : int
+(** The default events-per-second ceiling (5000) — exported so CLI
+    option help and defaults stay in sync with the implementation. *)
+
 val create :
   ?clock:Tkr_obs.Clock.t ->
   ?wall:(unit -> float) ->
   ?rate_limit:int ->
   sink ->
   t
-(** [rate_limit] is the events-per-second ceiling (default 5000;
-    [0] = unlimited).  [clock] and [wall] are injectable for tests. *)
+(** [rate_limit] is the events-per-second ceiling (default
+    {!default_rate_limit}; [0] = unlimited).  [clock] and [wall] are
+    injectable for tests. *)
 
 val enabled : t -> bool
 (** [false] for {!disabled} and for closed logs.  Guard event
