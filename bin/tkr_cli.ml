@@ -214,13 +214,26 @@ let workload_queries = function
   | `Employee -> Tkr_workload.Queries.employee
   | `Tpch -> Tkr_workload.Queries.tpch
 
-let run data workload jobs no_prune sql file explain stats max_rows =
+(* --engine row|vec, shared by run, explain, serve and bench run: the
+   vectorized engine is byte-identical to the row engine (the CI
+   vec-differential job diffs the two), so the flag only changes speed *)
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("row", M.Row); ("vec", M.Vec) ]) M.Row
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "execution engine: $(b,row) (interpreted row-at-a-time, the \
+           default and the differential-testing oracle) or $(b,vec) \
+           (columnar batch-at-a-time); both produce byte-identical output")
+
+let run data workload jobs engine no_prune sql file explain stats max_rows =
   (match (sql, file, workload) with
   | Some _, Some _, _ -> usage "provide at most one of -e SQL or -f FILE"
   | None, None, None -> usage "provide -e SQL, -f FILE or --workload NAME"
   | _ -> ());
   let m =
-    M.create ~parallelism:jobs ~prune:(not no_prune)
+    M.create ~parallelism:jobs ~engine ~prune:(not no_prune)
       ~db:(workload_db workload) ()
   in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
@@ -325,15 +338,15 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
     Term.(
-      const (fun a b c d e f g h i ->
-          guarded (fun () -> run a b c d e f g h i))
-      $ data $ workload $ jobs $ no_prune $ sql $ file $ explain $ stats
-      $ max_rows)
+      const (fun a b c d e f g h i j ->
+          guarded (fun () -> run a b c d e f g h i j))
+      $ data $ workload $ jobs $ engine_arg $ no_prune $ sql $ file $ explain
+      $ stats $ max_rows)
 
 (* --- explain --- *)
 
-let explain data analyze jobs no_prune sql =
-  let m = M.create ~parallelism:jobs ~prune:(not no_prune) () in
+let explain data analyze jobs engine no_prune sql =
+  let m = M.create ~parallelism:jobs ~engine ~prune:(not no_prune) () in
   (match data with Some dir -> load_dir m dir | None -> ());
   print_endline (if analyze then M.explain_analyze m sql else M.explain m sql);
   M.shutdown m
@@ -374,8 +387,8 @@ let explain_cmd =
        ~doc:"Show the optimized, rewritten plan of a query with the \
              abstract interpreter's inferred per-operator facts")
     Term.(
-      const (fun a b c d e -> guarded (fun () -> explain a b c d e))
-      $ data $ analyze $ jobs $ no_prune $ sql)
+      const (fun a b c d e f -> guarded (fun () -> explain a b c d e f))
+      $ data $ analyze $ jobs $ engine_arg $ no_prune $ sql)
 
 (* --- lint --- *)
 
@@ -586,8 +599,8 @@ let workload_name = function
   | None -> None
 
 let serve data workload host port max_sessions queue_depth cache_mb jobs
-    workers metrics_out log log_rate slow_ms record =
-  let m = M.create ~parallelism:jobs ~db:(workload_db workload) () in
+    engine workers metrics_out log log_rate slow_ms record =
+  let m = M.create ~parallelism:jobs ~engine ~db:(workload_db workload) () in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
   (match data with Some dir -> load_dir m dir | None -> ());
   (* the JSONL event log: a file path, "stderr", or off entirely *)
@@ -772,11 +785,11 @@ let serve_cmd =
           result cache, live telemetry (STATS/METRICS/HEALTH/LEDGER, event \
           log), optional flight recording; SIGTERM/SIGINT drain gracefully")
     Term.(
-      const (fun a b c d e f g h i j k l m n ->
-          guarded (fun () -> serve a b c d e f g h i j k l m n))
+      const (fun a b c d e f g h i j k l m n o ->
+          guarded (fun () -> serve a b c d e f g h i j k l m n o))
       $ data $ workload $ host_arg $ port_arg $ max_sessions $ queue_depth
-      $ cache_mb $ jobs $ workers $ metrics_out $ log $ log_rate $ slow_ms
-      $ record)
+      $ cache_mb $ jobs $ engine_arg $ workers $ metrics_out $ log $ log_rate
+      $ slow_ms $ record)
 
 (* --- replay --- *)
 
@@ -1160,7 +1173,7 @@ let top_cmd =
    operator measured serially and on the pool, with the speedup recorded
    as a [speedup_x] counter — the trajectory of parallel efficiency
    across commits and job counts. *)
-let bench_suite ~scale ~runs ~jobs :
+let bench_suite ~scale ~runs ~jobs ~engine :
     Bench_result.result list * (string * Tkr_obs.Json.t) list =
   let module W = Tkr_workload.Employees in
   let module Q = Tkr_workload.Queries in
@@ -1170,7 +1183,12 @@ let bench_suite ~scale ~runs ~jobs :
   let module Json = Tkr_obs.Json in
   let employees = max 20 (int_of_float (150. *. scale)) in
   let db = W.generate { (W.scaled employees) with W.tmax = 2000 } in
-  let m = M.create ~parallelism:jobs ~db () in
+  let m = M.create ~parallelism:jobs ~engine ~db () in
+  (* with --engine vec, a row-engine middleware over the same catalog
+     provides the per-query reference timing behind [speedup_vs_row_x] *)
+  let m_row =
+    match engine with M.Vec -> Some (M.create ~db ()) | M.Row -> None
+  in
   let jobs_counter = ("jobs", float_of_int jobs) in
   let measured ~suite ~name ?(counters = []) f =
     let s = Perf_runner.measure ~runs f in
@@ -1188,13 +1206,31 @@ let bench_suite ~scale ~runs ~jobs :
         let p = M.prepare m sql in
         let s = Perf_runner.measure ~runs (fun () -> M.run_prepared m p) in
         let rows = Table.cardinality (M.run_prepared m p) in
-        Printf.printf "  %-24s %12.1f us/run  %8d rows\n%!" name
-          (s.Perf_runner.wall_ns /. 1e3) rows;
+        (* the vec-vs-row trajectory: same query, row engine, same runs *)
+        let speedup =
+          match m_row with
+          | None -> []
+          | Some mr ->
+              let pr = M.prepare mr sql in
+              let sr =
+                Perf_runner.measure ~runs (fun () -> M.run_prepared mr pr)
+              in
+              [
+                ("row_ns_per_run", sr.Perf_runner.wall_ns);
+                ( "speedup_vs_row_x",
+                  sr.Perf_runner.wall_ns /. s.Perf_runner.wall_ns );
+              ]
+        in
+        Printf.printf "  %-24s %12.1f us/run  %8d rows%s\n%!" name
+          (s.Perf_runner.wall_ns /. 1e3) rows
+          (match speedup with
+          | [ _; (_, x) ] -> Printf.sprintf "  %5.2fx vs row" x
+          | _ -> "");
         Bench_result.result ~suite:"employee" ~name ~runs
           ~counters:
             (jobs_counter
             :: ("rows_out", float_of_int rows)
-            :: Perf_runner.gc_counters s)
+            :: (speedup @ Perf_runner.gc_counters s))
           s.Perf_runner.wall_ns)
       Q.employee
   in
@@ -1300,19 +1336,21 @@ let bench_suite ~scale ~runs ~jobs :
          Q.employee)
   in
   M.shutdown m;
+  Option.iter M.shutdown m_row;
   ( employee @ coalesce @ interval_join @ split_agg @ par_scaling,
     [ ("operator_traces", traces) ] )
 
-let bench_run out scale runs jobs =
+let bench_run out scale runs jobs engine =
   let path = match out with Some p -> p | None -> Bench_result.default_filename () in
-  Printf.printf "quick bench suite (scale %.2f, %d runs, %d jobs):\n%!" scale
-    runs jobs;
-  let results, extra = bench_suite ~scale ~runs ~jobs in
+  Printf.printf "quick bench suite (scale %.2f, %d runs, %d jobs, %s engine):\n%!"
+    scale runs jobs
+    (match engine with M.Row -> "row" | M.Vec -> "vec");
+  let results, extra = bench_suite ~scale ~runs ~jobs ~engine in
   let report = Bench_result.make ~extra ~source:"tkr_cli bench run" results in
   Bench_result.write path report;
   Printf.printf "wrote %s (%d results)\n" path (List.length results)
 
-let bench_compare base fresh threshold =
+let bench_compare base fresh threshold suite =
   match (Bench_result.read base, Bench_result.read fresh) with
   | b, f ->
       if b.Bench_result.env.Tkr_perf.Env.hostname
@@ -1325,13 +1363,10 @@ let bench_compare base fresh threshold =
       (* a +dirty report did not come from the commit its SHA names *)
       List.iter
         (fun (label, path, (r : Bench_result.report)) ->
-          if r.Bench_result.env.Tkr_perf.Env.dirty then
-            Printf.eprintf
-              "warning: %s report %s was recorded on a dirty tree (git %s): \
-               its numbers may not match any commit\n%!"
-              label path r.Bench_result.env.Tkr_perf.Env.git_sha)
+          Option.iter (Printf.eprintf "warning: %s\n%!")
+            (Perf_runner.provenance_warning ~label ~path r.Bench_result.env))
         [ ("base", base, b); ("new", fresh, f) ];
-      let outcome = Perf_compare.compare_reports ~threshold b f in
+      let outcome = Perf_compare.compare_reports ~threshold ?suite b f in
       print_string (Perf_compare.render outcome);
       if Perf_compare.has_regression outcome then
         raise
@@ -1391,8 +1426,8 @@ let bench_run_cmd =
        ~doc:
          "Run the quick bench suite and write the canonical JSON report")
     Term.(
-      const (fun a b c d -> guarded (fun () -> bench_run a b c d))
-      $ out $ scale $ runs $ jobs)
+      const (fun a b c d e -> guarded (fun () -> bench_run a b c d e))
+      $ out $ scale $ runs $ jobs $ engine_arg)
 
 let bench_compare_cmd =
   let base =
@@ -1408,14 +1443,23 @@ let bench_compare_cmd =
             "regression ratio: NEW/BASE above $(docv) fails, its inverse \
              reports an improvement, anything between is noise")
   in
+  let suite =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"NAME"
+          ~doc:
+            "compare only this suite's tests on both sides (e.g. \
+             $(b,employee) for the CI row-vs-vec gate)")
+  in
   Cmd.v
     (Cmd.info "compare"
        ~doc:
          "Compare two bench reports test-by-test; exit non-zero when any \
           test regressed beyond the threshold")
     Term.(
-      const (fun a b c -> guarded (fun () -> bench_compare a b c))
-      $ base $ fresh $ threshold)
+      const (fun a b c d -> guarded (fun () -> bench_compare a b c d))
+      $ base $ fresh $ threshold $ suite)
 
 let bench_export_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1592,8 +1636,12 @@ let bench_serve out append scale connections requests jobs cache_mb =
           (fun (x : Bench_result.result) -> x.Bench_result.suite <> "serve")
           r.Bench_result.results
       in
+      (* the appended suite was measured now: re-stamp the report with the
+         current environment instead of keeping the file's stale one *)
+      let env, warn = Perf_runner.refresh_env ~path r.Bench_result.env in
+      Option.iter (Printf.eprintf "warning: %s\n%!") warn;
       Bench_result.write path
-        { r with Bench_result.results = keep @ results };
+        { r with Bench_result.results = keep @ results; Bench_result.env = env };
       Printf.printf "appended serve suite to %s\n" path
   | None ->
       let path =
@@ -1723,7 +1771,12 @@ let bench_replay out append data workload cache_mb jobs path =
           (fun (x : Bench_result.result) -> x.Bench_result.suite <> "replay")
           r.Bench_result.results
       in
-      Bench_result.write path { r with Bench_result.results = keep @ results };
+      (* replay baselines carry current provenance, like bench compare's
+         warnings assume: never inherit the old file's env *)
+      let env, warn = Perf_runner.refresh_env ~path r.Bench_result.env in
+      Option.iter (Printf.eprintf "warning: %s\n%!") warn;
+      Bench_result.write path
+        { r with Bench_result.results = keep @ results; Bench_result.env = env };
       Printf.printf "appended replay suite to %s\n" path
   | None ->
       let path =

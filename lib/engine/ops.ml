@@ -207,6 +207,7 @@ let split_agg ?sp ?pool ~(group : int list) ~(aggs : Algebra.agg_spec list)
   let agg_arr = Array.of_list aggs in
   (* pre-aggregate per (group values, b, e) *)
   let pre : (Tuple.t * int * int, Agg.acc array) Hashtbl.t = Hashtbl.create 256 in
+  let pre_order = ref [] in
   let group_eps : (Tuple.t, IS.t ref) Hashtbl.t = Hashtbl.create 64 in
   let group_order = ref [] in
   Array.iter
@@ -219,6 +220,7 @@ let split_agg ?sp ?pool ~(group : int list) ~(aggs : Algebra.agg_spec list)
         | None ->
             let a = Array.make n_aggs Agg.empty in
             Hashtbl.add pre (key, b, e) a;
+            pre_order := (key, b, e) :: !pre_order;
             a
       in
       Array.iteri
@@ -246,16 +248,21 @@ let split_agg ?sp ?pool ~(group : int list) ~(aggs : Algebra.agg_spec list)
           Hashtbl.add group_eps key (ref (IS.add tmin (IS.singleton tmax)));
           group_order := key :: !group_order)
   | None -> ());
-  (* collect pre-aggregates per group for the sweep *)
+  (* collect pre-aggregates per group for the sweep, in first-appearance
+     order (not [Hashtbl.iter] order): together with the stable sort below
+     this makes the per-segment combine order — and hence float rounding —
+     a deterministic function of the input rows, reproducible by other
+     engines *)
   let entries : (Tuple.t, (int * int * Agg.acc array) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  Hashtbl.iter
-    (fun (key, b, e) accs ->
+  List.iter
+    (fun ((key, b, e) as k) ->
+      let accs = Hashtbl.find pre k in
       match Hashtbl.find_opt entries key with
       | Some cell -> cell := (b, e, accs) :: !cell
       | None -> Hashtbl.add entries key (ref [ (b, e, accs) ]))
-    pre;
+    (List.rev !pre_order);
   (* one group's sweep over its elementary segments, rows forward *)
   let group_rows key =
     let eps = !(Hashtbl.find group_eps key) in
@@ -268,11 +275,16 @@ let split_agg ?sp ?pool ~(group : int list) ~(aggs : Algebra.agg_spec list)
       pairs pts
     in
     let group_entries =
-      match Hashtbl.find_opt entries key with Some c -> !c | None -> []
+      match Hashtbl.find_opt entries key with
+      | Some c -> List.rev !c
+      | None -> []
     in
-    (* entries sorted by begin; sweep with an active set *)
+    (* entries sorted by begin, ties kept in first-appearance order;
+       sweep with an active set *)
     let sorted =
-      List.sort (fun (b1, _, _) (b2, _, _) -> Int.compare b1 b2) group_entries
+      List.stable_sort
+        (fun (b1, _, _) (b2, _, _) -> Int.compare b1 b2)
+        group_entries
     in
     let remaining = ref sorted in
     let active = ref [] in

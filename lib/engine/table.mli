@@ -6,6 +6,9 @@ open Tkr_relation
 
 type t
 
+type memo = ..
+(** Extensible derived-representation cache (see {!memo} below). *)
+
 val make : Schema.t -> Tuple.t list -> t
 val of_array : Schema.t -> Tuple.t array -> t
 val empty : Schema.t -> t
@@ -25,6 +28,16 @@ val equal_bag : t -> t -> bool
 
 val sorted_rows : t -> Tuple.t array
 (** A sorted copy, for deterministic output. *)
+
+val memo : t -> memo option
+(** The table's cached derived representation, if one was attached.  A
+    table value is immutable (mutations install a fresh [t] in the
+    database), so an attached memo stays valid for the value's lifetime. *)
+
+val set_memo : t -> memo -> unit
+(** Attach a derived representation.  One slot per table: a later
+    {!set_memo} replaces the previous memo.  Safe under concurrent
+    writers for pure derivations (last write wins). *)
 
 val pp : Format.formatter -> t -> unit
 (** Sorted, for deterministic test failure output. *)

@@ -44,6 +44,8 @@ let err ?pos code fmt =
 
 type backend = Interpreted | Compiled
 
+type engine = Row | Vec
+
 (* ---- observability: per-statement phase timings ---- *)
 
 (** Cumulative phase timings of one prepared statement: the preparation
@@ -107,6 +109,10 @@ type t = {
   mutable optimize : bool;  (** run the cost-based join-order optimizer *)
   mutable backend : backend;
       (** execute plans by AST interpretation or as compiled closures *)
+  mutable engine : engine;
+      (** row-at-a-time ({!Row}, the oracle) or columnar batch-at-a-time
+          ({!Vec}) execution; the vectorized engine reproduces the row
+          engine's output byte-for-byte and supersedes [backend] *)
   mutable strict : bool;
       (** --Werror: the check phase rejects on warnings too *)
   mutable prune : bool;
@@ -153,13 +159,14 @@ let locked mu f =
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
-    ?(prune = true) ?(backend = Interpreted) ?(strict = false)
-    ?(parallelism = 1) ?(db = Database.create ()) () =
+    ?(prune = true) ?(backend = Interpreted) ?(engine = Row)
+    ?(strict = false) ?(parallelism = 1) ?(db = Database.create ()) () =
   {
     db;
     options;
     optimize;
     backend;
+    engine;
     strict;
     prune;
     pool = (if parallelism > 1 then Some (Pool.create ~jobs:parallelism ()) else None);
@@ -199,6 +206,8 @@ let set_optimize m b = write_locked m (fun () -> m.optimize <- b)
 let set_prune m b = write_locked m (fun () -> m.prune <- b)
 let prune m = m.prune
 let set_backend m b = write_locked m (fun () -> m.backend <- b)
+let set_engine m e = write_locked m (fun () -> m.engine <- e)
+let engine m = m.engine
 let set_strict m b = write_locked m (fun () -> m.strict <- b)
 let strict m = m.strict
 
@@ -276,9 +285,12 @@ type prepared = {
 let make_exec m plan : Trace.t -> Database.t -> Table.t =
   (* the pool is captured at prepare time, like the backend *)
   let pool = m.pool in
-  match m.backend with
-  | Interpreted -> fun obs db -> Exec.eval ~obs ?pool db plan
-  | Compiled ->
+  match (m.engine, m.backend) with
+  | Vec, _ ->
+      (* the vectorized engine is serial; the pool never applies *)
+      fun obs db -> Tkr_vec.Vexec.eval ~obs db plan
+  | Row, Interpreted -> fun obs db -> Exec.eval ~obs ?pool db plan
+  | Row, Compiled ->
       Tkr_engine.Compiled.compile ?pool
         ~lookup:(fun n -> Database.schema_of m.db n)
         plan
@@ -513,7 +525,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               order_by; limit; stats; diags;
               analysis = Absint.render env_phys plan;
               tables = List.sort_uniq String.compare (collect_rels [] plan);
-              pooled = Option.is_some m.pool }
+              pooled = (m.engine = Row && Option.is_some m.pool) }
       | `Plain inner ->
           let analyzed =
             phase (fun ns -> stats.analyze_ns <- ns) @@ fun () ->
@@ -555,7 +567,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               diags;
               analysis = Absint.render env_plain plan;
               tables = List.sort_uniq String.compare (collect_rels [] plan);
-              pooled = Option.is_some m.pool;
+              pooled = (m.engine = Row && Option.is_some m.pool);
             })
   | _ -> err "TKR021" "not a query"
 

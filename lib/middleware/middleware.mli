@@ -40,11 +40,19 @@ type backend = Interpreted | Compiled
 (** Execute plans by AST interpretation or compiled to OCaml closures
     (faster for prepared statements run repeatedly). *)
 
+type engine = Row | Vec
+(** Row-at-a-time interpreted execution ({!Row}, the default and the
+    differential-testing oracle) or columnar batch-at-a-time execution
+    ({!Vec}, {!Tkr_vec.Vexec}).  The vectorized engine reproduces the row
+    engine's output byte-for-byte; it is serial, so a configured worker
+    pool is ignored while it is selected. *)
+
 val create :
   ?options:Rewriter.options ->
   ?optimize:bool ->
   ?prune:bool ->
   ?backend:backend ->
+  ?engine:engine ->
   ?strict:bool ->
   ?parallelism:int ->
   ?db:Database.t ->
@@ -72,6 +80,13 @@ val set_prune : t -> bool -> unit
 
 val prune : t -> bool
 val set_backend : t -> backend -> unit
+
+val set_engine : t -> engine -> unit
+(** Switch between row and vectorized execution (affects statements
+    prepared afterwards; already-prepared statements keep the engine they
+    captured). *)
+
+val engine : t -> engine
 val set_strict : t -> bool -> unit
 (** --Werror: reject statements whose check phase reports warnings. *)
 

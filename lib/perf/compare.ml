@@ -31,10 +31,27 @@ let classify threshold ratio =
   else if ratio > 0. && 1. /. ratio > threshold then Improvement
   else Unchanged
 
-let compare_reports ?(threshold = default_threshold)
+let compare_reports ?(threshold = default_threshold) ?suite
     (base : Bench_result.report) (fresh : Bench_result.report) : outcome =
-  if threshold <= 1.0 then
-    invalid_arg "Compare.compare_reports: threshold must exceed 1.0";
+  if threshold < 1.0 then
+    invalid_arg "Compare.compare_reports: threshold must be at least 1.0";
+  (* threshold 1.0 is the hard gate: any slowdown at all regresses (and,
+     symmetrically, any speedup reports as an improvement) *)
+  (* ?suite narrows both sides before matching, so a strict gate on one
+     suite (row-vs-vec at 1.0x) ignores unrelated suites entirely *)
+  let narrow (rep : Bench_result.report) =
+    match suite with
+    | None -> rep
+    | Some s ->
+        {
+          rep with
+          Bench_result.results =
+            List.filter
+              (fun (r : Bench_result.result) -> r.Bench_result.suite = s)
+              rep.Bench_result.results;
+        }
+  in
+  let base = narrow base and fresh = narrow fresh in
   let keys rep = List.map Bench_result.key rep.Bench_result.results in
   let base_keys = keys base and new_keys = keys fresh in
   let deltas =

@@ -26,8 +26,16 @@ val default_threshold : float
 (** 1.5x. *)
 
 val compare_reports :
-  ?threshold:float -> Bench_result.report -> Bench_result.report -> outcome
-(** @raise Invalid_argument when [threshold <= 1.0]. *)
+  ?threshold:float ->
+  ?suite:string ->
+  Bench_result.report ->
+  Bench_result.report ->
+  outcome
+(** [suite] restricts the comparison to that suite's results on both
+    sides (tests of other suites are neither compared nor reported as
+    appearing/disappearing).  A threshold of exactly 1.0 is the hard
+    gate: any slowdown regresses.
+    @raise Invalid_argument when [threshold < 1.0]. *)
 
 val regressions : outcome -> delta list
 val improvements : outcome -> delta list

@@ -63,3 +63,42 @@ let percentile (sorted : float array) (q : float) : float =
   let n = Array.length sorted in
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+(* ---- report provenance ---- *)
+
+(** [provenance_warning ~label ~path env]: the warning [bench compare]
+    prints for a report recorded on a dirty tree — such a report did not
+    come from the commit its SHA names.  Shared with the [--append]
+    paths so every consumer words the caveat identically. *)
+let provenance_warning ~(label : string) ~(path : string) (env : Env.t) :
+    string option =
+  if env.Env.dirty then
+    Some
+      (Printf.sprintf
+         "%s report %s was recorded on a dirty tree (git %s): its numbers \
+          may not match any commit" label path env.Env.git_sha)
+  else None
+
+(** [refresh_env ~path env]: the environment to stamp into a report that
+    is being appended to in place.  An appended suite was measured {e
+    now}, so the merged report must carry the current environment, not
+    the file's original one (which may name a different commit entirely);
+    when the two differ, the returned warning says what changed so the
+    baseline's provenance is visible at append time, exactly like
+    {!provenance_warning} makes it visible at compare time. *)
+let refresh_env ~(path : string) (old_env : Env.t) : Env.t * string option =
+  let cur = Env.capture () in
+  let pp_env (e : Env.t) =
+    Printf.sprintf "git %s%s" e.Env.git_sha (if e.Env.dirty then "+dirty" else "")
+  in
+  let warn =
+    if old_env.Env.git_sha <> cur.Env.git_sha || old_env.Env.dirty <> cur.Env.dirty
+    then
+      Some
+        (Printf.sprintf
+           "report %s was recorded at %s; re-stamping with the current %s \
+            (its other suites' numbers still come from the old tree)"
+           path (pp_env old_env) (pp_env cur))
+    else None
+  in
+  (cur, warn)

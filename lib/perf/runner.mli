@@ -23,3 +23,14 @@ val gc_counters : sample -> (string * float) list
 val percentile : float array -> float -> float
 (** Nearest-rank quantile of a pre-sorted array ([percentile lat 0.95]);
     [0.0] on an empty array. *)
+
+val provenance_warning : label:string -> path:string -> Env.t -> string option
+(** The dirty-tree caveat for a report: [Some warning] when [env] says the
+    report was recorded on a dirty tree.  Shared by [bench compare] and
+    the [--append] paths so provenance is worded identically everywhere. *)
+
+val refresh_env : path:string -> Env.t -> Env.t * string option
+(** The environment to stamp into a report being appended to in place:
+    always the current {!Env.capture}, plus a warning when it differs
+    from the file's recorded environment (an appended suite measured now
+    must not inherit a stale git SHA / dirty flag). *)

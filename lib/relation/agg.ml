@@ -88,6 +88,16 @@ let final (f : func) (acc : acc) : Value.t =
         | Some s -> Value.Float (s /. float_of_int acc.nonnull)
         | None -> Value.Null)
 
+let rows (acc : acc) = acc.rows
+let nonnull (acc : acc) = acc.nonnull
+let sum (acc : acc) = acc.sum
+let vmin (acc : acc) = acc.vmin
+let vmax (acc : acc) = acc.vmax
+
+let of_counters ~rows ~nonnull ~(sum : Value.t) ?(vmin = Value.Null)
+    ?(vmax = Value.Null) () : acc =
+  { rows; nonnull; sum; vmin; vmax }
+
 let output_ty (schema : Schema.t) = function
   | Count_star | Count _ -> Value.TInt
   | Avg _ -> Value.TFloat

@@ -31,6 +31,35 @@ val final : func -> acc -> Value.t
 (** SQL results over the accumulated inputs: count over empty input is 0,
     every other aggregate is NULL. *)
 
+val rows : acc -> int
+(** Number of input rows, NULL inputs included (what [count( * )] reads). *)
+
+val nonnull : acc -> int
+(** Number of non-NULL inputs (what [count(e)] and [avg]'s divisor read). *)
+
+val sum : acc -> Value.t
+(** Running sum of non-NULL numeric inputs, [Null] when there were none.
+    Integer inputs keep an exact [Int] sum, so it is safe to re-derive
+    by any association of additions; float sums are order-sensitive. *)
+
+val vmin : acc -> Value.t
+(** Running minimum of non-NULL inputs, [Null] when there were none. *)
+
+val vmax : acc -> Value.t
+(** Running maximum of non-NULL inputs, [Null] when there were none. *)
+
+val of_counters :
+  rows:int ->
+  nonnull:int ->
+  sum:Value.t ->
+  ?vmin:Value.t ->
+  ?vmax:Value.t ->
+  unit ->
+  acc
+(** An accumulator rebuilt from externally maintained state ([vmin]/[vmax]
+    default to NULL).  This is what lets an incremental sweep hand exact
+    per-segment state back to {!final} instead of re-folding {!combine}. *)
+
 val output_ty : Schema.t -> func -> Value.ty
 val default_name : func -> string
 val map_cols : (int -> int) -> func -> func

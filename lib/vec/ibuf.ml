@@ -1,0 +1,19 @@
+(** Growable int arrays: the selection-vector and index buffers of the
+    vectorized operators (amortized O(1) push, no boxing). *)
+
+type t = { mutable a : int array; mutable n : int }
+
+let create ?(cap = 16) () = { a = Array.make (max cap 1) 0; n = 0 }
+
+let push b x =
+  if b.n = Array.length b.a then begin
+    let a' = Array.make (2 * b.n) 0 in
+    Array.blit b.a 0 a' 0 b.n;
+    b.a <- a'
+  end;
+  b.a.(b.n) <- x;
+  b.n <- b.n + 1
+
+let length b = b.n
+let get b i = b.a.(i)
+let to_array b = Array.sub b.a 0 b.n

@@ -1,0 +1,68 @@
+(** Binary min-heap of (key, expiry) int pairs, for the lazy-expiry
+    min/max sweep in {!Vexec.split_agg}.
+
+    Every live interval's key is pushed once; expired tops are popped at
+    each segment boundary.  Expired pairs deeper in the heap are harmless:
+    they only sit below smaller keys, so an unexpired top is the minimum
+    over the live pairs. *)
+
+type t = {
+  mutable keys : int array;  (** heap-ordered *)
+  mutable exps : int array;  (** expiry (exclusive end) per key *)
+  mutable n : int;
+}
+
+let create () = { keys = Array.make 16 0; exps = Array.make 16 0; n = 0 }
+let clear (h : t) = h.n <- 0
+let size (h : t) = h.n
+let top (h : t) = h.keys.(0)
+let top_expiry (h : t) = h.exps.(0)
+
+let swap h i j =
+  let k = h.keys.(i) and e = h.exps.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.exps.(i) <- h.exps.(j);
+  h.keys.(j) <- k;
+  h.exps.(j) <- e
+
+let push (h : t) (key : int) (expiry : int) : unit =
+  if h.n = Array.length h.keys then begin
+    let keys = Array.make (2 * h.n) 0 and exps = Array.make (2 * h.n) 0 in
+    Array.blit h.keys 0 keys 0 h.n;
+    Array.blit h.exps 0 exps 0 h.n;
+    h.keys <- keys;
+    h.exps <- exps
+  end;
+  let i = ref h.n in
+  h.n <- h.n + 1;
+  h.keys.(!i) <- key;
+  h.exps.(!i) <- expiry;
+  let up = ref true in
+  while !up && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if h.keys.(p) > h.keys.(!i) then begin
+      swap h p !i;
+      i := p
+    end
+    else up := false
+  done
+
+let pop (h : t) : unit =
+  h.n <- h.n - 1;
+  if h.n > 0 then begin
+    h.keys.(0) <- h.keys.(h.n);
+    h.exps.(0) <- h.exps.(h.n);
+    let i = ref 0 in
+    let down = ref true in
+    while !down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && h.keys.(l) < h.keys.(!m) then m := l;
+      if r < h.n && h.keys.(r) < h.keys.(!m) then m := r;
+      if !m <> !i then begin
+        swap h !m !i;
+        i := !m
+      end
+      else down := false
+    done
+  end
