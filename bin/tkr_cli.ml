@@ -227,13 +227,28 @@ let engine_arg =
            default and the differential-testing oracle) or $(b,vec) \
            (columnar batch-at-a-time); both produce byte-identical output")
 
-let run data workload jobs engine no_prune sql file explain stats max_rows =
+(* --index on|off, shared by run, explain, serve and bench run: interval
+   indexes only change the access path (EXPLAIN's [access:] line), never
+   a byte of any result — the CI determinism job diffs on/off outputs *)
+let index_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "index" ] ~docv:"on|off"
+        ~doc:
+          "temporal interval indexes: answer $(b,AS OF) timeslices and \
+           overlap selections over stored period tables by endpoint-sorted \
+           index probes instead of scans; $(b,on) (default) and $(b,off) \
+           produce byte-identical output")
+
+let run data workload jobs engine index no_prune sql file explain stats
+    max_rows =
   (match (sql, file, workload) with
   | Some _, Some _, _ -> usage "provide at most one of -e SQL or -f FILE"
   | None, None, None -> usage "provide -e SQL, -f FILE or --workload NAME"
   | _ -> ());
   let m =
-    M.create ~parallelism:jobs ~engine ~prune:(not no_prune)
+    M.create ~parallelism:jobs ~engine ~index ~prune:(not no_prune)
       ~db:(workload_db workload) ()
   in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
@@ -338,15 +353,17 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute SQL (including SEQ VT snapshot queries) against CSV data")
     Term.(
-      const (fun a b c d e f g h i j ->
-          guarded (fun () -> run a b c d e f g h i j))
-      $ data $ workload $ jobs $ engine_arg $ no_prune $ sql $ file $ explain
-      $ stats $ max_rows)
+      const (fun a b c d e f g h i j k ->
+          guarded (fun () -> run a b c d e f g h i j k))
+      $ data $ workload $ jobs $ engine_arg $ index_arg $ no_prune $ sql
+      $ file $ explain $ stats $ max_rows)
 
 (* --- explain --- *)
 
-let explain data analyze jobs engine no_prune sql =
-  let m = M.create ~parallelism:jobs ~engine ~prune:(not no_prune) () in
+let explain data analyze jobs engine index no_prune sql =
+  let m =
+    M.create ~parallelism:jobs ~engine ~index ~prune:(not no_prune) ()
+  in
   (match data with Some dir -> load_dir m dir | None -> ());
   print_endline (if analyze then M.explain_analyze m sql else M.explain m sql);
   M.shutdown m
@@ -387,8 +404,8 @@ let explain_cmd =
        ~doc:"Show the optimized, rewritten plan of a query with the \
              abstract interpreter's inferred per-operator facts")
     Term.(
-      const (fun a b c d e f -> guarded (fun () -> explain a b c d e f))
-      $ data $ analyze $ jobs $ engine_arg $ no_prune $ sql)
+      const (fun a b c d e f g -> guarded (fun () -> explain a b c d e f g))
+      $ data $ analyze $ jobs $ engine_arg $ index_arg $ no_prune $ sql)
 
 (* --- lint --- *)
 
@@ -599,8 +616,10 @@ let workload_name = function
   | None -> None
 
 let serve data workload host port max_sessions queue_depth cache_mb jobs
-    engine workers metrics_out log log_rate slow_ms record =
-  let m = M.create ~parallelism:jobs ~engine ~db:(workload_db workload) () in
+    engine index workers metrics_out log log_rate slow_ms record =
+  let m =
+    M.create ~parallelism:jobs ~engine ~index ~db:(workload_db workload) ()
+  in
   Fun.protect ~finally:(fun () -> M.shutdown m) @@ fun () ->
   (match data with Some dir -> load_dir m dir | None -> ());
   (* the JSONL event log: a file path, "stderr", or off entirely *)
@@ -785,11 +804,11 @@ let serve_cmd =
           result cache, live telemetry (STATS/METRICS/HEALTH/LEDGER, event \
           log), optional flight recording; SIGTERM/SIGINT drain gracefully")
     Term.(
-      const (fun a b c d e f g h i j k l m n o ->
-          guarded (fun () -> serve a b c d e f g h i j k l m n o))
+      const (fun a b c d e f g h i j k l m n o p ->
+          guarded (fun () -> serve a b c d e f g h i j k l m n o p))
       $ data $ workload $ host_arg $ port_arg $ max_sessions $ queue_depth
-      $ cache_mb $ jobs $ engine_arg $ workers $ metrics_out $ log $ log_rate
-      $ slow_ms $ record)
+      $ cache_mb $ jobs $ engine_arg $ index_arg $ workers $ metrics_out
+      $ log $ log_rate $ slow_ms $ record)
 
 (* --- replay --- *)
 
@@ -1173,7 +1192,7 @@ let top_cmd =
    operator measured serially and on the pool, with the speedup recorded
    as a [speedup_x] counter — the trajectory of parallel efficiency
    across commits and job counts. *)
-let bench_suite ~scale ~runs ~jobs ~engine :
+let bench_suite ~scale ~runs ~jobs ~engine ~index :
     Bench_result.result list * (string * Tkr_obs.Json.t) list =
   let module W = Tkr_workload.Employees in
   let module Q = Tkr_workload.Queries in
@@ -1183,7 +1202,7 @@ let bench_suite ~scale ~runs ~jobs ~engine :
   let module Json = Tkr_obs.Json in
   let employees = max 20 (int_of_float (150. *. scale)) in
   let db = W.generate { (W.scaled employees) with W.tmax = 2000 } in
-  let m = M.create ~parallelism:jobs ~engine ~db () in
+  let m = M.create ~parallelism:jobs ~engine ~index ~db () in
   (* with --engine vec, a row-engine middleware over the same catalog
      provides the per-query reference timing behind [speedup_vs_row_x] *)
   let m_row =
@@ -1318,6 +1337,53 @@ let bench_suite ~scale ~runs ~jobs ~engine :
                   ct );
           ]
   in
+  (* AS OF point lookups over a scaled period table: the interval-index
+     stab against the full-scan reference.  [speedup_vs_scan_x] is the
+     tracked trajectory (CI gates the asof suite at >= 1.0x), exactly
+     like [speedup_vs_row_x] tracks vec-vs-row. *)
+  let asof =
+    let n = max 2_000 (int_of_float (40_000. *. scale)) in
+    let adb = Database.create ~tmin:0 ~tmax:2000 () in
+    Database.add_period_table adb "history"
+      (W.coalesce_input ~n ~seed:31 ~tmax:2000);
+    let mi = M.create ~engine ~db:adb () in
+    let ms = M.create ~engine ~index:false ~db:adb () in
+    let res =
+      List.map
+        (fun (name, sql) ->
+          let p = M.prepare mi sql in
+          let s = Perf_runner.measure ~runs (fun () -> M.run_prepared mi p) in
+          let ps = M.prepare ms sql in
+          let ss =
+            Perf_runner.measure ~runs (fun () -> M.run_prepared ms ps)
+          in
+          let speedup = ss.Perf_runner.wall_ns /. s.Perf_runner.wall_ns in
+          let rows = Table.cardinality (M.run_prepared mi p) in
+          Printf.printf "  %-24s %12.1f us/run  %8d rows  %5.2fx vs scan\n%!"
+            ("asof/" ^ name)
+            (s.Perf_runner.wall_ns /. 1e3)
+            rows speedup;
+          Bench_result.result ~suite:"asof" ~name ~runs
+            ~counters:
+              (jobs_counter
+              :: ("rows_out", float_of_int rows)
+              :: ("scan_ns_per_run", ss.Perf_runner.wall_ns)
+              :: ("speedup_vs_scan_x", speedup)
+              :: Perf_runner.gc_counters s)
+            s.Perf_runner.wall_ns)
+        [
+          ("stab-mid", "SEQ VT AS OF 1000 (SELECT emp_no FROM history)");
+          ("stab-early", "SEQ VT AS OF 13 (SELECT emp_no FROM history)");
+          (* an early stab so the O(n) scan — not the shared downstream
+             aggregation — is the dominant term being replaced *)
+          ( "stab-count",
+            "SEQ VT AS OF 13 (SELECT count(*) AS c FROM history)" );
+        ]
+    in
+    M.shutdown mi;
+    M.shutdown ms;
+    res
+  in
   (* one traced execution per employee query, so [bench export --folded]
      works on CLI-produced reports too *)
   let traces =
@@ -1337,15 +1403,15 @@ let bench_suite ~scale ~runs ~jobs ~engine :
   in
   M.shutdown m;
   Option.iter M.shutdown m_row;
-  ( employee @ coalesce @ interval_join @ split_agg @ par_scaling,
+  ( employee @ coalesce @ interval_join @ split_agg @ asof @ par_scaling,
     [ ("operator_traces", traces) ] )
 
-let bench_run out scale runs jobs engine =
+let bench_run out scale runs jobs engine index =
   let path = match out with Some p -> p | None -> Bench_result.default_filename () in
   Printf.printf "quick bench suite (scale %.2f, %d runs, %d jobs, %s engine):\n%!"
     scale runs jobs
     (match engine with M.Row -> "row" | M.Vec -> "vec");
-  let results, extra = bench_suite ~scale ~runs ~jobs ~engine in
+  let results, extra = bench_suite ~scale ~runs ~jobs ~engine ~index in
   let report = Bench_result.make ~extra ~source:"tkr_cli bench run" results in
   Bench_result.write path report;
   Printf.printf "wrote %s (%d results)\n" path (List.length results)
@@ -1426,8 +1492,8 @@ let bench_run_cmd =
        ~doc:
          "Run the quick bench suite and write the canonical JSON report")
     Term.(
-      const (fun a b c d e -> guarded (fun () -> bench_run a b c d e))
-      $ out $ scale $ runs $ jobs $ engine_arg)
+      const (fun a b c d e f -> guarded (fun () -> bench_run a b c d e f))
+      $ out $ scale $ runs $ jobs $ engine_arg $ index_arg)
 
 let bench_compare_cmd =
   let base =

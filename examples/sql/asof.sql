@@ -1,0 +1,28 @@
+-- AS OF timeslices and the temporal interval index.  Run with
+--   tkr_cli run -f examples/sql/asof.sql
+-- and compare the two access paths (byte-identical results):
+--   tkr_cli run -f examples/sql/asof.sql --index off
+-- or look at the planner's decision without executing:
+--   tkr_cli explain "SEQ VT AS OF 9 (SELECT name FROM works)"
+
+CREATE TABLE works (name text, skill text, b int, e int) PERIOD (b, e);
+INSERT INTO works VALUES
+  ('Ann', 'SP', 3, 10), ('Joe', 'NS', 8, 16),
+  ('Sam', 'SP', 8, 16), ('Ann', 'SP', 18, 20);
+
+-- the snapshot at one point in time: the AS OF pushdown becomes a
+-- stab probe (Abegin <= 9 < Aend) into the endpoint-sorted index
+SEQ VT AS OF 9 (SELECT name, skill FROM works);
+
+-- a user filter above the timeslice fuses with the pushdown into one
+-- index-answerable selection; the residual predicate re-filters the
+-- candidates, so the result matches the scan byte for byte
+SEQ VT AS OF 9 (SELECT name FROM works WHERE skill = 'SP');
+
+-- timeslice cardinality: what the delta-summation structure counts in
+-- O(log n) (two binary searches over the endpoint arrays)
+SEQ VT AS OF 9 (SELECT count(*) AS headcount FROM works);
+
+-- an overlap range over the period columns directly: rows alive at any
+-- point of [8, 16) — begin bounded above, end bounded below
+SELECT name, b, e FROM works WHERE b < 16 AND e > 8;

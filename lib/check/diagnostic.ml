@@ -173,6 +173,7 @@ let registry : (string * string) list =
     ("TKR405", "COALESCE over provably coalesced input");
     ("TKR406", "join predicate is unsatisfiable");
     ("TKR407", "selection admits only degenerate periods");
+    ("TKR408", "AS OF timeslice outside the stored time bounds");
   ]
 
 let describe code = List.assoc_opt code registry

@@ -145,8 +145,10 @@ let rows_in sp tables =
       Trace.set_int sp "rows_in"
         (List.fold_left (fun acc t -> acc + Table.cardinality t) 0 tables)
 
-let rec compile ?pool ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
+let rec compile ?pool ?(use_index = false) ~(lookup : string -> Schema.t)
+    (q : Algebra.t) : plan =
   let name = Exec.op_label q in
+  let compile ?pool ~lookup q = compile ?pool ~use_index ~lookup q in
   match q with
   | Rel n ->
       traced name (fun sp _ db ->
@@ -160,11 +162,27 @@ let rec compile ?pool ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
           t)
   | Select (p, q0) ->
       let cp = compile_pred p and cq = compile ?pool ~lookup q0 in
-      traced name (fun sp obs db ->
-          let t = cq obs db in
-          rows_in sp [ t ];
-          Table.of_array (Table.schema t)
-            (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t)))))
+      let scan sp obs db =
+        let t = cq obs db in
+        rows_in sp [ t ];
+        Table.of_array (Table.schema t)
+          (Array.of_seq (Seq.filter cp (Array.to_seq (Table.rows t))))
+      in
+      (match q0 with
+      | Rel n ->
+          traced name (fun sp obs db ->
+              if Database.is_period db n then
+                match
+                  if use_index then Exec.index_select ?sp db p n else None
+                with
+                | Some result ->
+                    rows_in sp [ Database.find db n ];
+                    result
+                | None ->
+                    Trace.set_str sp "access" "scan";
+                    scan sp obs db
+              else scan sp obs db)
+      | _ -> traced name scan)
   | Project (projs, q0) ->
       let cq = compile ?pool ~lookup q0 in
       let child_schema = Algebra.schema_of ~lookup q0 in
@@ -191,8 +209,22 @@ let rec compile ?pool ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
       match Expr.equi_keys ~left_arity:nl p with
       | [], _ ->
           let cp = compile_pred p in
+          let rel_r = match r with Algebra.Rel rn -> Some rn | _ -> None in
           traced name (fun sp obs db ->
               let lt = cl obs db in
+              let indexed =
+                match rel_r with
+                | Some rn when use_index && Database.is_period db rn -> (
+                    match Exec.index_join ?sp db p lt rn with
+                    | Some res -> Some (res, Database.find db rn)
+                    | None -> None)
+                | _ -> None
+              in
+              match indexed with
+              | Some (res, rt) ->
+                  rows_in sp [ lt; rt ];
+                  res
+              | None ->
               let rt = cr obs db in
               rows_in sp [ lt; rt ];
               Trace.set_str sp "strategy" "nested_loop";
@@ -357,7 +389,7 @@ let rec compile ?pool ~(lookup : string -> Schema.t) (q : Algebra.t) : plan =
 
 (** Compile and immediately run (convenience; reuse the compiled plan for
     repeated execution). *)
-let eval ?(obs = Trace.disabled) ?pool (db : Database.t) (q : Algebra.t) :
-    Table.t =
+let eval ?(obs = Trace.disabled) ?(use_index = false) ?pool (db : Database.t)
+    (q : Algebra.t) : Table.t =
   let lookup n = Database.schema_of db n in
-  (compile ?pool ~lookup q) obs db
+  (compile ?pool ~use_index ~lookup q) obs db

@@ -17,15 +17,23 @@ type plan = Tkr_obs.Trace.t -> Database.t -> Table.t
     {!Tkr_obs.Trace.disabled} for no instrumentation) and a database. *)
 
 val compile :
-  ?pool:Tkr_par.Pool.t -> lookup:(string -> Schema.t) -> Algebra.t -> plan
+  ?pool:Tkr_par.Pool.t ->
+  ?use_index:bool ->
+  lookup:(string -> Schema.t) ->
+  Algebra.t ->
+  plan
 (** [lookup] must give the schema of every base relation referenced;
     the compiled plan may be run against any database with compatible
     schemas.  [?pool] is captured by the compiled closures: the temporal
     operators (coalesce/split/split_agg) then run their sweeps on the
-    pool, with byte-identical output to the serial plan. *)
+    pool, with byte-identical output to the serial plan.  [?use_index]
+    (default false) makes index-answerable selections and no-equi-key
+    joins over stored period tables probe {!Tkr_idx} interval indexes,
+    exactly as {!Exec.eval} does — byte-identical rows either way. *)
 
 val eval :
   ?obs:Tkr_obs.Trace.t ->
+  ?use_index:bool ->
   ?pool:Tkr_par.Pool.t ->
   Database.t ->
   Algebra.t ->

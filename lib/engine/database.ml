@@ -24,7 +24,12 @@ type t = {
           set and [tmin]/[tmax] are all unchanged) *)
   mutable tmin : int;
   mutable tmax : int;
+  uid : int;
+      (** process-unique database identity, for caches keyed outside the
+          database value itself (e.g. per-table index build bookkeeping) *)
 }
+
+let next_uid = Atomic.make 0
 
 let create ?(tmin = 0) ?(tmax = 1) () =
   {
@@ -33,7 +38,10 @@ let create ?(tmin = 0) ?(tmax = 1) () =
     generation = 0;
     tmin;
     tmax;
+    uid = Atomic.fetch_and_add next_uid 1;
   }
+
+let uid db = db.uid
 
 let version db name =
   Option.value ~default:0

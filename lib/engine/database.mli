@@ -55,3 +55,8 @@ val generation : t -> int
     set, all schemas and the time bounds are unchanged, so plans prepared
     against this catalog state are still valid — the staleness signal for
     prepared-statement caches. *)
+
+val uid : t -> int
+(** Process-unique identity of this database value, assigned at
+    {!create}.  Lets caches keyed outside the database (e.g. index build
+    bookkeeping) distinguish same-named tables of different databases. *)

@@ -42,8 +42,30 @@ val op_label : Algebra.t -> string
 (** Trace span label of the root operator (shared with {!Compiled} so the
     two backends produce comparable traces). *)
 
+val index_select :
+  ?sp:Tkr_obs.Trace.span -> Database.t -> Expr.t -> string -> Table.t option
+(** Index-assisted selection over a stored period table, or [None] when
+    the predicate does not bound both period columns ({!Tkr_idx.Probe}).
+    Byte-identical to [select pred (find db name)]: probe bounds are
+    necessary conditions, candidates keep physical row order, and the
+    full predicate is re-applied. *)
+
+val index_join :
+  ?sp:Tkr_obs.Trace.span ->
+  Database.t ->
+  Expr.t ->
+  Table.t ->
+  string ->
+  Table.t option
+(** Index nested-loop join against a stored period table on the right:
+    one interval probe per left row.  [None] when the conjuncts do not
+    sandwich the right period between left columns.  Byte-identical to
+    {!nested_loop_join} (callers must ensure the predicate has no
+    equi-keys, i.e. the nested-loop regime). *)
+
 val eval :
   ?obs:Tkr_obs.Trace.t ->
+  ?use_index:bool ->
   ?pool:Tkr_par.Pool.t ->
   Database.t ->
   Algebra.t ->
@@ -53,4 +75,8 @@ val eval :
     every operator reports a span carrying rows in/out and operator
     internals (default: the disabled collector — no overhead).  [?pool]
     parallelizes the temporal operators (coalesce/split/split_agg) with
-    byte-identical output; absent, the serial engine runs unchanged. *)
+    byte-identical output; absent, the serial engine runs unchanged.
+    [?use_index] (default off) lets selections and no-equi-key joins over
+    stored period tables answer through the temporal interval index when
+    their predicates are index-answerable; output is byte-identical
+    either way, spans record [access=index|scan]. *)

@@ -237,3 +237,74 @@ let optimize ?(prune : (Algebra.t -> Algebra.t) option)
   in
   let q = go q in
   match prune with Some f -> f q | None -> q
+
+(** Collapse stacked selections: [Select (p1, Select (p2, q))] becomes
+    [Select (And (p2, p1), q)] (inner predicate first, matching the
+    filter order of the stacked form; Kleene AND makes the filtered rows
+    identical).  Run after the AS OF pushdown so a user filter stacked on
+    the pushed-down aliveness selection fuses into one conjunction whose
+    conjuncts carry both period bounds — the shape {!Exec.index_select}
+    recognizes.  Applied unconditionally: the plan shape does not depend
+    on whether the index is enabled. *)
+let rec merge_selects (q : Algebra.t) : Algebra.t =
+  match q with
+  | Rel _ | ConstRel _ -> q
+  | Select (p, q) -> (
+      match merge_selects q with
+      | Select (p2, q') -> Select (Expr.And (p2, p), q')
+      | q' -> Select (p, q'))
+  | Project (ps, q) -> Project (ps, merge_selects q)
+  | Join (p, l, r) -> Join (p, merge_selects l, merge_selects r)
+  | Union (l, r) -> Union (merge_selects l, merge_selects r)
+  | Diff (l, r) -> Diff (merge_selects l, merge_selects r)
+  | Agg (g, a, q) -> Agg (g, a, merge_selects q)
+  | Distinct q -> Distinct (merge_selects q)
+  | Coalesce q -> Coalesce (merge_selects q)
+  | Split (g, l, r) ->
+      if l == r then
+        let l' = merge_selects l in
+        Split (g, l', l')
+      else Split (g, merge_selects l, merge_selects r)
+  | Split_agg sa -> Split_agg { sa with sa_child = merge_selects sa.sa_child }
+
+(** The access paths the interpreter will choose for each stored period
+    table read through a selection or a no-equi-key join — the
+    [access=index|scan] decision of {!Exec.eval}, precomputed for
+    EXPLAIN.  Entries are [(table, "index" | "scan")] in plan order;
+    tables read by a bare scan (no selection) are not listed. *)
+let access ~(use_index : bool) ~(is_period : string -> bool)
+    ~(lookup : string -> Schema.t) (q : Algebra.t) : (string * string) list =
+  let out = ref [] in
+  let add n v = out := (n, v) :: !out in
+  let rec go (q : Algebra.t) =
+    match q with
+    | Rel _ | ConstRel _ -> ()
+    | Select (p, Rel n) when is_period n ->
+        let answerable =
+          Option.is_some
+            (Tkr_idx.Probe.bounds ~arity:(Schema.arity (lookup n)) p)
+        in
+        add n (if use_index && answerable then "index" else "scan")
+    | Select (_, q) -> go q
+    | Project (_, q) | Agg (_, _, q) | Distinct q | Coalesce q -> go q
+    | Join (p, l, (Rel rn as r)) when is_period rn ->
+        go l;
+        go r;
+        let la = Schema.arity (Algebra.schema_of ~lookup l) in
+        let ra = Schema.arity (lookup rn) in
+        let answerable =
+          fst (Expr.equi_keys ~left_arity:la p) = []
+          && Option.is_some
+               (Tkr_idx.Probe.join_bounds ~left_arity:la ~right_arity:ra p)
+        in
+        add rn (if use_index && answerable then "index" else "scan")
+    | Join (_, l, r) | Union (l, r) | Diff (l, r) ->
+        go l;
+        go r
+    | Split (_, l, r) ->
+        go l;
+        if l != r then go r
+    | Split_agg sa -> go sa.sa_child
+  in
+  go q;
+  List.rev !out

@@ -25,3 +25,22 @@ val optimize :
     result — the middleware supplies the analysis-driven pruner from
     [Tkr_check.Absint] (the engine does not depend on the checker); it
     must preserve the produced rows and their order exactly. *)
+
+val merge_selects : Algebra.t -> Algebra.t
+(** Collapse stacked selections into one conjunctive selection
+    ([Select (p1, Select (p2, q))] → [Select (And (p2, p1), q)]), so a
+    user filter above the AS OF aliveness pushdown fuses into a single
+    index-answerable predicate.  Filtered rows and their order are
+    identical.  Applied to physical plans unconditionally — the plan
+    shape never depends on the index flag. *)
+
+val access :
+  use_index:bool ->
+  is_period:(string -> bool) ->
+  lookup:(string -> Schema.t) ->
+  Algebra.t ->
+  (string * string) list
+(** The [(table, "index" | "scan")] access-path decisions {!Exec.eval}
+    will make for stored period tables read through selections or
+    no-equi-key joins, in plan order — rendered by EXPLAIN so the chosen
+    path is visible without running the query. *)

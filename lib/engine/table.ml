@@ -11,21 +11,35 @@ type t = {
   schema : Schema.t;
   rows : Tuple.t array;
   memo : memo option Atomic.t;
-      (* single engine-owned cache slot for a derived representation of
-         this table value (e.g. the columnar image).  Tables are
-         immutable — every [Database] mutation installs a fresh [t] — so
-         the slot never needs invalidation.  Racing writers may both
-         compute the derivation; last write wins, which is benign for
-         pure derivations. *)
+      (* engine-owned cache slot for a derived representation of this
+         table value (e.g. the columnar image).  Tables are immutable —
+         every [Database] mutation installs a fresh [t] — so the slot
+         never needs invalidation.  Racing writers may both compute the
+         derivation; last write wins, which is benign for pure
+         derivations. *)
+  memo2 : memo option Atomic.t;
+      (* second, independently-owned slot (e.g. the temporal interval
+         index) so two cache clients don't evict each other. *)
 }
 
 let make schema rows : t =
-  { schema; rows = Array.of_list rows; memo = Atomic.make None }
+  {
+    schema;
+    rows = Array.of_list rows;
+    memo = Atomic.make None;
+    memo2 = Atomic.make None;
+  }
 
-let of_array schema rows : t = { schema; rows; memo = Atomic.make None }
-let empty schema : t = { schema; rows = [||]; memo = Atomic.make None }
+let of_array schema rows : t =
+  { schema; rows; memo = Atomic.make None; memo2 = Atomic.make None }
+
+let empty schema : t =
+  { schema; rows = [||]; memo = Atomic.make None; memo2 = Atomic.make None }
+
 let memo t = Atomic.get t.memo
 let set_memo t m = Atomic.set t.memo (Some m)
+let memo2 t = Atomic.get t.memo2
+let set_memo2 t m = Atomic.set t.memo2 (Some m)
 let schema t = t.schema
 let rows t = t.rows
 let cardinality t = Array.length t.rows

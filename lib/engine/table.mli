@@ -39,6 +39,13 @@ val set_memo : t -> memo -> unit
     {!set_memo} replaces the previous memo.  Safe under concurrent
     writers for pure derivations (last write wins). *)
 
+val memo2 : t -> memo option
+(** A second cache slot with the same contract as {!memo}, owned
+    independently (the vectorized engine holds the columnar image in the
+    first slot; the temporal index cache uses this one). *)
+
+val set_memo2 : t -> memo -> unit
+
 val pp : Format.formatter -> t -> unit
 (** Sorted, for deterministic test failure output. *)
 

@@ -119,6 +119,10 @@ type t = {
       (** apply {!Tkr_check.Absint}-driven plan pruning (drop provably
           empty subplans and provably idempotent Distinct/Coalesce);
           byte-identity-preserving, on by default *)
+  mutable index : bool;
+      (** answer index-answerable period-table selections and joins
+          through the temporal interval index ({!Tkr_idx}); output is
+          byte-identical to the scan path, on by default *)
   mutable pool : Pool.t option;
       (** worker pool for the temporal operators; [None] = the serial
           engine, whose output parallel plans reproduce byte-for-byte *)
@@ -159,7 +163,7 @@ let locked mu f =
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let create ?(options = Rewriter.optimized) ?(optimize = true)
-    ?(prune = true) ?(backend = Interpreted) ?(engine = Row)
+    ?(prune = true) ?(index = true) ?(backend = Interpreted) ?(engine = Row)
     ?(strict = false) ?(parallelism = 1) ?(db = Database.create ()) () =
   {
     db;
@@ -169,6 +173,7 @@ let create ?(options = Rewriter.optimized) ?(optimize = true)
     engine;
     strict;
     prune;
+    index;
     pool = (if parallelism > 1 then Some (Pool.create ~jobs:parallelism ()) else None);
     insert_order = Hashtbl.create 8;
     totals = fresh_stats ();
@@ -205,6 +210,8 @@ let metrics m = m.metrics
 let set_optimize m b = write_locked m (fun () -> m.optimize <- b)
 let set_prune m b = write_locked m (fun () -> m.prune <- b)
 let prune m = m.prune
+let set_index m b = write_locked m (fun () -> m.index <- b)
+let index_enabled m = m.index
 let set_backend m b = write_locked m (fun () -> m.backend <- b)
 let set_engine m e = write_locked m (fun () -> m.engine <- e)
 let engine m = m.engine
@@ -273,6 +280,11 @@ type prepared = {
       (** {!Tkr_check.Absint} rendering of the final plan with the
           inferred per-operator facts (time windows, emptiness,
           duplicate-freeness), shown by [EXPLAIN] *)
+  access : (string * string) list;
+      (** the planner's access-path decision per stored period table read
+          through a selection or a no-equi-key join —
+          [(table, "index" | "scan")] in plan order, shown by [EXPLAIN];
+          empty when the plan touches no such read *)
   tables : string list;
       (** base tables the final plan reads, sorted and deduplicated —
           with {!Tkr_engine.Database.version} these form the dependency
@@ -283,15 +295,17 @@ type prepared = {
 }
 
 let make_exec m plan : Trace.t -> Database.t -> Table.t =
-  (* the pool is captured at prepare time, like the backend *)
+  (* the pool and index flag are captured at prepare time, like the
+     backend *)
   let pool = m.pool in
+  let use_index = m.index in
   match (m.engine, m.backend) with
   | Vec, _ ->
       (* the vectorized engine is serial; the pool never applies *)
-      fun obs db -> Tkr_vec.Vexec.eval ~obs db plan
-  | Row, Interpreted -> fun obs db -> Exec.eval ~obs ?pool db plan
+      fun obs db -> Tkr_vec.Vexec.eval ~obs ~use_index db plan
+  | Row, Interpreted -> fun obs db -> Exec.eval ~obs ~use_index ?pool db plan
   | Row, Compiled ->
-      Tkr_engine.Compiled.compile ?pool
+      Tkr_engine.Compiled.compile ?pool ~use_index
         ~lookup:(fun n -> Database.schema_of m.db n)
         plan
 
@@ -450,41 +464,49 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               Simplify.simplify
                 (Rewriter.rewrite ~options:m.options ~tmin ~tmax ~lookup logical)
             in
-            match as_of with
-            | None -> plan
-            | Some t ->
+            let plan =
+              match as_of with
+              | None -> plan
+              | Some t ->
                 (* τ_T commutes with queries (Thm 6.3/7.2): restricting
                    every base table to the tuples alive at T computes the
                    same snapshot far more cheaply *)
-                let rec push (q : Algebra.t) : Algebra.t =
-                  match q with
-                  | Algebra.Rel n ->
-                      let arity = Schema.arity (Database.schema_of m.db n) in
-                      let alive =
-                        Expr.(
-                          And
-                            ( Cmp (Le, Col (arity - 2), Const (Value.Int t)),
-                              Cmp (Lt, Const (Value.Int t), Col (arity - 1)) ))
-                      in
-                      Algebra.Select (alive, q)
-                  | ConstRel _ -> q
-                  | Select (p, q) -> Select (p, push q)
-                  | Project (ps, q) -> Project (ps, push q)
-                  | Join (p, l, r) -> Join (p, push l, push r)
-                  | Union (l, r) -> Union (push l, push r)
-                  | Diff (l, r) -> Diff (push l, push r)
-                  | Agg (g, a, q) -> Agg (g, a, push q)
-                  | Distinct q -> Distinct (push q)
-                  | Coalesce q -> Coalesce (push q)
-                  | Split (g, l, r) ->
-                      if l == r then
-                        let l' = push l in
-                        Split (g, l', l')
-                      else Split (g, push l, push r)
-                  | Split_agg sa ->
-                      Split_agg { sa with sa_child = push sa.sa_child }
-                in
-                push plan
+                  let rec push (q : Algebra.t) : Algebra.t =
+                    match q with
+                    | Algebra.Rel n ->
+                        let arity = Schema.arity (Database.schema_of m.db n) in
+                        let alive =
+                          Expr.(
+                            And
+                              ( Cmp (Le, Col (arity - 2), Const (Value.Int t)),
+                                Cmp (Lt, Const (Value.Int t), Col (arity - 1))
+                              ))
+                        in
+                        Algebra.Select (alive, q)
+                    | ConstRel _ -> q
+                    | Select (p, q) -> Select (p, push q)
+                    | Project (ps, q) -> Project (ps, push q)
+                    | Join (p, l, r) -> Join (p, push l, push r)
+                    | Union (l, r) -> Union (push l, push r)
+                    | Diff (l, r) -> Diff (push l, push r)
+                    | Agg (g, a, q) -> Agg (g, a, push q)
+                    | Distinct q -> Distinct (push q)
+                    | Coalesce q -> Coalesce (push q)
+                    | Split (g, l, r) ->
+                        if l == r then
+                          let l' = push l in
+                          Split (g, l', l')
+                        else Split (g, push l, push r)
+                    | Split_agg sa ->
+                        Split_agg { sa with sa_child = push sa.sa_child }
+                  in
+                  push plan
+            in
+            (* fuse selection stacks (user filter over the AS OF aliveness
+               pushdown) into single conjunctions — the shape the index
+               probe recognizer works on.  Unconditional: the plan never
+               depends on the index flag. *)
+            Tkr_engine.Optimizer.merge_selects plan
           in
           (* check: period-encoding invariants on the rewritten plan, with
              the abstract interpreter seeded from the period catalog and
@@ -503,10 +525,35 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               ( checked @@ fun () ->
                 Check.physical ~absint:env_phys ~lookup:enc_lookup plan )
           in
+          (* a timeslice point outside the stored bounds is provably
+             empty: the bounds are widened to cover every stored period,
+             so no row can be alive there.  Decided on the pre-prune plan
+             — pruning replaces exactly these provably-empty reads with
+             constants, which must not silence the warning. *)
+          let diags_timeslice =
+            match as_of with
+            | Some t
+              when (t < tmin || t >= tmax) && collect_rels [] plan <> [] ->
+                checked @@ fun () ->
+                [
+                  Diagnostic.warning "TKR408"
+                    "AS OF %d lies outside the stored time bounds [%d, %d): \
+                     the timeslice is provably empty"
+                    t tmin tmax;
+                ]
+            | _ -> []
+          in
           let plan = if m.prune then Absint.prune env_phys plan else plan in
           let diags =
             List.sort_uniq compare
-              (diags_analyzed @ diags_optimized @ diags_physical)
+              (diags_analyzed @ diags_optimized @ diags_physical
+             @ diags_timeslice)
+          in
+          let access =
+            Tkr_engine.Optimizer.access ~use_index:m.index
+              ~is_period:(fun n -> Database.is_period m.db n)
+              ~lookup:(fun n -> Database.schema_of m.db n)
+              plan
           in
           let out_schema =
             match as_of with
@@ -523,7 +570,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
           finish
             { plan; exec = make_exec m plan; out_schema; snapshot = true; as_of;
               order_by; limit; stats; diags;
-              analysis = Absint.render env_phys plan;
+              analysis = Absint.render env_phys plan; access;
               tables = List.sort_uniq String.compare (collect_rels [] plan);
               pooled = (m.engine = Row && Option.is_some m.pool) }
       | `Plain inner ->
@@ -551,6 +598,13 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
             if m.prune then Absint.prune env_plain analyzed.algebra
             else analyzed.algebra
           in
+          let plan = Tkr_engine.Optimizer.merge_selects plan in
+          let access =
+            Tkr_engine.Optimizer.access ~use_index:m.index
+              ~is_period:(fun n -> Database.is_period m.db n)
+              ~lookup:(fun n -> Database.schema_of m.db n)
+              plan
+          in
           let order_by =
             List.map (Analyzer.resolve_order analyzed.schema) order_by
           in
@@ -566,6 +620,7 @@ let prepare_statement_unlocked m (stmt : Ast.statement) : prepared =
               stats;
               diags;
               analysis = Absint.render env_plain plan;
+              access;
               tables = List.sort_uniq String.compare (collect_rels [] plan);
               pooled = (m.engine = Row && Option.is_some m.pool);
             })
@@ -683,6 +738,12 @@ let render_plan (p : prepared) : string =
   in
   let buf = Buffer.create (String.length head + String.length p.analysis + 32) in
   Buffer.add_string buf head;
+  if p.access <> [] then begin
+    Buffer.add_string buf "\naccess: ";
+    Buffer.add_string buf
+      (String.concat " "
+         (List.map (fun (n, v) -> n ^ "=" ^ v) p.access))
+  end;
   Buffer.add_string buf "\nanalysis:";
   String.split_on_char '\n' p.analysis
   |> List.iter (fun line ->

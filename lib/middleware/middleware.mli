@@ -51,6 +51,7 @@ val create :
   ?options:Rewriter.options ->
   ?optimize:bool ->
   ?prune:bool ->
+  ?index:bool ->
   ?backend:backend ->
   ?engine:engine ->
   ?strict:bool ->
@@ -79,6 +80,17 @@ val set_prune : t -> bool -> unit
     query's rows or their order, only the plan shape. *)
 
 val prune : t -> bool
+
+val set_index : t -> bool -> unit
+(** Toggle temporal interval index usage (default on): index-answerable
+    selections and no-equi-key joins over stored period tables answer
+    through {!Tkr_idx} instead of scanning.  Byte-identity preserving —
+    toggling never changes any query's rows or their order, only the
+    access path (visible as [access: ...=index|scan] in EXPLAIN).
+    Affects statements prepared afterwards; already-prepared statements
+    keep the flag they captured. *)
+
+val index_enabled : t -> bool
 val set_backend : t -> backend -> unit
 
 val set_engine : t -> engine -> unit
@@ -170,6 +182,10 @@ type prepared = {
       (** {!Tkr_check.Absint} rendering of the final plan with the
           inferred per-operator facts (time windows, emptiness,
           duplicate-freeness), shown by [EXPLAIN] *)
+  access : (string * string) list;
+      (** the planner's access-path decision per stored period table read
+          through a selection or a no-equi-key join —
+          [(table, "index" | "scan")] in plan order, shown by [EXPLAIN] *)
   tables : string list;
       (** base tables the final plan reads, sorted and deduplicated —
           with {!Tkr_engine.Database.version} these form the dependency

@@ -58,6 +58,19 @@ let frame ~host ~port ~interval ~prev_requests ~stats ~health ~ledger () :
     (mib (jint cache "bytes"))
     (mib (jint cache "max_bytes"))
     (jint cache "evictions") (jint cache "invalidations");
+  (match Json.member "index" stats with
+  | Some (Json.Obj _ as idx) ->
+      let enabled =
+        match Json.member "enabled" idx with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      pr
+        "index     %s   built %d   rebuilds %d   probes %d   candidates %d\n"
+        (if enabled then "on " else "off")
+        (jint idx "built") (jint idx "rebuilds") (jint idx "probes")
+        (jint idx "candidates")
+  | _ -> ());
   (match Json.member "slowest" stats with
   | Some (Json.List (_ :: _ as slow)) ->
       pr "slowest plans:\n";

@@ -108,6 +108,12 @@ type t = {
   g_cache_bytes : Metrics.gauge;
   g_pool : Metrics.gauge;
   g_uptime : Metrics.gauge;
+  (* temporal interval index activity (Tkr_idx.Stats), sampled at
+     scrape time like the other levels *)
+  g_idx_built : Metrics.gauge;
+  g_idx_rebuilds : Metrics.gauge;
+  g_idx_probes : Metrics.gauge;
+  g_idx_candidates : Metrics.gauge;
 }
 
 let locked mu f =
@@ -558,7 +564,12 @@ let sync_gauges srv =
   Metrics.set srv.g_cache_entries cs.Cache.entries;
   Metrics.set srv.g_cache_bytes cs.Cache.bytes;
   Metrics.set srv.g_pool (Middleware.parallelism srv.mw);
-  Metrics.set srv.g_uptime (uptime_s srv)
+  Metrics.set srv.g_uptime (uptime_s srv);
+  let i = Tkr_idx.Stats.snapshot () in
+  Metrics.set srv.g_idx_built i.Tkr_idx.Stats.s_built;
+  Metrics.set srv.g_idx_rebuilds i.Tkr_idx.Stats.s_rebuilds;
+  Metrics.set srv.g_idx_probes i.Tkr_idx.Stats.s_probes;
+  Metrics.set srv.g_idx_candidates i.Tkr_idx.Stats.s_candidates
 
 let build_info_family srv : string =
   let e = srv.env in
@@ -624,6 +635,16 @@ let stats_json srv : Json.t =
             ("p50", Json.Int (q 0.50));
             ("p95", Json.Int (q 0.95));
             ("p99", Json.Int (q 0.99));
+          ] );
+      ( "index",
+        Json.Obj
+          [
+            ("enabled", Json.Bool (Middleware.index_enabled srv.mw));
+            ("built", Json.Int (Metrics.gauge_value srv.g_idx_built));
+            ("rebuilds", Json.Int (Metrics.gauge_value srv.g_idx_rebuilds));
+            ("probes", Json.Int (Metrics.gauge_value srv.g_idx_probes));
+            ( "candidates",
+              Json.Int (Metrics.gauge_value srv.g_idx_candidates) );
           ] );
       ("cache", Cache.stats_json srv.cache);
       ( "slowest",
@@ -844,6 +865,10 @@ let start ?(config = default_config) ?(tel = Tel.disabled)
       g_cache_bytes = Metrics.gauge reg "serve_cache_bytes";
       g_pool = Metrics.gauge reg "serve_pool_domains";
       g_uptime = Metrics.gauge reg "uptime_seconds";
+      g_idx_built = Metrics.gauge reg "tkr_idx_built";
+      g_idx_rebuilds = Metrics.gauge reg "tkr_idx_rebuilds";
+      g_idx_probes = Metrics.gauge reg "tkr_idx_probes";
+      g_idx_candidates = Metrics.gauge reg "tkr_idx_candidates";
     }
   in
   if Tel.enabled tel then

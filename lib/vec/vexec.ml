@@ -27,6 +27,7 @@ open Tkr_relation
 module Table = Tkr_engine.Table
 module Database = Tkr_engine.Database
 module Exec = Tkr_engine.Exec
+module Idx_cache = Tkr_engine.Idx_cache
 module Trace = Tkr_obs.Trace
 
 type ctx = {
@@ -35,6 +36,9 @@ type ctx = {
   force_row : Algebra.t -> bool;
       (* the batch↔row boundary: subtrees matching this predicate run on
          the interpreted engine *)
+  use_index : bool;
+      (* answer index-answerable period-table selections through the
+         temporal interval index (byte-identical either way) *)
 }
 
 let rows_in sp batches =
@@ -49,6 +53,33 @@ let rows_in sp batches =
 let select sp pred (b : Batch.t) : Batch.t =
   Trace.set_int sp "conjuncts" (List.length (Expr.conjuncts pred));
   Batch.with_sel b (Veval.filter b pred)
+
+(* Mirror of [Exec.index_select] at batch level: probe the interval index
+   for the candidate physical rows, install them as the batch's
+   selection, and let [Veval.filter] re-apply the full predicate over
+   that view.  The probe bounds are necessary conditions and candidates
+   come back in ascending physical order (= the identity selection's
+   order), so the surviving selection vector is exactly the one the full
+   filter would produce. *)
+let index_select (db : Database.t) sp pred (n : string) : Batch.t option =
+  let t = Database.find db n in
+  let arity = Schema.arity (Table.schema t) in
+  match Tkr_idx.Probe.bounds ~arity pred with
+  | None -> None
+  | Some { Tkr_idx.Probe.b_hi; e_lo } -> (
+      match Idx_cache.get db n with
+      | None -> None
+      | Some idx ->
+          let b = Batch.of_table t in
+          let cand = Tkr_idx.Interval.probe idx ~b_hi ~e_lo in
+          Tkr_idx.Stats.record_probes ~probes:1
+            ~candidates:(Array.length cand);
+          rows_in sp [ b ];
+          Trace.set_str sp "access" "index";
+          Trace.set_int sp "candidates" (Array.length cand);
+          Trace.set_int sp "conjuncts" (List.length (Expr.conjuncts pred));
+          let view = Batch.with_sel b cand in
+          Some (Batch.with_sel b (Veval.filter view pred)))
 
 (* ---- project ---- *)
 
@@ -1077,10 +1108,22 @@ let rec eval_batch (ctx : ctx) (q : Algebra.t) : Batch.t =
           let b = Batch.of_rows schema (Array.of_list tuples) in
           rows_in sp [ b ];
           b
-      | Select (p, q) ->
-          let b = eval_batch ctx q in
-          rows_in sp [ b ];
-          select sp p b
+      | Select (p, q) -> (
+          let scan () =
+            let b = eval_batch ctx q in
+            rows_in sp [ b ];
+            select sp p b
+          in
+          match q with
+          | Algebra.Rel n when Database.is_period ctx.db n -> (
+              match
+                if ctx.use_index then index_select ctx.db sp p n else None
+              with
+              | Some res -> res
+              | None ->
+                  Trace.set_str sp "access" "scan";
+                  scan ())
+          | _ -> scan ())
       | Project (projs, q) ->
           let b = eval_batch ctx q in
           rows_in sp [ b ];
@@ -1146,7 +1189,10 @@ let rec eval_batch (ctx : ctx) (q : Algebra.t) : Batch.t =
 (** Evaluate a plan on the vectorized engine.  [force_row] (default:
     never) marks subtrees to delegate to the row oracle across the
     batch↔row boundary — the differential tests drive it with random
-    predicates to exercise the boundary at every operator. *)
+    predicates to exercise the boundary at every operator.  [use_index]
+    (default off) answers index-answerable period-table selections
+    through the temporal interval index; output is byte-identical either
+    way. *)
 let eval ?(obs = Trace.disabled) ?(force_row = fun _ -> false)
-    (db : Database.t) (q : Algebra.t) : Table.t =
-  Batch.to_table (eval_batch { obs; db; force_row } q)
+    ?(use_index = false) (db : Database.t) (q : Algebra.t) : Table.t =
+  Batch.to_table (eval_batch { obs; db; force_row; use_index } q)

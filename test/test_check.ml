@@ -181,6 +181,7 @@ let golden : (string * (unit -> D.t list)) list =
                      Cmp (Eq, Col 0, Const (Value.Int 2)) )),
                Rel "enc", Rel "enc" )));
     ("TKR407", chk "SELECT name FROM works WHERE e <= 0");
+    ("TKR408", chk "SEQ VT AS OF 99 (SELECT name FROM works)");
   ]
 
 let test_golden () =

@@ -484,7 +484,28 @@ let test_console_zero_window () =
   in
   check "ledger panel renders" true
     (contains with_ledger "ledger (top by wall time):");
-  check "ledger row renders" true (contains with_ledger "abc")
+  check "ledger row renders" true (contains with_ledger "abc");
+  (* an index object in STATS adds the tkr_idx line *)
+  let with_index =
+    Console.frame ~host:"h" ~port:7 ~interval:2.0 ~prev_requests:0
+      ~stats:
+        (Json.Obj
+           [
+             ( "index",
+               Json.Obj
+                 [
+                   ("enabled", Json.Bool true);
+                   ("built", Json.Int 2);
+                   ("rebuilds", Json.Int 1);
+                   ("probes", Json.Int 40);
+                   ("candidates", Json.Int 120);
+                 ] );
+           ])
+      ~health:(Json.Obj []) ~ledger:None ()
+  in
+  check "index line renders" true
+    (contains with_index
+       "index     on    built 2   rebuilds 1   probes 40   candidates 120")
 
 let suite =
   ( "rec",

@@ -669,6 +669,8 @@ let test_e2e_telemetry () =
        "serve_pool_domains";
        "uptime_seconds";
        "tkr_build_info";
+       "tkr_idx_built";
+       "tkr_idx_probes";
        "# EOF\n";
      ];
    let health = Json.of_string (msg_body (Client.run_exn c "health")) in
@@ -681,7 +683,14 @@ let test_e2e_telemetry () =
    in
    check "stats counted the requests" true (requests >= 5);
    check "stats have latency quantiles" true
-     (Json.member "latency_us" stats <> None));
+     (Json.member "latency_us" stats <> None);
+   match Json.member "index" stats with
+   | Some idx ->
+       check "stats index enabled flag" true
+         (Json.member "enabled" idx = Some (Json.Bool true));
+       check "stats index counters present" true
+         (Json.member "built" idx <> None && Json.member "probes" idx <> None)
+   | None -> Alcotest.fail "stats missing index object");
   (* the server is stopped: the log is complete *)
   let evs = List.rev !events in
   let by name = List.filter (fun j -> jstr j "event" = name) evs in
